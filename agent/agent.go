@@ -1,0 +1,133 @@
+// Package agent defines the programming model for the paper's anonymous
+// mobile agents. An agent is a deterministic program that, in each
+// synchronous round, either waits at the current node or moves through a
+// chosen port. Its only percepts are the degree of the current node and
+// the port through which it last entered a node; node identities are never
+// visible, agents carry no labels, and both agents of a rendezvous
+// instance run the same program (package sim enforces the lock-step
+// semantics, the start delay, and meeting detection).
+//
+// Programs are written as ordinary Go code against the blocking World
+// interface and executed as goroutines by the simulator; the style matches
+// the paper's imperative pseudocode (Algorithms 1-3) directly.
+package agent
+
+import "fmt"
+
+// World is the interface through which an agent program senses and acts.
+// All methods are only legal from within the program's own goroutine.
+type World interface {
+	// Degree returns the degree of the current node.
+	Degree() int
+
+	// EntryPort returns the port through which the agent last entered the
+	// current node, or -1 if it has not moved since it appeared.
+	EntryPort() int
+
+	// Move leaves the current node through the given port, consuming one
+	// round, and returns the port by which the agent enters the new node.
+	// It panics with ErrBadPort if the port is out of range — that is a
+	// bug in the agent program, not an environment condition.
+	Move(port int) int
+
+	// Wait stays at the current node for the given number of rounds.
+	// Wait(0) is a no-op that consumes no rounds.
+	Wait(rounds uint64)
+
+	// Clock returns the number of rounds elapsed since this agent
+	// appeared at its initial node (the paper's synchronized local clock).
+	Clock() uint64
+}
+
+// Program is a deterministic agent algorithm. The simulator interrupts it
+// (by unwinding its goroutine) as soon as rendezvous is achieved or the
+// round budget is exhausted; a program that returns leaves its agent
+// waiting at its final node forever.
+type Program func(w World)
+
+// ErrBadPort is the panic value used when a program moves through an
+// out-of-range port.
+type ErrBadPort struct {
+	Port   int
+	Degree int
+}
+
+func (e ErrBadPort) Error() string {
+	return fmt.Sprintf("agent: move through port %d at node of degree %d", e.Port, e.Degree)
+}
+
+// The action alphabet of scripted (oblivious) agents. Theorem 4.1's
+// lower-bound argument observes that on port-homogeneous graphs every
+// algorithm is equivalent to such a script, because the percept stream
+// carries no information.
+const (
+	// ScriptWait encodes "stay put this round" in a script.
+	ScriptWait = -1
+)
+
+// Script returns an oblivious program that performs the fixed action list:
+// each entry is either ScriptWait or an outgoing port number, applied
+// modulo the current degree (so scripts written for regular graphs remain
+// runnable anywhere). After the script is exhausted the agent waits
+// forever.
+func Script(actions []int) Program {
+	return func(w World) {
+		for _, a := range actions {
+			if a == ScriptWait {
+				w.Wait(1)
+				continue
+			}
+			w.Move(a % w.Degree())
+		}
+	}
+}
+
+// ScriptWord parses a script from a word over the cardinal letters NESW
+// (ports 0..3 as in package graph's Q̂h labeling) plus '.' for a wait, and
+// returns the corresponding oblivious program.
+func ScriptWord(word string) (Program, error) {
+	actions, err := ParseWord(word)
+	if err != nil {
+		return nil, err
+	}
+	return Script(actions), nil
+}
+
+// ParseWord converts a NESW/'.' word into a script action list.
+func ParseWord(word string) ([]int, error) {
+	actions := make([]int, 0, len(word))
+	for i := 0; i < len(word); i++ {
+		switch c := word[i]; c {
+		case '.':
+			actions = append(actions, ScriptWait)
+		case 'N', 'n':
+			actions = append(actions, 0)
+		case 'E', 'e':
+			actions = append(actions, 1)
+		case 'S', 's':
+			actions = append(actions, 2)
+		case 'W', 'w':
+			actions = append(actions, 3)
+		default:
+			return nil, fmt.Errorf("agent: bad script letter %q at byte %d", c, i)
+		}
+	}
+	return actions, nil
+}
+
+// MoveEveryRound is the paper's introductory example program for the
+// two-node graph: "move at each round" (always through port 0). With any
+// odd delay on K2 the two copies meet; with delay 0 they swap forever.
+func MoveEveryRound(w World) {
+	for {
+		w.Move(0)
+	}
+}
+
+// Sit is the program that waits forever — the non-leader half of the
+// "waiting for Mommy" reduction from rendezvous to exploration.
+func Sit(w World) {
+	for {
+		w.Wait(1 << 20)
+	}
+}

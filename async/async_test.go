@@ -1,0 +1,123 @@
+package async
+
+import (
+	"testing"
+
+	"repro/agent"
+	"repro/graph"
+	"repro/rendezvous"
+	"repro/sim"
+)
+
+func TestExtractActions(t *testing.T) {
+	g := graph.Cycle(4)
+	prog := func(w agent.World) {
+		w.Move(0)
+		w.Wait(2)
+		w.Move(1)
+	}
+	acts := ExtractActions(g, prog, 0, 100)
+	want := []Action{{Move: true, Port: 0}, {}, {}, {Move: true, Port: 1}}
+	if len(acts) != len(want) {
+		t.Fatalf("actions %v", acts)
+	}
+	for i := range want {
+		if acts[i] != want[i] {
+			t.Fatalf("action %d = %v, want %v", i, acts[i], want[i])
+		}
+	}
+}
+
+func TestExtractActionsCaps(t *testing.T) {
+	g := graph.TwoNode()
+	acts := ExtractActions(g, agent.MoveEveryRound, 0, 50)
+	if len(acts) != 50 {
+		t.Fatalf("cap not applied: %d", len(acts))
+	}
+	acts = ExtractActions(g, func(w agent.World) { w.Wait(1 << 40) }, 0, 10)
+	if len(acts) != 10 {
+		t.Fatalf("wait cap not applied: %d", len(acts))
+	}
+}
+
+func TestSynchronizingAdversaryDefeatsEveryProgramOnSymmetricStarts(t *testing.T) {
+	// The conclusion's claim, demonstrated: from symmetric positions the
+	// lock-step adversary prevents node meetings for ANY program — here
+	// checked for the strongest one we have (UniversalRV) and a battery
+	// of scripted behaviours.
+	type caze struct {
+		g    *graph.Graph
+		u, v int
+	}
+	cases := []caze{
+		{graph.TwoNode(), 0, 1},
+		{graph.Cycle(4), 0, 2},
+		{graph.Cycle(6), 0, 3},
+		{graph.OrientedTorus(3, 3), 0, 4},
+	}
+	progs := []agent.Program{
+		rendezvous.UniversalRV(),
+		agent.MoveEveryRound,
+		agent.Script([]int{0, 1, agent.ScriptWait, 0, 0, 1, 1, agent.ScriptWait, 1}),
+	}
+	for _, c := range cases {
+		for pi, prog := range progs {
+			a := ExtractActions(c.g, prog, c.u, 30_000)
+			b := ExtractActions(c.g, prog, c.v, 30_000)
+			res := Run(c.g, a, b, c.u, c.v, Synchronizing{})
+			if res.Met {
+				t.Fatalf("%s prog %d: synchronizing adversary allowed a meeting at %d", c.g, pi, res.Node)
+			}
+		}
+	}
+}
+
+func TestLagAdversaryOnTwoNode(t *testing.T) {
+	// A genuine semantic difference from the synchronous model: an
+	// unscheduled asynchronous agent is *present* at its start node (the
+	// adversary merely withholds its moves), whereas a synchronous later
+	// agent is absent until its start round. On K2 with "move every
+	// round", Lag(δ) therefore meets for every δ >= 1 — for even δ the
+	// lagging agent is simply walked over while held at its node — while
+	// the synchronous run meets only for odd δ. Lag(0) coincides with the
+	// synchronizing adversary and never meets.
+	g := graph.TwoNode()
+	for delta := 0; delta <= 4; delta++ {
+		a := ExtractActions(g, agent.MoveEveryRound, 0, 200)
+		b := ExtractActions(g, agent.MoveEveryRound, 1, 200)
+		asyncRes := Run(g, a, b, 0, 1, Lag{Delay: delta})
+		if want := delta >= 1; asyncRes.Met != want {
+			t.Fatalf("δ=%d: async met=%v, want %v", delta, asyncRes.Met, want)
+		}
+		// The synchronous model agrees on odd delays (where the meeting
+		// happens between two moving agents, not by walking over a held
+		// one).
+		if delta%2 == 1 {
+			syncRes := sim.Run(g, agent.MoveEveryRound, 0, 1, uint64(delta), sim.Config{Budget: 300})
+			if syncRes.Outcome != sim.Met {
+				t.Fatalf("δ=%d: sync run should meet", delta)
+			}
+		}
+	}
+}
+
+func TestAsyncNodeMeetingStillPossibleFromAsymmetry(t *testing.T) {
+	// Space still breaks symmetry under the synchronizing adversary:
+	// path-3 endpoints both step into the middle and meet.
+	g := graph.Path(3)
+	prog := agent.Script([]int{0})
+	a := ExtractActions(g, prog, 0, 10)
+	b := ExtractActions(g, prog, 2, 10)
+	res := Run(g, a, b, 0, 2, Synchronizing{})
+	if !res.Met || res.Node != 1 {
+		t.Fatalf("expected meeting at node 1, got %+v", res)
+	}
+}
+
+func TestRunDegenerateSameStart(t *testing.T) {
+	g := graph.Cycle(4)
+	res := Run(g, nil, nil, 2, 2, Synchronizing{})
+	if !res.Met {
+		t.Fatal("co-located start must meet immediately")
+	}
+}

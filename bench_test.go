@@ -1,0 +1,112 @@
+// Package repro's root benchmark harness: one benchmark per experiment of
+// DESIGN.md §5 (the paper has no numbered tables — it is a theory paper —
+// so each lemma/theorem/worked example is regenerated as a table; see
+// EXPERIMENTS.md for recorded outputs).
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark executes the full experiment (workload generation,
+// parallel parameter sweep, verification checks) once per iteration and
+// fails if any of the experiment's internal checks fail, so `-bench` is
+// also a correctness gate.
+package repro
+
+import (
+	"testing"
+
+	"repro/experiments"
+)
+
+func benchExperiment(b *testing.B, run func() *experiments.Table) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl := run()
+		if !tbl.OK() {
+			b.Fatalf("%s failed checks: %v", tbl.ID, tbl.Failed)
+		}
+		b.ReportMetric(float64(len(tbl.Rows)), "rows")
+	}
+}
+
+// BenchmarkE1TwoNode regenerates E1: the introduction's two-node example —
+// delay is the only symmetry breaker (§1, Corollary 3.1 on K2).
+func BenchmarkE1TwoNode(b *testing.B) { benchExperiment(b, experiments.E1) }
+
+// BenchmarkE2Shrink regenerates E2: Shrink across families (Definition 3.1
+// worked examples: torus Shrink=dist, symmetric tree Shrink=1).
+func BenchmarkE2Shrink(b *testing.B) { benchExperiment(b, experiments.E2) }
+
+// BenchmarkE3Impossibility regenerates E3: exhaustive infeasibility proofs
+// below Shrink (Lemma 3.1).
+func BenchmarkE3Impossibility(b *testing.B) { benchExperiment(b, experiments.E3) }
+
+// BenchmarkE4SymmRV regenerates E4: SymmRV meets all symmetric STICs with
+// δ >= Shrink (Lemma 3.2).
+func BenchmarkE4SymmRV(b *testing.B) { benchExperiment(b, experiments.E4) }
+
+// BenchmarkE5TimeBound regenerates E5: SymmRV duration equals T(n,d,δ)
+// exactly (Lemma 3.3).
+func BenchmarkE5TimeBound(b *testing.B) { benchExperiment(b, experiments.E5) }
+
+// BenchmarkE6AsymmRV regenerates E6: AsymmRV on nonsymmetric pairs
+// (Proposition 3.1 substitute).
+func BenchmarkE6AsymmRV(b *testing.B) { benchExperiment(b, experiments.E6) }
+
+// BenchmarkE7Universal regenerates E7 (quick form): UniversalRV on the
+// feasible/infeasible STIC suite (Theorem 3.1, Corollary 3.1).
+func BenchmarkE7Universal(b *testing.B) {
+	benchExperiment(b, func() *experiments.Table { return experiments.E7(false) })
+}
+
+// BenchmarkE8Qhat regenerates E8: the Figure 1 construction checks.
+func BenchmarkE8Qhat(b *testing.B) { benchExperiment(b, experiments.E8) }
+
+// BenchmarkE9LowerBound regenerates E9 (quick form): the Theorem 4.1
+// exponential lower-bound curve with machine-verified premises.
+func BenchmarkE9LowerBound(b *testing.B) {
+	benchExperiment(b, func() *experiments.Table { return experiments.E9(false) })
+}
+
+// BenchmarkE10UniversalGrowth regenerates E10: Proposition 4.1's
+// O(n+δ)^O(n+δ) guarantee growth.
+func BenchmarkE10UniversalGrowth(b *testing.B) { benchExperiment(b, experiments.E10) }
+
+// BenchmarkE11AsymmOnly regenerates E11: the SymmRV-deleted ablation
+// (Section 4 closing remark).
+func BenchmarkE11AsymmOnly(b *testing.B) { benchExperiment(b, experiments.E11) }
+
+// BenchmarkE12Randomized regenerates E12: the randomized baseline vs the
+// deterministic guarantee (Section 5).
+func BenchmarkE12Randomized(b *testing.B) { benchExperiment(b, experiments.E12) }
+
+// BenchmarkE13PaddingAblation regenerates E13: the duration-padding
+// design-choice ablation (unpadded Explore desynchronizes agents).
+func BenchmarkE13PaddingAblation(b *testing.B) { benchExperiment(b, experiments.E13) }
+
+// BenchmarkE14Election regenerates E14: leader election from rendezvous
+// trajectories and the waiting-for-Mommy round trip (Section 1).
+func BenchmarkE14Election(b *testing.B) { benchExperiment(b, experiments.E14) }
+
+// BenchmarkE15Async regenerates E15: the asynchronous adversary nullifies
+// time (Section 5 conclusion).
+func BenchmarkE15Async(b *testing.B) { benchExperiment(b, experiments.E15) }
+
+// BenchmarkE16OptimalityGap regenerates E16: exact OPT vs dedicated vs
+// universal costs.
+func BenchmarkE16OptimalityGap(b *testing.B) { benchExperiment(b, experiments.E16) }
+
+// BenchmarkE17MultiAgent regenerates E17 (quick form): pairwise
+// rendezvous among k agents running UniversalRV.
+func BenchmarkE17MultiAgent(b *testing.B) {
+	benchExperiment(b, func() *experiments.Table { return experiments.E17(false) })
+}
+
+// BenchmarkE18UXSLength regenerates E18: the UXS-length coverage ablation
+// behind substitution S1.
+func BenchmarkE18UXSLength(b *testing.B) { benchExperiment(b, experiments.E18) }
+
+// BenchmarkE19FastUniversal regenerates E19: the iterative-deepening
+// extension versus the paper-faithful UniversalRV.
+func BenchmarkE19FastUniversal(b *testing.B) { benchExperiment(b, experiments.E19) }

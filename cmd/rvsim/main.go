@@ -1,0 +1,172 @@
+// Command rvsim runs a single rendezvous instance: a graph, two start
+// nodes, a delay, and an algorithm, and reports whether and when the
+// agents met.
+//
+// Usage:
+//
+//	rvsim -graph ring:8 -u 0 -v 4 -delay 4 -algo universal
+//	rvsim -graph symtree-chain:3 -u 0 -v 4 -delay 1 -algo symmrv -d 1
+//	rvsim -graph path:5 -u 0 -v 4 -algo asymmrv
+//	rvsim -graph ring:6 -u 0 -v 3 -algo randomwalk -seed 7
+//	rvsim -graph k2 -u 0 -v 1 -delay 3 -algo script -word "NNNN"
+//
+// Graph specs are those of graph.FromSpec (ring:n, path:n, torus:w,h,
+// qhat:h, symtree-chain:depth, random:n,extra,seed, ...); alternatively
+// -file reads the text format produced by the graph package's Encode.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/agent"
+	"repro/graph"
+	"repro/rendezvous"
+	"repro/sim"
+	"repro/stic"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "rvsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		spec     = flag.String("graph", "ring:6", "graph spec (see graph.FromSpec)")
+		file     = flag.String("file", "", "read the graph from a file instead of -graph")
+		u        = flag.Int("u", 0, "start node of the earlier agent")
+		v        = flag.Int("v", 1, "start node of the later agent")
+		delay    = flag.Uint64("delay", 0, "rounds between the agents' starts")
+		algo     = flag.String("algo", "universal", "universal|asymmonly|symmrv|asymmrv|randomwalk|mommy|script")
+		dParam   = flag.Uint64("d", 0, "SymmRV d parameter (default: Shrink(u,v))")
+		budget   = flag.Uint64("budget", 0, "round budget (default: algorithm-appropriate)")
+		seed     = flag.Uint64("seed", 1, "random-walk seed (other agent uses seed+1)")
+		word     = flag.String("word", "", "script word over NESW and '.' for -algo script")
+		timeline = flag.Uint64("timeline", 0, "render an ASCII timeline of the first N rounds (same-program algorithms only)")
+	)
+	flag.Parse()
+
+	var g *graph.Graph
+	var err error
+	if *file != "" {
+		data, rerr := os.ReadFile(*file)
+		if rerr != nil {
+			return rerr
+		}
+		g, err = graph.Decode(string(data))
+	} else {
+		g, err = graph.FromSpec(*spec)
+	}
+	if err != nil {
+		return err
+	}
+	if *u < 0 || *u >= g.N() || *v < 0 || *v >= g.N() {
+		return fmt.Errorf("start nodes must be in [0,%d)", g.N())
+	}
+
+	s := stic.STIC{G: g, U: *u, V: *v, Delay: *delay}
+	rep := stic.Classify(s)
+	fmt.Printf("graph: %s\nSTIC:  %s\nclass: %s\n", g, s, rep)
+
+	n := uint64(g.N())
+	cfg := sim.Config{Budget: *budget}
+	var res sim.Result
+	switch *algo {
+	case "universal":
+		if cfg.Budget == 0 {
+			d := uint64(rep.Shrink)
+			if d == 0 {
+				d = 1
+			}
+			b := rendezvous.UniversalRVTimeBound(n, d, *delay)
+			if b >= rendezvous.RoundCap/4 {
+				b = rendezvous.RoundCap / 4
+			}
+			cfg.Budget = *delay + 2*b
+		}
+		res = sim.Run(g, rendezvous.UniversalRV(), *u, *v, *delay, cfg)
+	case "asymmonly":
+		if cfg.Budget == 0 {
+			cfg.Budget = *delay + 4*rendezvous.UniversalRVTimeBound(n, 1, *delay)
+		}
+		res = sim.Run(g, rendezvous.AsymmOnlyUniversalRV(), *u, *v, *delay, cfg)
+	case "symmrv":
+		d := *dParam
+		if d == 0 {
+			if !rep.Symmetric {
+				return fmt.Errorf("symmrv needs a symmetric pair (or explicit -d)")
+			}
+			d = uint64(rep.Shrink)
+		}
+		prog, perr := rendezvous.NewSymmRV(n, d, *delay)
+		if perr != nil {
+			return perr
+		}
+		if cfg.Budget == 0 {
+			cfg.Budget = *delay + 2*rendezvous.SymmRVTime(n, d, *delay)
+		}
+		res = sim.Run(g, prog, *u, *v, *delay, cfg)
+	case "asymmrv":
+		prog, perr := rendezvous.NewAsymmRV(n, *delay)
+		if perr != nil {
+			return perr
+		}
+		if cfg.Budget == 0 {
+			cfg.Budget = *delay + 2*rendezvous.AsymmRVTime(n, *delay)
+		}
+		res = sim.Run(g, prog, *u, *v, *delay, cfg)
+	case "randomwalk":
+		a := rendezvous.NewLazyRandomWalk(*seed)
+		b := rendezvous.NewLazyRandomWalk(*seed + 1)
+		if cfg.Budget == 0 {
+			cfg.Budget = 1 << 24
+		}
+		res = sim.RunPrograms(g, a, b, *u, *v, *delay, cfg)
+	case "mommy":
+		leader, nonLeader := rendezvous.WaitForMommy(n)
+		if cfg.Budget == 0 {
+			cfg.Budget = *delay + 4*rendezvous.UXSRoundTrip(n)
+		}
+		res = sim.RunPrograms(g, leader, nonLeader, *u, *v, *delay, cfg)
+	case "script":
+		prog, perr := agent.ScriptWord(*word)
+		if perr != nil {
+			return perr
+		}
+		if cfg.Budget == 0 {
+			cfg.Budget = uint64(len(*word)) + *delay + 2
+		}
+		res = sim.Run(g, prog, *u, *v, *delay, cfg)
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algo)
+	}
+
+	fmt.Printf("outcome: %s\n", res.Outcome)
+	if res.Outcome == sim.Met {
+		fmt.Printf("meeting: node %d at round %d (%d rounds after the later start)\n",
+			res.MeetingNode, res.MeetingRound, res.TimeFromLater)
+	}
+	fmt.Printf("rounds simulated: %d, moves: %d + %d\n", res.Rounds, res.MovesA, res.MovesB)
+
+	if *timeline > 0 {
+		var prog agent.Program
+		switch *algo {
+		case "universal":
+			prog = rendezvous.UniversalRV()
+		case "asymmonly":
+			prog = rendezvous.AsymmOnlyUniversalRV()
+		case "script":
+			prog, _ = agent.ScriptWord(*word)
+		default:
+			fmt.Println("(timeline supported for -algo universal|asymmonly|script)")
+			return nil
+		}
+		tl := sim.CaptureTimeline(g, prog, *u, *v, *delay, *timeline)
+		fmt.Print(tl.String())
+	}
+	return nil
+}

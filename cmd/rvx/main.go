@@ -1,0 +1,53 @@
+// Command rvx regenerates the experiment tables E1-E12 recorded in
+// EXPERIMENTS.md: the paper's worked examples, lemma-by-lemma behavioural
+// checks, the Q̂h lower-bound construction, and the baseline comparisons.
+//
+// Usage:
+//
+//	rvx [-full] [-markdown] [-only E4,E7]
+//
+// -full enables the heavier variants (ring-4 UniversalRV in E7, the
+// million-node Q̂12 build in E9). -markdown emits GitHub tables (the format
+// of EXPERIMENTS.md); the default is fixed-width text.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/experiments"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run the heavier experiment variants")
+	markdown := flag.Bool("markdown", false, "emit GitHub-flavored markdown")
+	only := flag.String("only", "", "comma-separated experiment IDs (e.g. E4,E7); default all")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+
+	failures := 0
+	for _, tbl := range experiments.All(*full) {
+		if len(want) > 0 && !want[tbl.ID] {
+			continue
+		}
+		if *markdown {
+			fmt.Println(tbl.Markdown())
+		} else {
+			fmt.Println(tbl.Text())
+		}
+		fmt.Println()
+		failures += len(tbl.Failed)
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "rvx: %d experiment checks FAILED\n", failures)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"repro/graph"
+	"repro/view"
+)
+
+// E8 regenerates Figure 1's construction: the tree Qh and the 4-regular
+// completion Q̂h, verifying every structural property the lower-bound
+// proof of Theorem 4.1 relies on: 4-regularity, N-S/E-W port pairing on
+// every edge, 4*3^(h-1) leaves of each type in Qh, and — the key one —
+// that all nodes of Q̂h have identical views (all pairs symmetric).
+func E8() *Table {
+	t := &Table{
+		ID:       "E8",
+		Title:    "Q̂h construction (Figure 1) structural verification",
+		PaperRef: "Section 4, Figure 1",
+		Columns:  []string{"h", "nodes 2*3^h-1", "edges", "4-regular", "N-S/E-W ports", "leaves/type 3^(h-1)", "view classes"},
+	}
+	for h := 2; h <= 5; h++ {
+		g, info := graph.Qhat(h)
+
+		reg, deg := g.IsRegular()
+		fourReg := reg && deg == 4
+
+		portsOK := true
+		for v := 0; v < g.N() && portsOK; v++ {
+			for p := 0; p < 4; p++ {
+				if _, ep := g.Succ(v, p); ep != graph.Opposite(p) {
+					portsOK = false
+					break
+				}
+			}
+		}
+
+		x := 1
+		for i := 1; i < h; i++ {
+			x *= 3
+		}
+		leavesOK := true
+		for tp := 0; tp < 4; tp++ {
+			if len(info.Leaves[tp]) != x {
+				leavesOK = false
+			}
+		}
+
+		classes := view.ClassCount(g)
+
+		t.AddRow(h, g.N(), g.Edges(), fourReg, portsOK, leavesOK, classes)
+		t.Check(g.N() == graph.QhSize(h), "qhat-%d size %d", h, g.N())
+		t.Check(fourReg, "qhat-%d not 4-regular", h)
+		t.Check(portsOK, "qhat-%d port pairing broken", h)
+		t.Check(leavesOK, "qhat-%d leaf counts wrong", h)
+		t.Check(classes == 1, "qhat-%d has %d view classes, want 1", h, classes)
+		t.Check(g.Edges() == 2*g.N(), "qhat-%d edge count %d, want 2n", h, g.Edges())
+	}
+	t.Notes = append(t.Notes,
+		"'view classes = 1' is the paper's claim that the view of each node of Q̂h is identical, hence all pairs of nodes are symmetric — the premise that lets Theorem 4.1 treat any algorithm as an oblivious word.")
+	return t
+}

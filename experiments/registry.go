@@ -1,0 +1,30 @@
+package experiments
+
+// All runs every experiment E1-E12 in order and returns the regenerated
+// tables. full enables the heavier variants (the ring-4 symmetric
+// UniversalRV case in E7 and the h=12 build in E9); the quick form is what
+// `go test` and `cmd/rvx` run by default and finishes in well under a
+// minute on a laptop.
+func All(full bool) []*Table {
+	return []*Table{
+		E1(),
+		E2(),
+		E3(),
+		E4(),
+		E5(),
+		E6(),
+		E7(full),
+		E8(),
+		E9(full),
+		E10(),
+		E11(),
+		E12(),
+		E13(),
+		E14(),
+		E15(),
+		E16(),
+		E17(full),
+		E18(),
+		E19(),
+	}
+}

@@ -1,0 +1,6 @@
+package experiments
+
+import "strconv"
+
+// itoa formats a uint64 for table cells.
+func itoa(v uint64) string { return strconv.FormatUint(v, 10) }

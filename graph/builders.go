@@ -1,0 +1,176 @@
+package graph
+
+import "fmt"
+
+// TwoNode returns the two-node graph K2 used in the paper's introduction
+// (the delay-3 "move at each round" example). Each node has degree 1 and
+// its single edge uses port 0 at both ends.
+func TwoNode() *Graph {
+	b := NewBuilder(2).Name("K2")
+	b.Connect(0, 1)
+	return b.MustBuild()
+}
+
+// Path returns the path graph P_n with nodes 0..n-1 in line order.
+// Interior node i has port 0 toward i-1 and port 1 toward i+1; the two
+// endpoints have a single port 0. Endpoint views differ from interior views,
+// so all STICs on a path with distinct endpoints-vs-interior structure are
+// nonsymmetric except the mirror pairs of even paths.
+func Path(n int) *Graph {
+	if n < 2 {
+		panic("graph: Path requires n >= 2")
+	}
+	b := NewBuilder(n).Name(fmt.Sprintf("path-%d", n))
+	for i := 0; i+1 < n; i++ {
+		pu := 1
+		if i == 0 {
+			pu = 0
+		}
+		b.ConnectPorts(i, pu, i+1, 0)
+	}
+	return b.MustBuild()
+}
+
+// Cycle returns the oriented ring C_n: node i has port 0 toward i+1 and
+// port 1 toward i-1 (indices mod n). All nodes have identical views, so
+// every pair of nodes is symmetric; Shrink(u, v) equals the ring distance.
+func Cycle(n int) *Graph {
+	if n < 3 {
+		panic("graph: Cycle requires n >= 3")
+	}
+	b := NewBuilder(n).Name(fmt.Sprintf("ring-%d", n))
+	for i := 0; i < n; i++ {
+		b.ConnectPorts(i, 0, (i+1)%n, 1)
+	}
+	return b.MustBuild()
+}
+
+// Complete returns the complete graph K_n with the canonical port labeling:
+// at node i, port p leads to node (i+1+p) mod n. This labeling is
+// vertex-transitive, so all pairs of nodes are symmetric.
+func Complete(n int) *Graph {
+	if n < 2 {
+		panic("graph: Complete requires n >= 2")
+	}
+	b := NewBuilder(n).Name(fmt.Sprintf("complete-%d", n))
+	for i := 0; i < n; i++ {
+		for p := 0; p < n-1; p++ {
+			j := (i + 1 + p) % n
+			if i < j {
+				// Port of edge {i,j} at j is the p' with (j+1+p') mod n == i.
+				pj := (i - j - 1 + 2*n) % n
+				b.ConnectPorts(i, p, j, pj)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// Star returns the star K_{1,n-1}: node 0 is the center with ports 0..n-2;
+// each leaf has a single port 0. The center's view differs from every
+// leaf's, and all leaves are mutually symmetric.
+func Star(n int) *Graph {
+	if n < 3 {
+		panic("graph: Star requires n >= 3")
+	}
+	b := NewBuilder(n).Name(fmt.Sprintf("star-%d", n))
+	for i := 1; i < n; i++ {
+		b.ConnectPorts(0, i-1, i, 0)
+	}
+	return b.MustBuild()
+}
+
+// torusPort names for readability of the oriented torus construction.
+const (
+	torusEast  = 0
+	torusSouth = 1
+	torusWest  = 2
+	torusNorth = 3
+)
+
+// OrientedTorus returns the w x h oriented torus: node (x, y) — indexed
+// y*w+x — has port 0 (east) to (x+1, y), port 1 (south) to (x, y+1),
+// port 2 (west) and port 3 (north) as their inverses. Every edge has ports
+// east-west or south-north at its extremities, so the labeling is
+// consistent ("oriented"): all nodes have identical views and, as the paper
+// notes below Definition 3.1, Shrink(u, v) equals the distance between u
+// and v for every pair.
+func OrientedTorus(w, h int) *Graph {
+	if w < 3 || h < 3 {
+		panic("graph: OrientedTorus requires w, h >= 3 (simple graph)")
+	}
+	id := func(x, y int) int { return ((y+h)%h)*w + (x+w)%w }
+	b := NewBuilder(w * h).Name(fmt.Sprintf("torus-%dx%d", w, h))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			b.ConnectPorts(id(x, y), torusEast, id(x+1, y), torusWest)
+			b.ConnectPorts(id(x, y), torusSouth, id(x, y+1), torusNorth)
+		}
+	}
+	return b.MustBuild()
+}
+
+// TorusNode returns the node index of coordinate (x, y) in a w x h torus
+// built by OrientedTorus (coordinates taken modulo the dimensions).
+func TorusNode(w, h, x, y int) int { return ((y%h+h)%h)*w + (x%w+w)%w }
+
+// Grid returns the w x h grid (non-wrapping). Ports at each node are
+// assigned in the fixed direction order east, south, west, north, skipping
+// directions that leave the grid, so corner and border nodes have smaller
+// degrees. Grids of distinct dimensions have many nonsymmetric pairs.
+func Grid(w, h int) *Graph {
+	if w < 2 || h < 2 {
+		panic("graph: Grid requires w, h >= 2")
+	}
+	id := func(x, y int) int { return y*w + x }
+	port := func(x, y, dx, dy int) int {
+		// Port index = rank of (dx,dy) among the in-grid directions at (x,y)
+		// in the order E, S, W, N.
+		dirs := [][2]int{{1, 0}, {0, 1}, {-1, 0}, {0, -1}}
+		p := 0
+		for _, d := range dirs {
+			nx, ny := x+d[0], y+d[1]
+			if nx < 0 || nx >= w || ny < 0 || ny >= h {
+				continue
+			}
+			if d[0] == dx && d[1] == dy {
+				return p
+			}
+			p++
+		}
+		panic("graph: direction leaves grid")
+	}
+	b := NewBuilder(w * h).Name(fmt.Sprintf("grid-%dx%d", w, h))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				b.ConnectPorts(id(x, y), port(x, y, 1, 0), id(x+1, y), port(x+1, y, -1, 0))
+			}
+			if y+1 < h {
+				b.ConnectPorts(id(x, y), port(x, y, 0, 1), id(x, y+1), port(x, y+1, 0, -1))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// Hypercube returns the dim-dimensional hypercube Q_dim with 2^dim nodes.
+// Node v (a bitmask) has port i leading to v with bit i flipped; both ends
+// of every edge use the same port number, so the labeling is symmetric and
+// all pairs of nodes are symmetric with Shrink equal to Hamming distance.
+func Hypercube(dim int) *Graph {
+	if dim < 1 || dim > 20 {
+		panic("graph: Hypercube requires 1 <= dim <= 20")
+	}
+	n := 1 << dim
+	b := NewBuilder(n).Name(fmt.Sprintf("hypercube-%d", dim))
+	for v := 0; v < n; v++ {
+		for i := 0; i < dim; i++ {
+			u := v ^ (1 << i)
+			if v < u {
+				b.ConnectPorts(v, i, u, i)
+			}
+		}
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,209 @@
+package graph
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Encode renders the graph in a line-oriented text format:
+//
+//	# optional name comment
+//	<n>
+//	<to>/<toport> <to>/<toport> ...   (one line per node, ports in order)
+//
+// The format round-trips through Decode and is used by the CLI tools.
+func Encode(g *Graph) string {
+	var b strings.Builder
+	if g.name != "" {
+		fmt.Fprintf(&b, "# %s\n", g.name)
+	}
+	fmt.Fprintf(&b, "%d\n", g.N())
+	for v := 0; v < g.N(); v++ {
+		for p := 0; p < g.Degree(v); p++ {
+			if p > 0 {
+				b.WriteByte(' ')
+			}
+			h := g.Half(v, p)
+			fmt.Fprintf(&b, "%d/%d", h.To, h.ToPort)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Decode parses the format produced by Encode and validates the result.
+func Decode(s string) (*Graph, error) {
+	lines := strings.Split(s, "\n")
+	name := ""
+	i := 0
+	skipBlank := func() {
+		for i < len(lines) && strings.TrimSpace(lines[i]) == "" {
+			i++
+		}
+	}
+	skipBlank()
+	for i < len(lines) && strings.HasPrefix(strings.TrimSpace(lines[i]), "#") {
+		name = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(lines[i]), "#"))
+		i++
+		skipBlank()
+	}
+	if i >= len(lines) {
+		return nil, fmt.Errorf("graph: decode: missing node count")
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(lines[i]))
+	if err != nil || n <= 0 {
+		return nil, fmt.Errorf("graph: decode: bad node count %q", lines[i])
+	}
+	i++
+	adj := make([][]Half, n)
+	for v := 0; v < n; v++ {
+		skipBlank()
+		if i >= len(lines) {
+			return nil, fmt.Errorf("graph: decode: missing adjacency line for node %d", v)
+		}
+		fields := strings.Fields(lines[i])
+		i++
+		adj[v] = make([]Half, len(fields))
+		for p, f := range fields {
+			parts := strings.SplitN(f, "/", 2)
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("graph: decode: node %d port %d: bad entry %q", v, p, f)
+			}
+			to, err1 := strconv.Atoi(parts[0])
+			tp, err2 := strconv.Atoi(parts[1])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("graph: decode: node %d port %d: bad entry %q", v, p, f)
+			}
+			adj[v][p] = Half{To: to, ToPort: tp}
+		}
+	}
+	g := &Graph{adj: adj, name: name}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("graph: decode: %w", err)
+	}
+	return g, nil
+}
+
+// Builders is a registry of named parameterized builders used by the CLI
+// tools: each takes a small integer parameter list.
+//
+//	ring:n, path:n, complete:n, star:n, torus:w,h, grid:w,h,
+//	hypercube:d, qhat:h, symtree-chain:depth, symtree-full:b,depth,
+//	tree-chain:depth, tree-full:b,depth, random:n,extra,seed,
+//	circulant:n,j1[,j2...], kbipartite:a,b, petersen, ccc:d, lollipop:k,tail
+func FromSpec(spec string) (*Graph, error) {
+	kind, argstr, _ := strings.Cut(spec, ":")
+	var args []int
+	if argstr != "" {
+		for _, a := range strings.Split(argstr, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(a))
+			if err != nil {
+				return nil, fmt.Errorf("graph: spec %q: bad argument %q", spec, a)
+			}
+			args = append(args, v)
+		}
+	}
+	need := func(k int) error {
+		if len(args) != k {
+			return fmt.Errorf("graph: spec %q: want %d argument(s), got %d", spec, k, len(args))
+		}
+		return nil
+	}
+	var g *Graph
+	var err error
+	catch := func(f func()) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("graph: spec %q: %v", spec, r)
+			}
+		}()
+		f()
+		return nil
+	}
+	switch kind {
+	case "k2":
+		if err = need(0); err == nil {
+			g = TwoNode()
+		}
+	case "ring":
+		if err = need(1); err == nil {
+			err = catch(func() { g = Cycle(args[0]) })
+		}
+	case "path":
+		if err = need(1); err == nil {
+			err = catch(func() { g = Path(args[0]) })
+		}
+	case "complete":
+		if err = need(1); err == nil {
+			err = catch(func() { g = Complete(args[0]) })
+		}
+	case "star":
+		if err = need(1); err == nil {
+			err = catch(func() { g = Star(args[0]) })
+		}
+	case "torus":
+		if err = need(2); err == nil {
+			err = catch(func() { g = OrientedTorus(args[0], args[1]) })
+		}
+	case "grid":
+		if err = need(2); err == nil {
+			err = catch(func() { g = Grid(args[0], args[1]) })
+		}
+	case "hypercube":
+		if err = need(1); err == nil {
+			err = catch(func() { g = Hypercube(args[0]) })
+		}
+	case "qhat":
+		if err = need(1); err == nil {
+			err = catch(func() { g, _ = Qhat(args[0]) })
+		}
+	case "symtree-chain":
+		if err = need(1); err == nil {
+			err = catch(func() { g = SymmetricTree(ChainShape(args[0])) })
+		}
+	case "symtree-full":
+		if err = need(2); err == nil {
+			err = catch(func() { g = SymmetricTree(FullShape(args[0], args[1])) })
+		}
+	case "tree-chain":
+		if err = need(1); err == nil {
+			err = catch(func() { g = Tree(ChainShape(args[0])) })
+		}
+	case "tree-full":
+		if err = need(2); err == nil {
+			err = catch(func() { g = Tree(FullShape(args[0], args[1])) })
+		}
+	case "random":
+		if err = need(3); err == nil {
+			err = catch(func() { g = RandomConnected(args[0], args[1], uint64(args[2])) })
+		}
+	case "circulant":
+		if len(args) < 2 {
+			return nil, fmt.Errorf("graph: spec %q: want n plus at least one jump", spec)
+		}
+		err = catch(func() { g = Circulant(args[0], args[1:]) })
+	case "kbipartite":
+		if err = need(2); err == nil {
+			err = catch(func() { g = CompleteBipartite(args[0], args[1]) })
+		}
+	case "petersen":
+		if err = need(0); err == nil {
+			g = Petersen()
+		}
+	case "ccc":
+		if err = need(1); err == nil {
+			err = catch(func() { g = CubeConnectedCycles(args[0]) })
+		}
+	case "lollipop":
+		if err = need(2); err == nil {
+			err = catch(func() { g = Lollipop(args[0], args[1]) })
+		}
+	default:
+		return nil, fmt.Errorf("graph: unknown spec kind %q", kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}

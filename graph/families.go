@@ -1,0 +1,125 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Circulant returns the circulant graph C_n(S): node i is adjacent to
+// i ± s for every s in jumps. Ports are assigned in a translation-
+// invariant order (+s1, -s1, +s2, -s2, ...), so all nodes have identical
+// views and — like the oriented torus — identical moves preserve the
+// offset. Jumps must be distinct values in [1, n/2]; a jump equal to n/2
+// (n even) contributes a single port.
+func Circulant(n int, jumps []int) *Graph {
+	if n < 3 {
+		panic("graph: Circulant requires n >= 3")
+	}
+	js := append([]int(nil), jumps...)
+	sort.Ints(js)
+	for i, s := range js {
+		if s < 1 || s > n/2 {
+			panic(fmt.Sprintf("graph: Circulant jump %d out of range [1,%d]", s, n/2))
+		}
+		if i > 0 && js[i-1] == s {
+			panic("graph: Circulant jumps must be distinct")
+		}
+	}
+	b := NewBuilder(n).Name(fmt.Sprintf("circulant-%d-%v", n, js))
+	port := 0
+	for _, s := range js {
+		if 2*s == n {
+			// Antipodal jump: one undirected edge per node pair.
+			for i := 0; i < n/2; i++ {
+				b.ConnectPorts(i, port, i+s, port)
+			}
+			port++
+			continue
+		}
+		for i := 0; i < n; i++ {
+			b.ConnectPorts(i, port, (i+s)%n, port+1)
+		}
+		port += 2
+	}
+	return b.MustBuild()
+}
+
+// CompleteBipartite returns K_{a,b} with left nodes 0..a-1 and right
+// nodes a..a+b-1. Left node i's port p leads to right node a+p; right
+// node's port q leads to left node q. For a == b every pair within a side
+// is NOT symmetric in general (ports tag identities), but the graph is a
+// useful irregular workload when a != b.
+func CompleteBipartite(a, b int) *Graph {
+	if a < 1 || b < 1 || a+b < 2 {
+		panic("graph: CompleteBipartite requires positive sides")
+	}
+	bl := NewBuilder(a + b).Name(fmt.Sprintf("kbipartite-%d-%d", a, b))
+	for i := 0; i < a; i++ {
+		for j := 0; j < b; j++ {
+			bl.ConnectPorts(i, j, a+j, i)
+		}
+	}
+	return bl.MustBuild()
+}
+
+// Petersen returns the Petersen graph with a vertex-transitive port
+// labeling: outer 5-cycle (nodes 0..4), inner pentagram (nodes 5..9),
+// spokes i <-> i+5. Ports: 0 = outer/inner successor, 1 = predecessor,
+// 2 = spoke.
+func Petersen() *Graph {
+	b := NewBuilder(10).Name("petersen")
+	for i := 0; i < 5; i++ {
+		b.ConnectPorts(i, 0, (i+1)%5, 1)     // outer cycle
+		b.ConnectPorts(5+i, 0, 5+(i+2)%5, 1) // inner pentagram
+		b.ConnectPorts(i, 2, 5+i, 2)         // spokes
+	}
+	return b.MustBuild()
+}
+
+// CubeConnectedCycles returns CCC(d): each hypercube corner (d >= 3) is
+// replaced by a d-cycle; node (x, i) has cycle edges to (x, i±1) and a
+// rung to (x ^ 2^i, i). Ports: 0 = cycle successor, 1 = cycle
+// predecessor, 2 = rung (same port both sides). The graph is
+// vertex-transitive, 3-regular, with n = d * 2^d nodes.
+func CubeConnectedCycles(d int) *Graph {
+	if d < 3 || d > 16 {
+		panic("graph: CubeConnectedCycles requires 3 <= d <= 16")
+	}
+	n := d << d
+	id := func(x, i int) int { return x*d + i }
+	b := NewBuilder(n).Name(fmt.Sprintf("ccc-%d", d))
+	for x := 0; x < 1<<d; x++ {
+		for i := 0; i < d; i++ {
+			b.ConnectPorts(id(x, i), 0, id(x, (i+1)%d), 1)
+			if y := x ^ (1 << i); x < y {
+				b.ConnectPorts(id(x, i), 2, id(y, i), 2)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// Lollipop returns the classic random-walk stress graph: a clique of size
+// k with a path of length tail attached to clique node 0. It is the
+// adversarial instance for exploration-sequence cover times and is used
+// by the UXS verifier tests.
+func Lollipop(k, tail int) *Graph {
+	if k < 3 || tail < 1 {
+		panic("graph: Lollipop requires k >= 3, tail >= 1")
+	}
+	n := k + tail
+	b := NewBuilder(n).Name(fmt.Sprintf("lollipop-%d-%d", k, tail))
+	// Clique among 0..k-1: node i's port for clique neighbor j is j's
+	// rank in i's neighbor list (j if j < i, else j-1). The tail hangs
+	// off node 0 at its last port.
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			b.ConnectPorts(i, j-1, j, i)
+		}
+	}
+	b.ConnectPorts(0, k-1, k, 0)
+	for t := 0; t+1 < tail; t++ {
+		b.ConnectPorts(k+t, 1, k+t+1, 0)
+	}
+	return b.MustBuild()
+}

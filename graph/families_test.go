@@ -1,0 +1,109 @@
+package graph
+
+import "testing"
+
+func TestCirculant(t *testing.T) {
+	g := Circulant(8, []int{1, 3})
+	if reg, d := g.IsRegular(); !reg || d != 4 {
+		t.Fatalf("circulant-8-[1 3] not 4-regular")
+	}
+	// Translation invariance: port 0 (+1 jump) walks the base ring.
+	cur := 0
+	for i := 0; i < 8; i++ {
+		cur, _ = g.Succ(cur, 0)
+	}
+	if cur != 0 {
+		t.Fatal("+1 jump walk did not return")
+	}
+	// Antipodal jump: n even, jump = n/2 gives an odd-degree node.
+	h := Circulant(6, []int{1, 3})
+	if reg, d := h.IsRegular(); !reg || d != 3 {
+		t.Fatalf("circulant-6-[1 3] not 3-regular: %v %d", reg, d)
+	}
+	for _, bad := range []func(){
+		func() { Circulant(2, []int{1}) },
+		func() { Circulant(8, []int{0}) },
+		func() { Circulant(8, []int{5}) },
+		func() { Circulant(8, []int{2, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad circulant accepted")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestCompleteBipartite(t *testing.T) {
+	g := CompleteBipartite(2, 3)
+	if g.N() != 5 || g.Edges() != 6 {
+		t.Fatalf("K23 wrong: n=%d m=%d", g.N(), g.Edges())
+	}
+	for i := 0; i < 2; i++ {
+		if g.Degree(i) != 3 {
+			t.Fatalf("left degree %d", g.Degree(i))
+		}
+	}
+	for j := 2; j < 5; j++ {
+		if g.Degree(j) != 2 {
+			t.Fatalf("right degree %d", g.Degree(j))
+		}
+	}
+}
+
+func TestPetersen(t *testing.T) {
+	g := Petersen()
+	if g.N() != 10 || g.Edges() != 15 {
+		t.Fatalf("petersen wrong: n=%d m=%d", g.N(), g.Edges())
+	}
+	if reg, d := g.IsRegular(); !reg || d != 3 {
+		t.Fatal("petersen not 3-regular")
+	}
+	if g.Diameter() != 2 {
+		t.Fatalf("petersen diameter %d, want 2", g.Diameter())
+	}
+	// Girth 5: no triangles or 4-cycles through node 0.
+	d := g.BFS(0)
+	count := map[int]int{}
+	for _, x := range d {
+		count[x]++
+	}
+	if count[1] != 3 || count[2] != 6 {
+		t.Fatalf("petersen BFS layers %v", count)
+	}
+}
+
+func TestCubeConnectedCycles(t *testing.T) {
+	g := CubeConnectedCycles(3)
+	if g.N() != 24 || g.Edges() != 36 {
+		t.Fatalf("ccc-3 wrong: n=%d m=%d", g.N(), g.Edges())
+	}
+	if reg, d := g.IsRegular(); !reg || d != 3 {
+		t.Fatal("ccc-3 not 3-regular")
+	}
+	// Rung edges use port 2 on both sides.
+	for v := 0; v < g.N(); v++ {
+		if _, ep := g.Succ(v, 2); ep != 2 {
+			t.Fatalf("rung port mismatch at %d", v)
+		}
+	}
+}
+
+func TestLollipop(t *testing.T) {
+	g := Lollipop(4, 3)
+	if g.N() != 7 || g.Edges() != 4*3/2+3 {
+		t.Fatalf("lollipop wrong: n=%d m=%d", g.N(), g.Edges())
+	}
+	if g.Degree(0) != 4 { // clique + tail
+		t.Fatalf("lollipop junction degree %d", g.Degree(0))
+	}
+	if g.Degree(6) != 1 { // tail end
+		t.Fatalf("tail end degree %d", g.Degree(6))
+	}
+	if g.Dist(1, 6) != 4 {
+		t.Fatalf("lollipop distance %d", g.Dist(1, 6))
+	}
+}

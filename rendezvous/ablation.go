@@ -1,0 +1,74 @@
+package rendezvous
+
+import (
+	"fmt"
+
+	"repro/agent"
+	"repro/uxs"
+)
+
+// NewUnpaddedSymmRV is the paper-literal SymmRV without duration padding:
+// Explore enumerates exactly the paths that exist (no top-up to (n-1)^d
+// iterations), so the procedure's duration depends on the degrees the
+// walk encounters. Lemma 3.2 still holds for symmetric pairs — the two
+// agents see identical degree sequences, so their schedules stay aligned —
+// but the duration is *input-dependent*, which silently breaks
+// UniversalRV's phase synchrony for nonsymmetric starts. The ablation
+// experiment (E13) demonstrates exactly that failure mode; the padded
+// NewSymmRV is the correct building block.
+func NewUnpaddedSymmRV(n, d, delta uint64) (agent.Program, error) {
+	if n < 2 || d < 1 || d >= n || delta < d {
+		return nil, fmt.Errorf("rendezvous: UnpaddedSymmRV parameter error (n=%d d=%d δ=%d)", n, d, delta)
+	}
+	if SymmRVTime(n, d, delta) >= RoundCap {
+		return nil, fmt.Errorf("rendezvous: UnpaddedSymmRV(n=%d,d=%d,δ=%d) saturates RoundCap", n, d, delta)
+	}
+	return func(w agent.World) { unpaddedSymmRV(w, n, d, delta) }, nil
+}
+
+func unpaddedSymmRV(w agent.World, n, d, delta uint64) {
+	y := uxs.Generate(int(n))
+	unpaddedExplore(w, d, delta)
+	entry := w.Move(0)
+	entries := make([]int, 1, len(y)+1)
+	entries[0] = entry
+	unpaddedExplore(w, d, delta)
+	for _, a := range y {
+		p := (entry + a) % w.Degree()
+		entry = w.Move(p)
+		entries = append(entries, entry)
+		unpaddedExplore(w, d, delta)
+	}
+	for i := len(entries) - 1; i >= 0; i-- {
+		w.Move(entries[i])
+	}
+}
+
+// unpaddedExplore is Algorithm 2 verbatim: all existing paths of length d
+// in lexicographic order, each with backtracking and a δ-d wait — and
+// nothing else.
+func unpaddedExplore(w agent.World, d, delta uint64) {
+	dd := int(d)
+	seq := make([]int, dd)
+	degs := make([]int, dd)
+	entries := make([]int, dd)
+	for {
+		for i := 0; i < dd; i++ {
+			degs[i] = w.Degree()
+			entries[i] = w.Move(seq[i])
+		}
+		for i := dd - 1; i >= 0; i-- {
+			w.Move(entries[i])
+		}
+		w.Wait(delta - d)
+		j := dd - 1
+		for j >= 0 && seq[j]+1 >= degs[j] {
+			seq[j] = 0
+			j--
+		}
+		if j < 0 {
+			return
+		}
+		seq[j]++
+	}
+}

@@ -1,0 +1,110 @@
+package rendezvous
+
+import (
+	"fmt"
+
+	"repro/agent"
+	"repro/uxs"
+	"repro/view"
+)
+
+// NewAsymmRV returns our substitute for the paper's AsymmRV(n) (the
+// log-space polynomial algorithm of Czyzowicz, Kosowski & Pelc cited as
+// Proposition 3.1) — substitution S2 of DESIGN.md.
+//
+// Each agent physically explores all paths of length <= n-1 from its start,
+// reconstructing its truncated view (by Norris' theorem, depth n-1 views of
+// nonsymmetric nodes differ), derives a canonical binary label from the
+// view encoding, and then plays a block schedule: in slot k it is active
+// (performs R consecutive UXS round trips, visiting every node and
+// returning home) iff bit k of its label is 1, and otherwise passive
+// (waits at home). Labels of nonsymmetric starts differ at some slot, and
+// the slot length R*T_rt = (ceil(δ/T_rt)+2)*T_rt exceeds the schedule
+// offset δ by at least two round trips, so the active agent completes a
+// full round trip strictly inside the other's passive slot and walks over
+// its home node — rendezvous.
+//
+// Unlike the cited algorithm, this one is parameterized by the hypothesized
+// delay δ (and is exponential in the worst case); that suffices for
+// UniversalRV, whose proof of Theorem 3.1 only relies on AsymmRV in the
+// phase whose δ hypothesis is correct. The program runs for exactly
+// AsymmRVTime(n, δ) rounds and ends at its start node.
+func NewAsymmRV(n, delta uint64) (agent.Program, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("rendezvous: AsymmRV requires n >= 2, got %d", n)
+	}
+	if AsymmRVTime(n, delta) >= RoundCap {
+		return nil, fmt.Errorf("rendezvous: AsymmRV(n=%d,δ=%d) duration saturates RoundCap", n, delta)
+	}
+	return func(w agent.World) { asymmRV(w, n, delta) }, nil
+}
+
+// asymmRV is the internal body shared with UniversalRV.
+func asymmRV(w agent.World, n, delta uint64) {
+	// Phase 1: reconstruct the truncated view by physical DFS, padded to
+	// the input-independent budget ViewWalkTime(n). The walk carries the
+	// budget as a hard cap: under a wrong (too small) hypothesis n the
+	// true path tree can be larger than the budget, and truncating the
+	// walk keeps the duration exact — which is what UniversalRV's phase
+	// synchrony requires; under a correct hypothesis the cap never binds.
+	budget := ViewWalkTime(n)
+	start := w.Clock()
+	tree := viewWalk(w, int(n)-1, budget)
+	used := w.Clock() - start
+	w.Wait(budget - used)
+
+	// Phase 2: label block schedule.
+	enc := view.Encode(tree)
+	y := uxs.Generate(int(n))
+	repeats := ActiveRepeats(n, delta)
+	slotLen := satMul(repeats, UXSRoundTrip(n))
+	playSchedule(w, enc, EncodingBitBudget(n), repeats, slotLen, y)
+}
+
+// viewWalk physically explores every path of length <= depth from the
+// current node by DFS with backtracking, and returns the truncated view
+// tree it observed. It uses 2*(number of paths of length <= depth) rounds,
+// never more than maxRounds, and ends where it started. The root's entry
+// port is canonicalized to -1 so that the encoding depends only on the
+// view, not on how the agent arrived at its current node.
+func viewWalk(w agent.World, depth int, maxRounds uint64) *view.Node {
+	remaining := maxRounds
+	var rec func(entry, d int) *view.Node
+	rec = func(entry, d int) *view.Node {
+		nd := &view.Node{Deg: w.Degree(), EntryPort: entry}
+		if d == 0 {
+			return nd
+		}
+		nd.Kids = make([]*view.Node, nd.Deg)
+		for p := 0; p < nd.Deg; p++ {
+			if remaining < 2 {
+				// Budget exhausted under a wrong hypothesis: leave the
+				// remaining subtrees as frontier marks.
+				return nd
+			}
+			remaining -= 2
+			ep := w.Move(p)
+			nd.Kids[p] = rec(ep, d-1)
+			w.Move(ep) // backtrack along the reverse edge
+		}
+		return nd
+	}
+	return rec(-1, depth)
+}
+
+// uxsRoundTrip performs one application of the UXS from the current node
+// (M+1 moves) followed by backtracking home along the reverse path,
+// consuming exactly UXSRoundTrip(n) = 2*(M+1) rounds.
+func uxsRoundTrip(w agent.World, y uxs.Sequence) {
+	entries := make([]int, 1, len(y)+1)
+	entry := w.Move(0)
+	entries[0] = entry
+	for _, a := range y {
+		p := (entry + a) % w.Degree()
+		entry = w.Move(p)
+		entries = append(entries, entry)
+	}
+	for i := len(entries) - 1; i >= 0; i-- {
+		w.Move(entries[i])
+	}
+}

@@ -1,0 +1,95 @@
+package rendezvous
+
+import (
+	"fmt"
+
+	"repro/agent"
+	"repro/internal/rng"
+	"repro/uxs"
+)
+
+// NewRandomWalk returns the randomized baseline mentioned in the paper's
+// conclusion: "the synchronous randomized counterpart of our problem is
+// straightforward ... two random walks meet with high probability in time
+// polynomial in the size of the graph". The program performs an endless
+// uniform random walk driven by the given seed; give the two agents
+// different seeds to simulate independent coin flips. This is the
+// comparison point of experiment E12.
+func NewRandomWalk(seed uint64) agent.Program {
+	return func(w agent.World) {
+		r := rng.New(seed)
+		for {
+			w.Move(r.Intn(w.Degree()))
+		}
+	}
+}
+
+// NewLazyRandomWalk is the lazy variant: each round the agent stays put
+// with probability 1/2, else moves through a uniform port. Laziness
+// removes the parity obstruction (two synchronized walks on a bipartite
+// graph can chase each other forever), which is why it is the standard
+// form of the randomized rendezvous folklore result.
+func NewLazyRandomWalk(seed uint64) agent.Program {
+	return func(w agent.World) {
+		r := rng.New(seed)
+		for {
+			if r.Uint64()&1 == 0 {
+				w.Wait(1)
+			} else {
+				w.Move(r.Intn(w.Degree()))
+			}
+		}
+	}
+}
+
+// WaitForMommy returns the oracle baseline from the paper's introduction:
+// once leader election is done, "the non-leader can wait at its initial
+// node and the leader explores the graph and finds it". The leader
+// repeatedly applies the UXS for size-n graphs from its start (returning
+// home between applications); the non-leader sits. Run them with
+// sim.RunPrograms; meeting is guaranteed within one round trip of the
+// later start whenever the generated UXS covers the graph.
+func WaitForMommy(n uint64) (leader, nonLeader agent.Program) {
+	y := uxs.Generate(int(n))
+	leader = func(w agent.World) {
+		for {
+			uxsRoundTrip(w, y)
+		}
+	}
+	return leader, agent.Sit
+}
+
+// NewDoublingRV returns the delay-oblivious labeled-agents baseline: agent
+// with label L repeats [active for 4^(L+1) round trips, passive for
+// 4^(L+1) round trips]. For two agents with different labels L1 < L2 and
+// any delay, the larger agent's active run spans a full period of the
+// smaller's schedule plus one passive run, so it contains a complete
+// passive run of the other agent; within that run it completes a full UXS
+// round trip and walks over the waiting agent's home node.
+//
+// This is the paper's Section 3.2 discussion made concrete: breaking
+// symmetry by labels needs no delay hypothesis, whereas the anonymous
+// AsymmRV needs one. Labels must be positive and distinct; n is the graph
+// size hypothesis for the UXS.
+func NewDoublingRV(n, label uint64) (agent.Program, error) {
+	if label < 1 {
+		return nil, fmt.Errorf("rendezvous: DoublingRV requires label >= 1, got %d", label)
+	}
+	if label > 20 {
+		return nil, fmt.Errorf("rendezvous: DoublingRV label %d too large (max 20)", label)
+	}
+	runLen := satPow(4, label+1)
+	if satMul(runLen, UXSRoundTrip(n)) >= RoundCap {
+		return nil, fmt.Errorf("rendezvous: DoublingRV(n=%d,label=%d) duration saturates RoundCap", n, label)
+	}
+	y := uxs.Generate(int(n))
+	return func(w agent.World) {
+		trt := UXSRoundTrip(n)
+		for {
+			for i := uint64(0); i < runLen; i++ {
+				uxsRoundTrip(w, y)
+			}
+			w.Wait(satMul(runLen, trt))
+		}
+	}, nil
+}

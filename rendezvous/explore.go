@@ -1,0 +1,66 @@
+package rendezvous
+
+import "repro/agent"
+
+// explore runs the paper's Procedure Explore(u, d, δ) (Algorithm 2) at the
+// agent's current node u: every port sequence of length d is traversed in
+// lexicographic order, each time backtracking along the reverse path and
+// then waiting δ-d rounds at u.
+//
+// Duration padding (DESIGN.md §3): the number of such paths depends on the
+// local degrees, but UniversalRV requires every procedure to take an
+// input-independent number of rounds, so after the enumeration the agent
+// waits out the remaining budget of PathBudget(n,d) iterations. The total
+// is exactly PathBudget(n,d) * (d+δ) rounds, which realizes Lemma 3.3's
+// bound with equality. Requires 1 <= d <= δ (the paper's precondition).
+func explore(w agent.World, n, d, delta uint64) {
+	if d < 1 || d > delta {
+		panic("rendezvous: explore requires 1 <= d <= delta")
+	}
+	budget := PathBudget(n, d)
+	perIteration := satAdd(d, delta)
+
+	dd := int(d)
+	seq := make([]int, dd)     // current port sequence (starts all-zero)
+	degs := make([]int, dd)    // degree of the node at each depth
+	entries := make([]int, dd) // entry ports, for backtracking
+	count := uint64(0)
+	for {
+		// Traverse the path π given by seq, recording what is needed to
+		// reverse it and to advance the enumeration.
+		for i := 0; i < dd; i++ {
+			degs[i] = w.Degree()
+			entries[i] = w.Move(seq[i])
+		}
+		// Traverse the reverse path back to u.
+		for i := dd - 1; i >= 0; i-- {
+			w.Move(entries[i])
+		}
+		w.Wait(delta - d)
+		count++
+		if count == budget {
+			// Budget cap: under a wrong hypothesis (true degrees exceed
+			// n-1) there can be more than (n-1)^d paths; stopping here
+			// keeps the procedure's duration exact, which is what phase
+			// synchrony needs. Under a correct hypothesis the cap never
+			// binds before the enumeration finishes.
+			break
+		}
+
+		// Lexicographic successor: bump the deepest position that has a
+		// next port; deeper positions reset to port 0, which is valid at
+		// every node regardless of the (yet unknown) degrees there.
+		j := dd - 1
+		for j >= 0 && seq[j]+1 >= degs[j] {
+			seq[j] = 0
+			j--
+		}
+		if j < 0 {
+			break
+		}
+		seq[j]++
+	}
+	if count < budget {
+		w.Wait(satMul(budget-count, perIteration))
+	}
+}

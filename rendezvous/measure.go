@@ -1,0 +1,106 @@
+package rendezvous
+
+import (
+	"sync"
+
+	"repro/agent"
+	"repro/graph"
+	"repro/sim"
+)
+
+// MeasureSymmRVDuration runs SymmRV(n, d, δ) for both agents of the STIC
+// [(u,v), δ] and returns each agent's local clock at completion. It is
+// intended for configurations that do not meet (e.g. δ below Shrink), so
+// both programs run to completion; it returns nil if the agents met or
+// the budget ran out first. With duration padding both readings equal
+// SymmRVTime(n, d, δ) — experiment E5's check.
+func MeasureSymmRVDuration(g *graph.Graph, u, v int, n, d, delta uint64) []uint64 {
+	return measureDurations(g, u, v, delta, 3*SymmRVTime(n, d, delta)+delta,
+		func(w agent.World) { symmRV(w, n, d, delta) })
+}
+
+// MeasureAsymmRVDuration is the AsymmRV analogue of
+// MeasureSymmRVDuration; both readings must equal AsymmRVTime(n, δ).
+func MeasureAsymmRVDuration(g *graph.Graph, u, v int, n, delta uint64) []uint64 {
+	return measureDurations(g, u, v, delta, 3*AsymmRVTime(n, delta)+delta,
+		func(w agent.World) { asymmRV(w, n, delta) })
+}
+
+// MeasureUnpaddedSymmRVDuration mirrors MeasureSymmRVDuration for the
+// paper-literal ablation (NewUnpaddedSymmRV): on non-meeting
+// configurations it returns both agents' clocks, which differ whenever
+// the two starts see different degree sequences — the desynchronization
+// that duration padding exists to prevent (experiment E13).
+func MeasureUnpaddedSymmRVDuration(g *graph.Graph, u, v int, n, d, delta uint64) []uint64 {
+	return measureDurations(g, u, v, delta, 3*SymmRVTime(n, d, delta)+delta,
+		func(w agent.World) { unpaddedSymmRV(w, n, d, delta) })
+}
+
+// SoloDuration runs a terminating agent program alone on g (no partner,
+// no meeting interference) and returns its local clock at completion. A
+// procedure's duration depends only on the agent's own walk, so this
+// measures exactly what the agent would take inside a two-agent run.
+func SoloDuration(g *graph.Graph, start int, body agent.Program) uint64 {
+	w := &soloWorld{g: g, pos: start, deg: g.Degree(start), entry: -1}
+	body(w)
+	return w.clock
+}
+
+// SoloUnpaddedSymmRVDuration measures the ablation's duration for a
+// single start node.
+func SoloUnpaddedSymmRVDuration(g *graph.Graph, start int, n, d, delta uint64) uint64 {
+	return SoloDuration(g, start, func(w agent.World) { unpaddedSymmRV(w, n, d, delta) })
+}
+
+// SoloSymmRVDuration measures the padded procedure's duration for a
+// single start node (always SymmRVTime(n,d,δ); asserted by tests).
+func SoloSymmRVDuration(g *graph.Graph, start int, n, d, delta uint64) uint64 {
+	return SoloDuration(g, start, func(w agent.World) { symmRV(w, n, d, delta) })
+}
+
+// soloWorld walks the graph directly — single-agent execution needs no
+// scheduler.
+type soloWorld struct {
+	g     *graph.Graph
+	pos   int
+	deg   int
+	entry int
+	clock uint64
+}
+
+func (w *soloWorld) Degree() int    { return w.deg }
+func (w *soloWorld) EntryPort() int { return w.entry }
+func (w *soloWorld) Clock() uint64  { return w.clock }
+
+func (w *soloWorld) Move(port int) int {
+	if port < 0 || port >= w.deg {
+		panic(agent.ErrBadPort{Port: port, Degree: w.deg})
+	}
+	to, ep := w.g.Succ(w.pos, port)
+	w.pos, w.entry, w.deg = to, ep, w.g.Degree(to)
+	w.clock++
+	return ep
+}
+
+func (w *soloWorld) Wait(rounds uint64) { w.clock += rounds }
+
+// measureDurations runs body for both agents and collects their local
+// clocks after body returns. The two agent goroutines may run
+// concurrently between scheduler interactions, so the slice is guarded.
+func measureDurations(g *graph.Graph, u, v int, delta, budget uint64, body agent.Program) []uint64 {
+	var mu sync.Mutex
+	var durations []uint64
+	prog := func(w agent.World) {
+		body(w)
+		mu.Lock()
+		durations = append(durations, w.Clock())
+		mu.Unlock()
+	}
+	res := sim.Run(g, prog, u, v, delta, sim.Config{Budget: budget})
+	if res.Outcome != sim.NeverMeet {
+		return nil
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	return durations
+}

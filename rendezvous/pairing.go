@@ -1,0 +1,83 @@
+// Package rendezvous implements the paper's algorithms: the known-parameter
+// procedures Explore and SymmRV (Algorithms 1-2), the nonsymmetric-start
+// procedure AsymmRV (Proposition 3.1, via substitution S2 of DESIGN.md),
+// and the zero-knowledge UniversalRV (Algorithm 3) that achieves rendezvous
+// for every feasible space-time initial configuration. It also provides the
+// baselines used by the experiments: a randomized random-walk rendezvous
+// and the wait-for-Mommy oracle.
+package rendezvous
+
+// The paper's pairing bijections (Section 3.2):
+//
+//	f(x, y) = x + (x+y-1)(x+y-2)/2         N x N -> N
+//	g(x, y, z) = f(f(x, y), z)             N x N x N -> N
+//
+// UniversalRV enumerates phases P = 1, 2, ... and decodes the hypothesis
+// triple (n, d, δ) = g^{-1}(P).
+
+// Pair computes f(x, y). Arguments must be positive. The result saturates
+// at RoundCap to keep phase arithmetic total (callers never enumerate that
+// far in practice; saturation is loud in tests, silent wraparound is not).
+func Pair(x, y uint64) uint64 {
+	if x == 0 || y == 0 {
+		panic("rendezvous: Pair requires positive arguments")
+	}
+	s := satAdd(x, y)
+	// (s-1)(s-2)/2 without overflow: one of (s-1), (s-2) is even.
+	a, b := s-1, s-2
+	if a%2 == 0 {
+		a /= 2
+	} else {
+		b /= 2
+	}
+	return satAdd(x, satMul(a, b))
+}
+
+// Unpair computes f^{-1}(p) for p >= 1: the unique (x, y) with f(x, y) = p.
+func Unpair(p uint64) (x, y uint64) {
+	if p == 0 {
+		panic("rendezvous: Unpair requires p >= 1")
+	}
+	// Find s = x+y: the largest s >= 2 with (s-1)(s-2)/2 < p, by binary
+	// search on the monotone base function.
+	base := func(s uint64) uint64 {
+		a, b := s-1, s-2
+		if a%2 == 0 {
+			a /= 2
+		} else {
+			b /= 2
+		}
+		return satMul(a, b)
+	}
+	lo, hi := uint64(2), uint64(1)<<33
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if base(mid) < p {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	s := lo
+	x = p - base(s)
+	y = s - x
+	return x, y
+}
+
+// Triple computes g(x, y, z).
+func Triple(x, y, z uint64) uint64 { return Pair(Pair(x, y), z) }
+
+// Untriple computes g^{-1}(p): the phase decoding used by UniversalRV. The
+// paper's reading is (n, d, δ) = g^{-1}(P) with δ shifted down by one so
+// that delay 0 is representable: the bijection ranges over positive
+// integers, so we decode δ as z-1.
+func Untriple(p uint64) (n, d, delta uint64) {
+	w, z := Unpair(p)
+	x, y := Unpair(w)
+	return x, y, z - 1
+}
+
+// PhaseFor returns the phase number P whose hypothesis triple is
+// (n, d, δ): the phase by which UniversalRV is guaranteed to have met for
+// a feasible STIC with those true parameters.
+func PhaseFor(n, d, delta uint64) uint64 { return Triple(n, d, delta+1) }

@@ -1,0 +1,91 @@
+package rendezvous
+
+import "testing"
+
+func TestPairFormula(t *testing.T) {
+	// f(x,y) = x + (x+y-1)(x+y-2)/2, hand-computed values.
+	cases := []struct{ x, y, want uint64 }{
+		{1, 1, 1},
+		{1, 2, 2}, {2, 1, 3},
+		{1, 3, 4}, {2, 2, 5}, {3, 1, 6},
+		{1, 4, 7}, {2, 3, 8}, {3, 2, 9}, {4, 1, 10},
+	}
+	for _, c := range cases {
+		if got := Pair(c.x, c.y); got != c.want {
+			t.Fatalf("Pair(%d,%d) = %d, want %d", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestPairIsBijection(t *testing.T) {
+	seen := map[uint64][2]uint64{}
+	for x := uint64(1); x <= 60; x++ {
+		for y := uint64(1); y <= 60; y++ {
+			p := Pair(x, y)
+			if prev, dup := seen[p]; dup {
+				t.Fatalf("Pair collision: (%d,%d) and (%v) -> %d", x, y, prev, p)
+			}
+			seen[p] = [2]uint64{x, y}
+		}
+	}
+	// Surjectivity onto an initial segment: every value 1..N is hit.
+	for p := uint64(1); p <= 1000; p++ {
+		if _, ok := seen[p]; !ok {
+			t.Fatalf("Pair misses value %d", p)
+		}
+	}
+}
+
+func TestUnpairInvertsPair(t *testing.T) {
+	for p := uint64(1); p <= 20000; p++ {
+		x, y := Unpair(p)
+		if x < 1 || y < 1 {
+			t.Fatalf("Unpair(%d) = (%d,%d) not positive", p, x, y)
+		}
+		if Pair(x, y) != p {
+			t.Fatalf("Pair(Unpair(%d)) = %d", p, Pair(x, y))
+		}
+	}
+}
+
+func TestTripleRoundTrip(t *testing.T) {
+	for p := uint64(1); p <= 5000; p++ {
+		n, d, delta := Untriple(p)
+		if PhaseFor(n, d, delta) != p {
+			t.Fatalf("PhaseFor(Untriple(%d)) = %d", p, PhaseFor(n, d, delta))
+		}
+	}
+}
+
+func TestEveryTripleHasAPhase(t *testing.T) {
+	for n := uint64(1); n <= 12; n++ {
+		for d := uint64(1); d <= 12; d++ {
+			for delta := uint64(0); delta <= 12; delta++ {
+				p := PhaseFor(n, d, delta)
+				gn, gd, gdelta := Untriple(p)
+				if gn != n || gd != d || gdelta != delta {
+					t.Fatalf("round trip (%d,%d,%d) -> %d -> (%d,%d,%d)", n, d, delta, p, gn, gd, gdelta)
+				}
+			}
+		}
+	}
+}
+
+func TestPairPanicsOnZero(t *testing.T) {
+	for _, c := range [][2]uint64{{0, 1}, {1, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Pair(%d,%d) did not panic", c[0], c[1])
+				}
+			}()
+			Pair(c[0], c[1])
+		}()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Unpair(0) did not panic")
+		}
+	}()
+	Unpair(0)
+}

@@ -1,0 +1,62 @@
+package rendezvous
+
+import (
+	"fmt"
+
+	"repro/agent"
+	"repro/uxs"
+)
+
+// NewSymmRV returns the paper's Procedure SymmRV(n, d, δ) (Algorithm 1) as
+// an agent program: follow the application R(u) of the UXS Y(n), executing
+// Explore(u_i, d, δ) at every node of the walk, then backtrack to the
+// start. By Lemma 3.2, two agents at symmetric positions u, v of a graph
+// of size n that start with delay δ meet during its execution, provided
+// d = Shrink(u,v) and δ >= d.
+//
+// The program runs for exactly SymmRVTime(n, d, δ) rounds (Lemma 3.3 with
+// equality, thanks to duration padding) and ends at its start node.
+//
+// It returns an error when the parameters are out of range (d must satisfy
+// 1 <= d <= δ and d < n, since Shrink is a distance in the graph) or when
+// the padded duration would saturate RoundCap.
+func NewSymmRV(n, d, delta uint64) (agent.Program, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("rendezvous: SymmRV requires n >= 2, got %d", n)
+	}
+	if d < 1 || d >= n {
+		return nil, fmt.Errorf("rendezvous: SymmRV requires 1 <= d < n, got d=%d n=%d", d, n)
+	}
+	if delta < d {
+		return nil, fmt.Errorf("rendezvous: SymmRV requires δ >= d, got δ=%d d=%d", delta, d)
+	}
+	if SymmRVTime(n, d, delta) >= RoundCap {
+		return nil, fmt.Errorf("rendezvous: SymmRV(n=%d,d=%d,δ=%d) duration saturates RoundCap", n, d, delta)
+	}
+	return func(w agent.World) { symmRV(w, n, d, delta) }, nil
+}
+
+// symmRV is the internal body shared with UniversalRV.
+func symmRV(w agent.World, n, d, delta uint64) {
+	y := uxs.Generate(int(n))
+
+	// Explore at u0, then step to u1 = succ(u0, 0).
+	explore(w, n, d, delta)
+	entry := w.Move(0)
+	entries := make([]int, 1, len(y)+1)
+	entries[0] = entry
+	explore(w, n, d, delta)
+
+	// Follow the UXS: from u_i entered by port q, leave by (q + a_i) mod d(u_i).
+	for _, a := range y {
+		p := (entry + a) % w.Degree()
+		entry = w.Move(p)
+		entries = append(entries, entry)
+		explore(w, n, d, delta)
+	}
+
+	// Go back to u0 along the reverse of R(u).
+	for i := len(entries) - 1; i >= 0; i-- {
+		w.Move(entries[i])
+	}
+}

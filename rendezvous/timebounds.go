@@ -1,0 +1,168 @@
+package rendezvous
+
+import "repro/uxs"
+
+// RoundCap is the saturation point for all round arithmetic in this
+// package. The paper's budgets are exponential (SymmRV) and doubly
+// exponential (UniversalRV); computing them must stay total, so every
+// duration saturates here instead of wrapping. A run whose budget
+// saturates is cut off by the simulator's round budget long before the
+// saturated wait elapses — the arithmetic only needs to stay monotone.
+const RoundCap = uint64(1) << 62
+
+func satAdd(a, b uint64) uint64 {
+	if a > RoundCap-b || a+b > RoundCap {
+		return RoundCap
+	}
+	return a + b
+}
+
+func satMul(a, b uint64) uint64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > RoundCap/b {
+		return RoundCap
+	}
+	return a * b
+}
+
+func satPow(base, exp uint64) uint64 {
+	r := uint64(1)
+	for i := uint64(0); i < exp; i++ {
+		r = satMul(r, base)
+		if r == RoundCap {
+			return RoundCap
+		}
+	}
+	return r
+}
+
+// UXSLength returns M, the length of the generated UXS Y(n).
+func UXSLength(n uint64) uint64 { return uint64(uxs.DefaultLength(int(n))) }
+
+// PathBudget returns (n-1)^d, the paper's bound on the number of port
+// sequences of length d from any node of an n-node graph. Explore pads its
+// enumeration to exactly this many iterations so that its duration is
+// input-independent (see DESIGN.md, "duration padding").
+func PathBudget(n, d uint64) uint64 {
+	if n < 2 {
+		return 1
+	}
+	return satPow(n-1, d)
+}
+
+// SymmRVTime returns the paper's exact duration T(n, d, δ) of Procedure
+// SymmRV (Lemma 3.3):
+//
+//	T(n,d,δ) = (d+δ) * (n-1)^d * (M+2) + 2*(M+1)
+//
+// With duration padding, our implementation runs for exactly this many
+// rounds (Lemma 3.3 gives it as an upper bound; equality is what keeps the
+// two agents' phase clocks in lock-step inside UniversalRV).
+func SymmRVTime(n, d, delta uint64) uint64 {
+	m := UXSLength(n)
+	per := satMul(satAdd(d, delta), PathBudget(n, d))
+	return satAdd(satMul(per, satAdd(m, 2)), satMul(2, satAdd(m, 1)))
+}
+
+// ViewWalkTime returns V(n), the padded duration of the physical
+// truncated-view exploration to depth n-1 used by AsymmRV: a DFS of the
+// path tree costs two rounds per tree edge, and the tree of paths of
+// length <= n-1 has at most sum_{i=1..n-1} (n-1)^i edges.
+func ViewWalkTime(n uint64) uint64 {
+	if n < 2 {
+		return 0
+	}
+	total := uint64(0)
+	p := uint64(1)
+	for i := uint64(1); i <= n-1; i++ {
+		p = satMul(p, n-1)
+		total = satAdd(total, p)
+	}
+	return satMul(2, total)
+}
+
+// EncodingBitBudget returns K(n), the number of schedule slots of the
+// AsymmRV label schedule: an upper bound on the bit length of the
+// canonical encoding of any depth-(n-1) truncated view of an n-node graph.
+// Each view-tree or frontier node encodes in at most encBytesPerNode
+// bytes; the tree of paths of length <= n-1 has at most
+// sum_{i=0..n-1} (n-1)^i nodes plus (n-1)^(n-1) frontier marks.
+func EncodingBitBudget(n uint64) uint64 {
+	if n < 2 {
+		return encBytesPerNode * 8
+	}
+	nodes := uint64(1)
+	p := uint64(1)
+	for i := uint64(1); i <= n-1; i++ {
+		p = satMul(p, n-1)
+		nodes = satAdd(nodes, p)
+	}
+	nodes = satAdd(nodes, p) // frontier '*' marks at depth n-1
+	return satMul(satMul(nodes, encBytesPerNode), 8)
+}
+
+// encBytesPerNode bounds the encoding cost of one view node:
+// "(deg,entry" + ")" with decimal numbers below n <= 10^6 in any graph the
+// simulator can hold.
+const encBytesPerNode = 18
+
+// UXSRoundTrip returns T_rt(n) = 2*(M+1): the rounds of one full UXS
+// application (M+1 moves) plus backtracking home along the reverse path.
+func UXSRoundTrip(n uint64) uint64 {
+	return satMul(2, satAdd(UXSLength(n), 1))
+}
+
+// ActiveRepeats returns R(n, δ) = ceil(δ / T_rt) + 2, the number of
+// consecutive UXS round trips per active schedule slot. R*T_rt >= δ + 2*T_rt
+// guarantees that an active slot overlaps the other agent's aligned passive
+// slot (offset exactly δ) in a window long enough to contain one complete
+// round trip, which visits every node while the passive agent sits at home.
+func ActiveRepeats(n, delta uint64) uint64 {
+	t := UXSRoundTrip(n)
+	r := delta / t
+	if delta%t != 0 {
+		r++
+	}
+	return satAdd(r, 2)
+}
+
+// AsymmRVTime returns D_A(n, δ), the exact padded duration of AsymmRV:
+// view walk + K(n) schedule slots of R*T_rt rounds each.
+func AsymmRVTime(n, delta uint64) uint64 {
+	slot := satMul(ActiveRepeats(n, delta), UXSRoundTrip(n))
+	return satAdd(ViewWalkTime(n), satMul(EncodingBitBudget(n), slot))
+}
+
+// PhaseTime returns the exact duration of UniversalRV's phase for
+// hypothesis (n, d, δ): zero for skipped phases (d >= n), otherwise
+// 2*D_A(n,δ) plus T(n,d,δ) when δ >= d.
+func PhaseTime(n, d, delta uint64) uint64 {
+	if d >= n {
+		return 0
+	}
+	total := satMul(2, AsymmRVTime(n, delta))
+	if delta >= d {
+		total = satAdd(total, SymmRVTime(n, d, delta))
+	}
+	return total
+}
+
+// UniversalRVTimeBound returns the total rounds UniversalRV needs, counted
+// from the later agent's start, to reach the end of the phase whose
+// hypothesis triple is (n, d, δ) — the phase by which Theorem 3.1
+// guarantees the meeting. This is the quantity Proposition 4.1 bounds by
+// O(n+δ)^O(n+δ).
+func UniversalRVTimeBound(n, d, delta uint64) uint64 {
+	last := PhaseFor(n, d, delta)
+	total := uint64(0)
+	for p := uint64(1); p <= last; p++ {
+		hn, hd, hdelta := Untriple(p)
+		total = satAdd(total, PhaseTime(hn, hd, hdelta))
+		if total == RoundCap {
+			return RoundCap
+		}
+	}
+	return total
+}

@@ -1,0 +1,75 @@
+package rendezvous
+
+import "repro/agent"
+
+// UniversalRV returns the paper's Algorithm 3: the universal deterministic
+// rendezvous algorithm that uses no a priori knowledge whatsoever — not
+// the graph, not its size, not the initial positions, not the delay.
+//
+// It runs in phases P = 1, 2, ...; phase P decodes the hypothesis triple
+// (n, d, δ) = g^{-1}(P) and, when d < n, first executes AsymmRV(n) (in
+// the hope the positions are nonsymmetric), returns home, waits out the
+// bookkeeping budget, and then, when δ >= d, executes SymmRV(n, d, δ) (in
+// the hope the positions are symmetric with Shrink = d and delay δ).
+//
+// Every procedure has an input-independent, exactly-known duration (see
+// the duration-padding note in DESIGN.md), so the two agents enter every
+// phase — and every procedure within it — with their original delay. By
+// Theorem 3.1, rendezvous happens at the latest in the phase whose triple
+// matches the true parameters, for every feasible STIC (Corollary 3.1):
+// nonsymmetric starts with any delay, or symmetric starts with
+// δ >= Shrink(u, v).
+//
+// Phases whose padded budgets saturate RoundCap are replaced by a
+// RoundCap-long wait: a simulation would need 2^62 rounds to get past
+// them, so the substitution is unobservable within any feasible budget.
+func UniversalRV() agent.Program {
+	return func(w agent.World) {
+		for p := uint64(1); ; p++ {
+			n, d, delta := Untriple(p)
+			if d >= n {
+				// Shrink(u,v) is a distance in a graph of size n, hence
+				// d < n in any consistent hypothesis: skip (zero rounds).
+				continue
+			}
+			if PhaseTime(n, d, delta) >= RoundCap {
+				w.Wait(RoundCap)
+				continue
+			}
+			// AsymmRV for its exact duration; it ends at the start node.
+			asymmRV(w, n, delta)
+			// Bookkeeping wait mirroring the paper's "wait until
+			// 2(P(n)+δ) rounds from the start of AsymmRV": keeps both
+			// agents' phase clocks identical and keeps this agent parked
+			// at home while the other may still be finishing its own
+			// (δ-shifted) AsymmRV schedule.
+			w.Wait(AsymmRVTime(n, delta))
+			if delta >= d {
+				symmRV(w, n, d, delta)
+			}
+		}
+	}
+}
+
+// AsymmOnlyUniversalRV is the simplified variant discussed at the end of
+// the paper's Section 4: UniversalRV with the SymmRV step deleted. It
+// still achieves rendezvous for every STIC with nonsymmetric initial
+// positions — with time polynomial in n and δ for the cited AsymmRV
+// (ours is exponential only through the view walk) — but never meets from
+// symmetric positions. It is the ablation measured by experiment E11.
+func AsymmOnlyUniversalRV() agent.Program {
+	return func(w agent.World) {
+		for p := uint64(1); ; p++ {
+			n, d, delta := Untriple(p)
+			if d >= n {
+				continue
+			}
+			if satMul(2, AsymmRVTime(n, delta)) >= RoundCap {
+				w.Wait(RoundCap)
+				continue
+			}
+			asymmRV(w, n, delta)
+			w.Wait(AsymmRVTime(n, delta))
+		}
+	}
+}

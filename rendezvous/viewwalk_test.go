@@ -1,0 +1,140 @@
+package rendezvous
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/agent"
+	"repro/graph"
+	"repro/uxs"
+	"repro/view"
+)
+
+// uxsSequenceFor fetches the generated UXS for size n.
+func uxsSequenceFor(n uint64) uxs.Sequence { return uxs.Generate(int(n)) }
+
+// soloViewWalk runs the agent-side physical view exploration alone and
+// returns the tree it built plus the rounds it used.
+func soloViewWalk(g *graph.Graph, start, depth int, budget uint64) (*view.Node, uint64) {
+	var tree *view.Node
+	w := &soloWorld{g: g, pos: start, deg: g.Degree(start), entry: -1}
+	tree = viewWalk(w, depth, budget)
+	return tree, w.clock
+}
+
+func TestViewWalkMatchesOracle(t *testing.T) {
+	// The tree an agent reconstructs by physically exploring all paths
+	// must equal view.Truncated, byte for byte after canonical encoding —
+	// the property AsymmRV's labels rest on.
+	cases := []*graph.Graph{
+		graph.TwoNode(),
+		graph.Path(4),
+		graph.Cycle(5),
+		graph.Star(4),
+		graph.SymmetricTree(graph.ChainShape(2)),
+		graph.OrientedTorus(3, 3),
+		graph.Petersen(),
+	}
+	for _, g := range cases {
+		for depth := 0; depth <= 3; depth++ {
+			for v := 0; v < g.N(); v++ {
+				got, used := soloViewWalk(g, v, depth, RoundCap)
+				want := view.Truncated(g, v, depth)
+				if !view.Equal(got, want) {
+					t.Fatalf("%s node %d depth %d: agent view differs from oracle", g, v, depth)
+				}
+				if !bytes.Equal(view.Encode(got), view.Encode(want)) {
+					t.Fatalf("%s node %d depth %d: encodings differ", g, v, depth)
+				}
+				// Round accounting: two rounds per path of length <= depth.
+				paths := countPaths(g, v, depth)
+				if used != 2*uint64(paths) {
+					t.Fatalf("%s node %d depth %d: used %d rounds, want %d", g, v, depth, used, 2*paths)
+				}
+			}
+		}
+	}
+}
+
+// countPaths counts port sequences of length 1..depth from v.
+func countPaths(g *graph.Graph, v, depth int) int {
+	if depth == 0 {
+		return 0
+	}
+	total := 0
+	for p := 0; p < g.Degree(v); p++ {
+		to, _ := g.Succ(v, p)
+		total += 1 + countPaths(g, to, depth-1)
+	}
+	return total
+}
+
+func TestViewWalkMatchesOracleRandom(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := 2 + int(nRaw%7)
+		g := graph.RandomConnected(n, 0, seed)
+		for v := 0; v < n; v++ {
+			got, _ := soloViewWalk(g, v, 3, RoundCap)
+			if !view.Equal(got, view.Truncated(g, v, 3)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestViewWalkBudgetCap(t *testing.T) {
+	// With a tight budget the walk truncates instead of overrunning —
+	// the wrong-hypothesis safety property.
+	g := graph.Cycle(6)
+	_, used := soloViewWalk(g, 0, 5, 10)
+	if used > 10 {
+		t.Fatalf("budget cap violated: used %d rounds", used)
+	}
+	// Budget 0: no moves at all, the tree is just the root.
+	tree, used := soloViewWalk(g, 0, 5, 0)
+	if used != 0 || tree.Deg != 2 {
+		t.Fatalf("zero-budget walk moved: used=%d", used)
+	}
+}
+
+func TestNorrisDepthSufficiencyViaLabels(t *testing.T) {
+	// For every nonsymmetric pair, depth n-1 view encodings differ — the
+	// premise of AsymmRV's label schedule (Norris' theorem).
+	for _, g := range []*graph.Graph{graph.Path(5), graph.Star(4), graph.Tree(graph.FullShape(2, 2)), graph.Petersen()} {
+		c := view.Classes(g)
+		for u := 0; u < g.N(); u++ {
+			for v := u + 1; v < g.N(); v++ {
+				tu, _ := soloViewWalk(g, u, g.N()-1, RoundCap)
+				tv, _ := soloViewWalk(g, v, g.N()-1, RoundCap)
+				same := bytes.Equal(view.Encode(tu), view.Encode(tv))
+				if same != (c[u] == c[v]) {
+					t.Fatalf("%s (%d,%d): label equality %v but class equality %v", g, u, v, same, c[u] == c[v])
+				}
+			}
+		}
+	}
+}
+
+func TestUXSRoundTripReturnsHome(t *testing.T) {
+	// One round trip must end where it started and take exactly
+	// UXSRoundTrip(n) rounds — the slot-length invariant of AsymmRV.
+	for _, g := range []*graph.Graph{graph.Cycle(7), graph.Path(4), graph.OrientedTorus(3, 3)} {
+		n := uint64(g.N())
+		dur := SoloDuration(g, 0, func(w agent.World) {
+			uxsRoundTrip(w, uxsSequenceFor(n))
+		})
+		if dur != UXSRoundTrip(n) {
+			t.Fatalf("%s: round trip %d rounds, want %d", g, dur, UXSRoundTrip(n))
+		}
+		w := &soloWorld{g: g, pos: 0, deg: g.Degree(0), entry: -1}
+		uxsRoundTrip(w, uxsSequenceFor(n))
+		if w.pos != 0 {
+			t.Fatalf("%s: round trip ended at %d", g, w.pos)
+		}
+	}
+}

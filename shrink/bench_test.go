@@ -1,0 +1,53 @@
+package shrink
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/graph"
+)
+
+func BenchmarkShrink(b *testing.B) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		u, v int
+	}{
+		{"ring-16", graph.Cycle(16), 0, 8},
+		{"torus-5x5", graph.OrientedTorus(5, 5), 0, 12},
+		{"symtree-full22", graph.SymmetricTree(graph.FullShape(2, 2)), 3, 10},
+		{"qhat-3", nil, 0, 1},
+	}
+	q, _ := graph.Qhat(3)
+	cases[3].g = q
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			dist := AllPairsDist(c.g)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ShrinkWithDist(c.g, c.u, c.v, dist)
+			}
+		})
+	}
+}
+
+func BenchmarkAllPairsDist(b *testing.B) {
+	for _, n := range []int{16, 64} {
+		b.Run(fmt.Sprintf("ring-%d", n), func(b *testing.B) {
+			g := graph.Cycle(n)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				AllPairsDist(g)
+			}
+		})
+	}
+}
+
+func BenchmarkPairOrbit(b *testing.B) {
+	g := graph.OrientedTorus(4, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		PairOrbit(g, 0, 5)
+	}
+}

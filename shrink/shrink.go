@@ -1,0 +1,173 @@
+// Package shrink computes the paper's central quantity Shrink(u,v)
+// (Definition 3.1): for a symmetric pair of nodes u, v, the smallest
+// distance between α(u) and α(v) over all sequences α of port numbers —
+// the closest two view-indistinguishable agents can be brought by executing
+// identical moves.
+//
+// The computation runs BFS on the pair-product graph: states are ordered
+// pairs (a, b) with transitions (a, b) -> (succ(a,p), succ(b,p)) for every
+// port p. Starting from a symmetric pair, every reachable pair is symmetric
+// (so degrees always match), the state space has at most n^2 states, and
+// Shrink is the minimum graph distance over reachable states. This also
+// decides STIC feasibility exactly (Corollary 3.1): a symmetric STIC
+// [(u,v), δ] is feasible iff δ >= Shrink(u,v).
+package shrink
+
+import (
+	"fmt"
+
+	"repro/graph"
+	"repro/view"
+)
+
+// Result carries the value of Shrink(u,v) together with a witness.
+type Result struct {
+	Value int   // Shrink(u,v)
+	Alpha []int // a port sequence α with dist(α(u), α(v)) == Value
+	AU    int   // α(u)
+	AV    int   // α(v)
+}
+
+// ErrNotSymmetric is returned when Shrink is requested for a pair of nodes
+// with different views; the paper defines Shrink for symmetric pairs only.
+type ErrNotSymmetric struct{ U, V int }
+
+func (e ErrNotSymmetric) Error() string {
+	return fmt.Sprintf("shrink: nodes %d and %d are not symmetric", e.U, e.V)
+}
+
+// AllPairsDist returns the n x n matrix of graph distances.
+func AllPairsDist(g *graph.Graph) [][]int32 {
+	n := g.N()
+	d := make([][]int32, n)
+	for v := 0; v < n; v++ {
+		row := make([]int32, n)
+		for i, x := range g.BFS(v) {
+			row[i] = int32(x)
+		}
+		d[v] = row
+	}
+	return d
+}
+
+// Shrink computes Shrink(u,v) for a symmetric pair. It returns
+// ErrNotSymmetric if the views of u and v differ.
+func Shrink(g *graph.Graph, u, v int) (Result, error) {
+	if !view.Symmetric(g, u, v) {
+		return Result{}, ErrNotSymmetric{U: u, V: v}
+	}
+	return shrinkBFS(g, u, v, AllPairsDist(g)), nil
+}
+
+// ShrinkWithDist is Shrink for callers that already computed the distance
+// matrix (e.g. sweeps over many pairs of the same graph). It does not
+// re-check symmetry; callers must pass a symmetric pair.
+func ShrinkWithDist(g *graph.Graph, u, v int, dist [][]int32) Result {
+	return shrinkBFS(g, u, v, dist)
+}
+
+func shrinkBFS(g *graph.Graph, u, v int, dist [][]int32) Result {
+	n := g.N()
+	// parent[state] encodes the BFS tree for witness reconstruction:
+	// state = a*n + b; parent value = prevState*maxDeg + port, or -1.
+	seen := make([]bool, n*n)
+	parent := make([]int64, n*n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	maxDeg := int64(g.MaxDegree())
+	start := u*n + v
+	seen[start] = true
+	queue := []int{start}
+	best := Result{Value: int(dist[u][v]), AU: u, AV: v}
+	bestState := start
+	for len(queue) > 0 && best.Value > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		a, b := s/n, s%n
+		if g.Degree(a) != g.Degree(b) {
+			// Unreachable for symmetric pairs; guard against misuse of
+			// ShrinkWithDist with a nonsymmetric pair.
+			panic(fmt.Sprintf("shrink: degree mismatch at pair (%d,%d); input pair not symmetric", a, b))
+		}
+		for p := 0; p < g.Degree(a); p++ {
+			ta, _ := g.Succ(a, p)
+			tb, _ := g.Succ(b, p)
+			ns := ta*n + tb
+			if seen[ns] {
+				continue
+			}
+			seen[ns] = true
+			parent[ns] = int64(s)*maxDeg + int64(p)
+			if int(dist[ta][tb]) < best.Value {
+				best = Result{Value: int(dist[ta][tb]), AU: ta, AV: tb}
+				bestState = ns
+				if best.Value == 0 {
+					break
+				}
+			}
+			queue = append(queue, ns)
+		}
+	}
+	// Reconstruct the witness port sequence.
+	var rev []int
+	for s := bestState; parent[s] >= 0; {
+		enc := parent[s]
+		rev = append(rev, int(enc%maxDeg))
+		s = int(enc / maxDeg)
+	}
+	alpha := make([]int, len(rev))
+	for i := range rev {
+		alpha[i] = rev[len(rev)-1-i]
+	}
+	best.Alpha = alpha
+	return best
+}
+
+// PairOrbit returns all pairs (a, b) reachable from (u, v) in the
+// pair-product graph. For a symmetric start this is the set of joint
+// positions two identical agents can ever occupy when executing the same
+// moves with zero delay — the state space underlying the impossibility
+// proof of Lemma 3.1.
+func PairOrbit(g *graph.Graph, u, v int) [][2]int {
+	n := g.N()
+	seen := make([]bool, n*n)
+	start := u*n + v
+	seen[start] = true
+	queue := []int{start}
+	var out [][2]int
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		a, b := s/n, s%n
+		out = append(out, [2]int{a, b})
+		deg := g.Degree(a)
+		if g.Degree(b) < deg {
+			deg = g.Degree(b)
+		}
+		for p := 0; p < deg; p++ {
+			ta, _ := g.Succ(a, p)
+			tb, _ := g.Succ(b, p)
+			ns := ta*n + tb
+			if !seen[ns] {
+				seen[ns] = true
+				queue = append(queue, ns)
+			}
+		}
+	}
+	return out
+}
+
+// MinOrbitDist returns the minimum distance over the pair orbit of (u, v);
+// for symmetric pairs this equals Shrink(u, v). Exported separately because
+// the impossibility experiments (E3) use it on its own.
+func MinOrbitDist(g *graph.Graph, u, v int) int {
+	dist := AllPairsDist(g)
+	best := int(dist[u][v])
+	for _, pr := range PairOrbit(g, u, v) {
+		if d := int(dist[pr[0]][pr[1]]); d < best {
+			best = d
+		}
+	}
+	return best
+}

@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/agent"
+	"repro/graph"
+)
+
+// BenchmarkRoundThroughput measures raw scheduler speed: rounds per second
+// with both agents moving every round (the worst case for the lock-step
+// channel protocol — no fast-forwarding possible).
+func BenchmarkRoundThroughput(b *testing.B) {
+	g := graph.Cycle(64)
+	walker := func(w agent.World) {
+		for {
+			w.Move(0)
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := RunPrograms(g, walker, walker, 0, 1, 0, Config{Budget: 100_000})
+		if res.Outcome != BudgetExhausted {
+			b.Fatalf("unexpected outcome %v", res.Outcome)
+		}
+	}
+	b.ReportMetric(100_000*float64(b.N)/b.Elapsed().Seconds(), "rounds/s")
+}
+
+// BenchmarkFastForward measures the wait fast-path: two agents trading
+// astronomical waits must finish in microseconds regardless of the
+// simulated round count.
+func BenchmarkFastForward(b *testing.B) {
+	g := graph.TwoNode()
+	sleeper := func(w agent.World) {
+		for i := 0; i < 100; i++ {
+			w.Wait(1 << 40)
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := Run(g, sleeper, 0, 1, 0, Config{Budget: 1 << 50})
+		if res.Outcome != NeverMeet {
+			b.Fatalf("unexpected outcome %v", res.Outcome)
+		}
+	}
+}
+
+// BenchmarkParallelSweep measures the experiment-harness pattern: many
+// independent runs fanned out over the worker pool, at several pool
+// sizes, so the speedup curve is visible in the bench output.
+func BenchmarkParallelSweep(b *testing.B) {
+	g := graph.Cycle(16)
+	type task struct {
+		v     int
+		delay uint64
+	}
+	var tasks []task
+	for v := 1; v < 16; v++ {
+		for d := uint64(0); d < 8; d++ {
+			tasks = append(tasks, task{v, d})
+		}
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ParallelMap(tasks, workers, func(tk task) Result {
+					return Run(g, agent.MoveEveryRound, 0, tk.v, tk.delay, Config{Budget: 5_000})
+				})
+			}
+		})
+	}
+}

@@ -1,0 +1,189 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/agent"
+	"repro/graph"
+)
+
+// MultiAgent describes one agent of a multi-agent run: its program, start
+// node, and appearance round (the paper's model generalized from two
+// agents to the gathering setting of its related work [25]).
+type MultiAgent struct {
+	Program agent.Program
+	Start   int
+	Appear  uint64
+}
+
+// Meeting records two agents occupying the same node in the same round.
+type Meeting struct {
+	A, B  int // agent indices, A < B
+	Node  int
+	Round uint64
+}
+
+// MultiResult reports a finished multi-agent run.
+type MultiResult struct {
+	// Gathered is true when all agents occupied one node simultaneously.
+	Gathered    bool
+	GatherNode  int
+	GatherRound uint64
+	// Meetings lists the first meeting of every pair that met, in the
+	// order detected.
+	Meetings []Meeting
+	Rounds   uint64
+	Moves    []uint64 // per-agent edge traversals
+}
+
+// MultiConfig tunes a multi-agent run.
+type MultiConfig struct {
+	// Budget is the maximum absolute round count (0 = DefaultBudget).
+	Budget uint64
+	// StopOnGather stops as soon as all agents co-locate (default
+	// behaviour); when false the run continues to the budget collecting
+	// meetings.
+	StopOnGather bool
+	// StopOnFirstMeeting stops at the first pairwise meeting.
+	StopOnFirstMeeting bool
+}
+
+// RunMany executes k agents in lock-step on g. Pairwise meetings are
+// recorded (first meeting per pair); the run ends on gathering (all
+// agents at one node), on the budget, or — when every program has
+// terminated at scattered nodes — on proof that nothing further can
+// happen.
+func RunMany(g *graph.Graph, agents []MultiAgent, cfg MultiConfig) MultiResult {
+	if len(agents) == 0 {
+		return MultiResult{}
+	}
+	budget := cfg.Budget
+	if budget == 0 {
+		budget = DefaultBudget
+	}
+	runners := make([]*runner, len(agents))
+	present := make([]bool, len(agents))
+	defer func() {
+		for _, r := range runners {
+			if r != nil {
+				r.shutdown()
+			}
+		}
+	}()
+
+	met := make(map[[2]int]bool)
+	var res MultiResult
+	res.Moves = make([]uint64, len(agents))
+
+	t := uint64(0)
+	for {
+		for i, a := range agents {
+			if !present[i] && t >= a.Appear {
+				runners[i] = newRunner(g, a.Program, a.Start)
+				present[i] = true
+			}
+			if present[i] {
+				runners[i].fetch()
+			}
+		}
+
+		// Detect meetings and gathering at round t.
+		byNode := map[int][]int{}
+		presentCount := 0
+		for i := range agents {
+			if present[i] {
+				presentCount++
+				byNode[runners[i].pos] = append(byNode[runners[i].pos], i)
+			}
+		}
+		for node, group := range byNode {
+			for x := 0; x < len(group); x++ {
+				for y := x + 1; y < len(group); y++ {
+					key := [2]int{group[x], group[y]}
+					if !met[key] {
+						met[key] = true
+						res.Meetings = append(res.Meetings, Meeting{A: group[x], B: group[y], Node: node, Round: t})
+					}
+				}
+			}
+			if presentCount == len(agents) && len(group) == len(agents) && !res.Gathered {
+				res.Gathered = true
+				res.GatherNode = node
+				res.GatherRound = t
+			}
+		}
+		stop := false
+		if res.Gathered && cfg.StopOnGather {
+			stop = true
+		}
+		if cfg.StopOnFirstMeeting && len(res.Meetings) > 0 {
+			stop = true
+		}
+		if t >= budget {
+			stop = true
+		}
+		// All programs done and scattered: nothing can change.
+		allDone := true
+		for i := range agents {
+			if !present[i] || runners[i].state != stDone {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			stop = true
+		}
+		if stop {
+			res.Rounds = t
+			for i, r := range runners {
+				if r != nil {
+					res.Moves[i] = r.moves
+				}
+			}
+			return res
+		}
+
+		// Fast-forward across mutual waits / pre-appearance gaps.
+		skip := budget - t
+		for i, a := range agents {
+			if !present[i] {
+				if d := a.Appear - t; d < skip {
+					skip = d
+				}
+				continue
+			}
+			if s := runners[i].maxSkip(); s < skip {
+				skip = s
+			}
+		}
+		if skip < 1 {
+			skip = 1
+		}
+		for i := range agents {
+			if present[i] {
+				runners[i].advance(skip)
+			}
+		}
+		t += skip
+	}
+}
+
+// GatherCheck validates a MultiResult invariant used by tests: meetings
+// are pairwise-unique and rounds are within budget.
+func GatherCheck(res MultiResult) error {
+	seen := map[[2]int]bool{}
+	for _, m := range res.Meetings {
+		if m.A >= m.B {
+			return fmt.Errorf("sim: meeting pair out of order: %+v", m)
+		}
+		key := [2]int{m.A, m.B}
+		if seen[key] {
+			return fmt.Errorf("sim: duplicate meeting for pair %v", key)
+		}
+		seen[key] = true
+		if m.Round > res.Rounds {
+			return fmt.Errorf("sim: meeting after run end: %+v", m)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/agent"
+	"repro/graph"
+)
+
+func TestRunManyGatherAtSink(t *testing.T) {
+	// Three walkers on a ring all chasing port 0 with staggered starts
+	// never gather (they keep the same offsets); three walkers converging
+	// on a sitting agent gather at its node.
+	g := graph.Cycle(6)
+	sit := agent.Sit
+	walkTo := func(steps int) agent.Program {
+		return func(w agent.World) {
+			for i := 0; i < steps; i++ {
+				w.Move(0)
+			}
+			w.Wait(1 << 30)
+		}
+	}
+	res := RunMany(g, []MultiAgent{
+		{Program: sit, Start: 3},
+		{Program: walkTo(3), Start: 0},
+		{Program: walkTo(2), Start: 1},
+		{Program: walkTo(1), Start: 2, Appear: 5},
+	}, MultiConfig{Budget: 1 << 31, StopOnGather: true})
+	if err := GatherCheck(res); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Gathered || res.GatherNode != 3 {
+		t.Fatalf("gathering failed: %+v", res)
+	}
+	if res.GatherRound != 6 { // last agent appears at 5, walks 1 step
+		t.Fatalf("gather round %d, want 6", res.GatherRound)
+	}
+}
+
+func TestRunManyPairwiseMeetings(t *testing.T) {
+	g := graph.Cycle(4)
+	res := RunMany(g, []MultiAgent{
+		{Program: agent.MoveEveryRound, Start: 0},
+		{Program: agent.MoveEveryRound, Start: 1},
+		{Program: agent.MoveEveryRound, Start: 2},
+	}, MultiConfig{Budget: 50})
+	if err := GatherCheck(res); err != nil {
+		t.Fatal(err)
+	}
+	// All three keep their offsets on the oriented ring: never any meeting.
+	if len(res.Meetings) != 0 || res.Gathered {
+		t.Fatalf("unexpected meetings: %+v", res.Meetings)
+	}
+}
+
+func TestRunManyRecordsFirstMeetingPerPair(t *testing.T) {
+	g := graph.Path(3)
+	// Two agents bounce between the middle and the ends, meeting the
+	// sitting middle agent repeatedly; only the first meeting per pair is
+	// recorded.
+	bounce := func(w agent.World) {
+		for {
+			w.Move(0)
+			w.Move(w.Degree() - 1)
+		}
+	}
+	res := RunMany(g, []MultiAgent{
+		{Program: agent.Sit, Start: 1},
+		{Program: bounce, Start: 0},
+		{Program: bounce, Start: 2},
+	}, MultiConfig{Budget: 20})
+	if err := GatherCheck(res); err != nil {
+		t.Fatal(err)
+	}
+	// Pairs (0,1), (0,2) meet at node 1 on round 1; pair (1,2) also meets
+	// there; gathering happens at round 1 but StopOnGather is false.
+	if len(res.Meetings) != 3 {
+		t.Fatalf("meetings %+v", res.Meetings)
+	}
+	if !res.Gathered || res.GatherRound != 1 {
+		t.Fatalf("gather state %+v", res)
+	}
+	if res.Rounds != 20 {
+		t.Fatalf("run should continue to budget, stopped at %d", res.Rounds)
+	}
+}
+
+func TestRunManyStopOnFirstMeeting(t *testing.T) {
+	g := graph.Path(3)
+	res := RunMany(g, []MultiAgent{
+		{Program: agent.Script([]int{0}), Start: 0},
+		{Program: agent.Script([]int{0}), Start: 2},
+	}, MultiConfig{Budget: 100, StopOnFirstMeeting: true})
+	if len(res.Meetings) != 1 || res.Meetings[0].Node != 1 {
+		t.Fatalf("meetings %+v", res.Meetings)
+	}
+	if res.Rounds != 1 {
+		t.Fatalf("should stop at the meeting round, got %d", res.Rounds)
+	}
+}
+
+func TestRunManyAllDoneDetection(t *testing.T) {
+	g := graph.Cycle(5)
+	halt := func(w agent.World) {}
+	res := RunMany(g, []MultiAgent{
+		{Program: halt, Start: 0},
+		{Program: halt, Start: 2},
+		{Program: halt, Start: 4},
+	}, MultiConfig{Budget: 1 << 40})
+	if res.Rounds > 5 {
+		t.Fatalf("did not detect scattered termination: %d rounds", res.Rounds)
+	}
+	if res.Gathered || len(res.Meetings) != 0 {
+		t.Fatalf("unexpected result %+v", res)
+	}
+}
+
+func TestRunManyTwoAgentsMatchesRun(t *testing.T) {
+	// The two-agent special case must agree with RunPrograms on meeting
+	// round and node.
+	g := graph.Cycle(7)
+	prog := agent.MoveEveryRound
+	for _, delay := range []uint64{0, 1, 3} {
+		two := Run(g, prog, 0, 3, delay, Config{Budget: 10_000})
+		many := RunMany(g, []MultiAgent{
+			{Program: prog, Start: 0},
+			{Program: prog, Start: 3, Appear: delay},
+		}, MultiConfig{Budget: 10_000, StopOnFirstMeeting: true})
+		metMany := len(many.Meetings) > 0
+		if (two.Outcome == Met) != metMany {
+			t.Fatalf("δ=%d: Run met=%v, RunMany met=%v", delay, two.Outcome == Met, metMany)
+		}
+		if metMany && (many.Meetings[0].Round != two.MeetingRound || many.Meetings[0].Node != two.MeetingNode) {
+			t.Fatalf("δ=%d: meeting mismatch: %+v vs %+v", delay, many.Meetings[0], two)
+		}
+	}
+}
+
+func TestRunManyEmpty(t *testing.T) {
+	res := RunMany(graph.TwoNode(), nil, MultiConfig{})
+	if res.Gathered || len(res.Meetings) != 0 {
+		t.Fatalf("empty run: %+v", res)
+	}
+}

@@ -1,0 +1,357 @@
+// Package sim executes the paper's execution model: two anonymous agents
+// on a port-labeled graph, moving in synchronous rounds, started by the
+// adversary with a given delay, meeting when they occupy the same node in
+// the same round (crossings inside an edge do not count).
+//
+// The scheduler is strictly deterministic: agent programs run as
+// goroutines but are advanced in lock-step, one action per round, and the
+// two programs share no state. Long mutual waits are fast-forwarded in
+// O(1), which is what makes the paper's padding-heavy algorithms (whose
+// round counts are exponential) simulable: simulated time is decoupled
+// from physical work.
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/agent"
+	"repro/graph"
+)
+
+// Outcome classifies how a run ended.
+type Outcome int
+
+const (
+	// Met means the agents occupied the same node in the same round.
+	Met Outcome = iota
+	// BudgetExhausted means the round budget ran out first.
+	BudgetExhausted
+	// NeverMeet means both programs terminated at different nodes, so no
+	// future meeting is possible.
+	NeverMeet
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Met:
+		return "met"
+	case BudgetExhausted:
+		return "budget-exhausted"
+	case NeverMeet:
+		return "never-meet"
+	}
+	return fmt.Sprintf("Outcome(%d)", int(o))
+}
+
+// Result reports a finished run.
+type Result struct {
+	Outcome      Outcome
+	MeetingNode  int    // valid when Outcome == Met
+	MeetingRound uint64 // absolute round of the meeting (0 = earlier start)
+	// TimeFromLater is the paper's cost measure: rounds between the
+	// appearance of the later agent and the meeting.
+	TimeFromLater  uint64
+	Rounds         uint64 // absolute rounds elapsed when the run stopped
+	MovesA, MovesB uint64 // edge traversals actually performed
+}
+
+// Config tunes a run.
+type Config struct {
+	// Budget is the maximum number of absolute rounds to simulate.
+	// Zero selects DefaultBudget.
+	Budget uint64
+	// Observer, when non-nil, is called once per simulated round with the
+	// positions at that round (posB == -1 before the later agent appears).
+	// Setting an observer disables wait fast-forwarding, so only use it
+	// with small budgets.
+	Observer func(round uint64, posA, posB int)
+}
+
+// DefaultBudget is the round budget used when Config.Budget is zero.
+const DefaultBudget = 1 << 32
+
+// Run executes the same program for both agents — the paper's model of
+// identical deterministic anonymous agents — from starts u and v, with the
+// later agent appearing delay rounds after the earlier one.
+func Run(g *graph.Graph, prog agent.Program, u, v int, delay uint64, cfg Config) Result {
+	return RunPrograms(g, prog, prog, u, v, delay, cfg)
+}
+
+// RunPrograms executes possibly different programs for the two agents;
+// used by the oracle baselines (e.g. wait-for-Mommy, where leader election
+// is assumed already done).
+func RunPrograms(g *graph.Graph, progA, progB agent.Program, u, v int, delay uint64, cfg Config) Result {
+	budget := cfg.Budget
+	if budget == 0 {
+		budget = DefaultBudget
+	}
+	ra := newRunner(g, progA, u)
+	defer ra.shutdown()
+	var rb *runner // started when the later agent appears
+	defer func() {
+		if rb != nil {
+			rb.shutdown()
+		}
+	}()
+
+	t := uint64(0)
+	for {
+		ra.fetch()
+		if t >= delay && rb == nil {
+			rb = newRunner(g, progB, v)
+		}
+		if rb != nil {
+			rb.fetch()
+		}
+		if cfg.Observer != nil {
+			posB := -1
+			if rb != nil {
+				posB = rb.pos
+			}
+			cfg.Observer(t, ra.pos, posB)
+		}
+		if rb != nil && ra.pos == rb.pos {
+			return Result{
+				Outcome:       Met,
+				MeetingNode:   ra.pos,
+				MeetingRound:  t,
+				TimeFromLater: t - delay,
+				Rounds:        t,
+				MovesA:        ra.moves,
+				MovesB:        rb.moves,
+			}
+		}
+		if ra.state == stDone && rb != nil && rb.state == stDone {
+			return Result{Outcome: NeverMeet, Rounds: t, MovesA: ra.moves, MovesB: rb.moves}
+		}
+		if t >= budget {
+			res := Result{Outcome: BudgetExhausted, Rounds: t, MovesA: ra.moves}
+			if rb != nil {
+				res.MovesB = rb.moves
+			}
+			return res
+		}
+
+		// Fast-forward while nothing can change: both agents waiting (or
+		// done / not yet present). Meetings cannot occur inside the skip
+		// because positions are static and were just checked unequal.
+		skip := budget - t
+		if cfg.Observer != nil {
+			skip = 1
+		}
+		if t < delay {
+			if d := delay - t; d < skip {
+				skip = d
+			}
+		}
+		if s := ra.maxSkip(); s < skip {
+			skip = s
+		}
+		if rb != nil {
+			if s := rb.maxSkip(); s < skip {
+				skip = s
+			}
+		}
+		if skip < 1 {
+			skip = 1
+		}
+		ra.advance(skip)
+		if rb != nil {
+			rb.advance(skip)
+		}
+		t += skip
+	}
+}
+
+type agentState int
+
+const (
+	stNeedReq agentState = iota
+	stMovePending
+	stWaiting
+	stDone
+)
+
+type reqKind int
+
+const (
+	reqMove reqKind = iota
+	reqWait
+	reqDone
+	reqPanic
+)
+
+type request struct {
+	kind   reqKind
+	port   int
+	rounds uint64
+	val    any // panic value for reqPanic
+}
+
+type grantMsg struct {
+	degree int
+	entry  int
+}
+
+// stopSentinel unwinds an agent goroutine when the run finishes.
+type stopSentinel struct{}
+
+type runner struct {
+	g     *graph.Graph
+	req   chan request
+	grant chan grantMsg
+	stop  chan struct{}
+	wg    sync.WaitGroup
+
+	state    agentState
+	pos      int
+	entry    int
+	movePort int
+	waitLeft uint64
+	moves    uint64
+}
+
+func newRunner(g *graph.Graph, prog agent.Program, start int) *runner {
+	r := &runner{
+		g:     g,
+		req:   make(chan request),
+		grant: make(chan grantMsg),
+		stop:  make(chan struct{}),
+		pos:   start,
+		entry: -1,
+	}
+	w := &world{r: r, deg: g.Degree(start), entry: -1}
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		defer func() {
+			if rec := recover(); rec != nil {
+				if _, ok := rec.(stopSentinel); ok {
+					return
+				}
+				select {
+				case r.req <- request{kind: reqPanic, val: rec}:
+				case <-r.stop:
+				}
+				return
+			}
+			select {
+			case r.req <- request{kind: reqDone}:
+			case <-r.stop:
+			}
+		}()
+		prog(w)
+	}()
+	return r
+}
+
+// fetch pulls the agent's next action if the scheduler needs one.
+func (r *runner) fetch() {
+	if r.state != stNeedReq {
+		return
+	}
+	rq := <-r.req
+	switch rq.kind {
+	case reqMove:
+		r.state = stMovePending
+		r.movePort = rq.port
+	case reqWait:
+		r.state = stWaiting
+		r.waitLeft = rq.rounds
+	case reqDone:
+		r.state = stDone
+	case reqPanic:
+		panic(rq.val)
+	}
+}
+
+// maxSkip returns how many rounds this agent can absorb without any state
+// change the scheduler would need to observe.
+func (r *runner) maxSkip() uint64 {
+	switch r.state {
+	case stMovePending:
+		return 1
+	case stWaiting:
+		return r.waitLeft
+	case stDone:
+		return ^uint64(0)
+	}
+	return 1
+}
+
+// advance applies k rounds of this agent's pending action. k must respect
+// maxSkip.
+func (r *runner) advance(k uint64) {
+	switch r.state {
+	case stMovePending:
+		to, ep := r.g.Succ(r.pos, r.movePort)
+		r.pos, r.entry = to, ep
+		r.moves++
+		r.grant <- grantMsg{degree: r.g.Degree(to), entry: ep}
+		r.state = stNeedReq
+	case stWaiting:
+		r.waitLeft -= k
+		if r.waitLeft == 0 {
+			r.grant <- grantMsg{}
+			r.state = stNeedReq
+		}
+	case stDone:
+		// nothing to do
+	}
+}
+
+func (r *runner) shutdown() {
+	close(r.stop)
+	r.wg.Wait()
+}
+
+// world implements agent.World on top of a runner's channels. It lives in
+// the agent goroutine; deg/entry/clock mirror the agent's own knowledge.
+type world struct {
+	r     *runner
+	deg   int
+	entry int
+	clock uint64
+}
+
+func (w *world) Degree() int    { return w.deg }
+func (w *world) EntryPort() int { return w.entry }
+func (w *world) Clock() uint64  { return w.clock }
+
+func (w *world) Move(port int) int {
+	if port < 0 || port >= w.deg {
+		panic(agent.ErrBadPort{Port: port, Degree: w.deg})
+	}
+	w.send(request{kind: reqMove, port: port})
+	g := w.recv()
+	w.deg, w.entry = g.degree, g.entry
+	w.clock++
+	return w.entry
+}
+
+func (w *world) Wait(rounds uint64) {
+	if rounds == 0 {
+		return
+	}
+	w.send(request{kind: reqWait, rounds: rounds})
+	w.recv()
+	w.clock += rounds
+}
+
+func (w *world) send(rq request) {
+	select {
+	case w.r.req <- rq:
+	case <-w.r.stop:
+		panic(stopSentinel{})
+	}
+}
+
+func (w *world) recv() grantMsg {
+	select {
+	case g := <-w.r.grant:
+		return g
+	case <-w.r.stop:
+		panic(stopSentinel{})
+	}
+}

@@ -1,0 +1,49 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ParallelMap applies f to every item using a bounded worker pool and
+// returns the results in input order. Individual simulator runs are
+// single-threaded and deterministic, so parameter sweeps (the experiment
+// harness runs thousands of STICs) parallelize across runs, not within
+// them; results are position-stable regardless of scheduling.
+//
+// workers <= 0 selects GOMAXPROCS.
+func ParallelMap[T, R any](items []T, workers int, f func(T) R) []R {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	out := make([]R, len(items))
+	if len(items) == 0 {
+		return out
+	}
+	if workers <= 1 {
+		for i, it := range items {
+			out[i] = f(it)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = f(items[i])
+			}
+		}()
+	}
+	for i := range items {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}

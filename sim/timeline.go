@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/agent"
+	"repro/graph"
+)
+
+// Timeline records the first maxRounds rounds of a two-agent run and
+// renders them as an ASCII chart — one column per round, one row per
+// agent, '·' before the later agent appears and '*' on meeting rounds.
+// It exists for documentation, examples and debugging; it disables the
+// scheduler's fast-forwarding, so keep maxRounds small.
+type Timeline struct {
+	Rounds []TimelinePoint
+	Result Result
+}
+
+// TimelinePoint is one recorded round.
+type TimelinePoint struct {
+	Round uint64
+	PosA  int
+	PosB  int // -1 before the later agent appears
+}
+
+// CaptureTimeline runs prog for both agents and records up to maxRounds
+// rounds (the run itself also stops at maxRounds).
+func CaptureTimeline(g *graph.Graph, prog agent.Program, u, v int, delay uint64, maxRounds uint64) *Timeline {
+	tl := &Timeline{}
+	cfg := Config{
+		Budget: maxRounds,
+		Observer: func(round uint64, posA, posB int) {
+			tl.Rounds = append(tl.Rounds, TimelinePoint{Round: round, PosA: posA, PosB: posB})
+		},
+	}
+	tl.Result = Run(g, prog, u, v, delay, cfg)
+	return tl
+}
+
+// String renders the chart.
+func (tl *Timeline) String() string {
+	if len(tl.Rounds) == 0 {
+		return "(empty timeline)\n"
+	}
+	width := 0
+	cell := func(pos int) string {
+		if pos < 0 {
+			return "·"
+		}
+		return fmt.Sprint(pos)
+	}
+	for _, p := range tl.Rounds {
+		if w := len(cell(p.PosA)); w > width {
+			width = w
+		}
+		if w := len(cell(p.PosB)); w > width {
+			width = w
+		}
+	}
+	var rowA, rowB, marks strings.Builder
+	for _, p := range tl.Rounds {
+		fmt.Fprintf(&rowA, " %*s", width, cell(p.PosA))
+		fmt.Fprintf(&rowB, " %*s", width, cell(p.PosB))
+		mark := " "
+		if p.PosB >= 0 && p.PosA == p.PosB {
+			mark = "*"
+		}
+		fmt.Fprintf(&marks, " %*s", width, mark)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "round:")
+	for _, p := range tl.Rounds {
+		fmt.Fprintf(&b, " %*d", width, p.Round)
+	}
+	fmt.Fprintf(&b, "\nA:    %s\nB:    %s\nmeet: %s\n", rowA.String(), rowB.String(), marks.String())
+	if tl.Result.Outcome == Met {
+		fmt.Fprintf(&b, "rendezvous at node %d, round %d\n", tl.Result.MeetingNode, tl.Result.MeetingRound)
+	}
+	return b.String()
+}

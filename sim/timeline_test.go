@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/agent"
+	"repro/graph"
+)
+
+func TestTimelineTwoNodeDelayThree(t *testing.T) {
+	g := graph.TwoNode()
+	tl := CaptureTimeline(g, agent.MoveEveryRound, 0, 1, 3, 10)
+	if tl.Result.Outcome != Met {
+		t.Fatalf("outcome %v", tl.Result.Outcome)
+	}
+	if len(tl.Rounds) == 0 {
+		t.Fatal("no rounds recorded")
+	}
+	// B is absent for rounds 0..2.
+	for _, p := range tl.Rounds {
+		if p.Round < 3 && p.PosB != -1 {
+			t.Fatalf("B present early at round %d", p.Round)
+		}
+	}
+	s := tl.String()
+	for _, want := range []string{"round:", "A:", "B:", "rendezvous at node"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("timeline rendering missing %q:\n%s", want, s)
+		}
+	}
+	if !strings.Contains(s, "*") {
+		t.Fatalf("no meeting mark:\n%s", s)
+	}
+	if !strings.Contains(s, "·") {
+		t.Fatalf("no absence mark:\n%s", s)
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	tl := &Timeline{}
+	if !strings.Contains(tl.String(), "empty") {
+		t.Fatal("empty timeline rendering")
+	}
+}
+
+func TestTimelineRecordsAllRounds(t *testing.T) {
+	g := graph.Cycle(4)
+	tl := CaptureTimeline(g, agent.MoveEveryRound, 0, 1, 0, 5)
+	if len(tl.Rounds) != 6 { // rounds 0..5 inclusive (budget check after observe)
+		t.Fatalf("recorded %d rounds", len(tl.Rounds))
+	}
+	for i, p := range tl.Rounds {
+		if p.Round != uint64(i) {
+			t.Fatalf("round %d recorded as %d", i, p.Round)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+// Package uxs implements Universal Exploration Sequences (UXS) as used in
+// Section 2 of the paper: a sequence Y(n) = (a1..aM) of integers whose
+// application from any node of any graph of size n visits all nodes. The
+// application rule is relative to the entry port: from node u_i entered by
+// port p, the walk leaves by port (p + a_i) mod d(u_i); the first step
+// leaves the start node by port 0.
+//
+// Substitution S1 (see DESIGN.md): the paper relies on the existence of
+// polynomial-length UXS via Reingold's derandomized connectivity. We
+// generate a deterministic pseudorandom sequence instead and *verify* the
+// covering property per graph: Covers is the checker, and the test suite
+// and experiment harness verify every graph family and size they use. This
+// preserves the only property the rendezvous algorithms consume.
+package uxs
+
+import (
+	"repro/graph"
+	"repro/internal/rng"
+)
+
+// Sequence is a universal exploration sequence candidate.
+type Sequence []int
+
+// Length returns the paper's M, the number of terms.
+func (s Sequence) Length() int { return len(s) }
+
+// DefaultLength is the generated length for graphs of size n:
+// 3 * n^2 * (bitlen(n)+1). Random-walk cover times of the bounded-degree
+// families used by the experiments are O(n^2 log n) or better, and the
+// verifier (Covers) keeps the choice honest: every family and size the
+// experiments use is checked in the uxs test suite. The constant is kept
+// tight because the UXS length multiplies the running time of every
+// algorithm in package rendezvous.
+func DefaultLength(n int) int {
+	if n < 2 {
+		return 1
+	}
+	bits := 0
+	for x := n; x > 0; x >>= 1 {
+		bits++
+	}
+	return 3 * n * n * (bits + 1)
+}
+
+// Generate returns the deterministic UXS candidate Y(n) for graphs of size
+// n. Both agents of a rendezvous instance compute the same sequence from n
+// alone, as the paper requires. Terms lie in [0, n).
+func Generate(n int) Sequence {
+	return GenerateLength(n, DefaultLength(n))
+}
+
+// GenerateLength returns the deterministic candidate of an explicit length.
+// Sequences of different lengths agree on their common prefix, so extending
+// a sequence refines rather than replaces the walk.
+func GenerateLength(n, length int) Sequence {
+	r := rng.New(0xC0FFEE ^ uint64(n)*0x9E3779B97F4A7C15)
+	s := make(Sequence, length)
+	for i := range s {
+		s[i] = r.Intn(n)
+	}
+	return s
+}
+
+// Apply returns the application R(u) = (u0, u1, ..., uM+1) of the sequence
+// at node u of g: u0 = u, u1 = succ(u0, 0), and each subsequent step leaves
+// by (entry + a_i) mod degree.
+func Apply(g *graph.Graph, u int, s Sequence) []int {
+	nodes := make([]int, 0, len(s)+2)
+	nodes = append(nodes, u)
+	cur, entry := g.Succ(u, 0)
+	nodes = append(nodes, cur)
+	for _, a := range s {
+		p := (entry + a) % g.Degree(cur)
+		cur, entry = g.Succ(cur, p)
+		nodes = append(nodes, cur)
+	}
+	return nodes
+}
+
+// ApplyPorts returns, for the application at u, the sequence of outgoing
+// ports taken and the sequence of entry ports perceived — what an agent
+// physically executing the walk sends and observes. len == len(s)+1.
+func ApplyPorts(g *graph.Graph, u int, s Sequence) (out, in []int) {
+	out = make([]int, 0, len(s)+1)
+	in = make([]int, 0, len(s)+1)
+	out = append(out, 0)
+	cur, entry := g.Succ(u, 0)
+	in = append(in, entry)
+	for _, a := range s {
+		p := (entry + a) % g.Degree(cur)
+		out = append(out, p)
+		cur, entry = g.Succ(cur, p)
+		in = append(in, entry)
+	}
+	return out, in
+}
+
+// CoversFrom reports whether the application of s at u visits every node.
+func CoversFrom(g *graph.Graph, u int, s Sequence) bool {
+	seen := make([]bool, g.N())
+	count := 0
+	for _, v := range Apply(g, u, s) {
+		if !seen[v] {
+			seen[v] = true
+			count++
+			if count == g.N() {
+				return true
+			}
+		}
+	}
+	return count == g.N()
+}
+
+// Covers reports whether s is a UXS for the concrete graph g: its
+// application from every node visits all nodes.
+func Covers(g *graph.Graph, s Sequence) bool {
+	for u := 0; u < g.N(); u++ {
+		if !CoversFrom(g, u, s) {
+			return false
+		}
+	}
+	return true
+}
+
+// Verify checks that the default generated sequence for size g.N() covers
+// g, returning the sequence. Experiment harnesses call this before relying
+// on Generate so that substitution S1 stays honest; it returns ok=false
+// rather than silently proceeding when coverage fails.
+func Verify(g *graph.Graph) (Sequence, bool) {
+	s := Generate(g.N())
+	return s, Covers(g, s)
+}

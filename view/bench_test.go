@@ -1,0 +1,56 @@
+package view
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/graph"
+)
+
+func BenchmarkClasses(b *testing.B) {
+	for _, n := range []int{8, 32, 128} {
+		b.Run(fmt.Sprintf("ring-%d", n), func(b *testing.B) {
+			g := graph.Cycle(n)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				Classes(g)
+			}
+		})
+	}
+	b.Run("qhat-4", func(b *testing.B) {
+		g, _ := graph.Qhat(4)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Classes(g)
+		}
+	})
+}
+
+func BenchmarkTruncated(b *testing.B) {
+	g := graph.OrientedTorus(4, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Truncated(g, i%g.N(), 4)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	g := graph.OrientedTorus(4, 4)
+	v := Truncated(g, 0, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Encode(v)
+	}
+}
+
+func BenchmarkEqualToDepth(b *testing.B) {
+	g, _ := graph.Qhat(3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !EqualToDepth(g, 0, 1, g.N()-1) {
+			b.Fatal("qhat nodes should be symmetric")
+		}
+	}
+}

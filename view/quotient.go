@@ -1,0 +1,122 @@
+package view
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/graph"
+)
+
+// Quotient is the minimum base of a port-labeled graph (Yamashita &
+// Kameda): one state per view-equivalence class, with deterministic port
+// transitions. Two nodes have equal views iff they map to the same
+// quotient state, and any walk in the graph projects to a walk in the
+// quotient. The quotient is generally a multigraph with self-loops, so it
+// is represented as a port automaton rather than a graph.Graph.
+type Quotient struct {
+	// Class[v] is the quotient state of node v.
+	Class []int
+	// Degree[c] is the (common) degree of the nodes in class c.
+	Degree []int
+	// Next[c][p] is the class reached from class c through port p.
+	Next [][]int
+	// EntryPort[c][p] is the (common) port by which that edge is entered.
+	EntryPort [][]int
+	// Size[c] is the number of graph nodes in class c (fiber size).
+	Size []int
+}
+
+// NewQuotient computes the quotient of g from its view classes.
+func NewQuotient(g *graph.Graph) *Quotient {
+	class := Classes(g)
+	k := 0
+	for _, c := range class {
+		if c+1 > k {
+			k = c + 1
+		}
+	}
+	q := &Quotient{
+		Class:     class,
+		Degree:    make([]int, k),
+		Next:      make([][]int, k),
+		EntryPort: make([][]int, k),
+		Size:      make([]int, k),
+	}
+	seen := make([]bool, k)
+	for v := 0; v < g.N(); v++ {
+		c := class[v]
+		q.Size[c]++
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		d := g.Degree(v)
+		q.Degree[c] = d
+		q.Next[c] = make([]int, d)
+		q.EntryPort[c] = make([]int, d)
+		for p := 0; p < d; p++ {
+			to, ep := g.Succ(v, p)
+			q.Next[c][p] = class[to]
+			q.EntryPort[c][p] = ep
+		}
+	}
+	return q
+}
+
+// States returns the number of quotient states (distinct views).
+func (q *Quotient) States() int { return len(q.Degree) }
+
+// Walk projects a port sequence from a class and returns the final class.
+func (q *Quotient) Walk(from int, ports []int) (int, error) {
+	cur := from
+	for i, p := range ports {
+		if p < 0 || p >= q.Degree[cur] {
+			return 0, fmt.Errorf("view: quotient walk step %d: port %d out of range (degree %d)", i, p, q.Degree[cur])
+		}
+		cur = q.Next[cur][p]
+	}
+	return cur, nil
+}
+
+// Consistent checks the defining property against the graph: every node's
+// transitions agree with its class's transitions. It is used by tests and
+// costs one pass over the edges.
+func (q *Quotient) Consistent(g *graph.Graph) error {
+	for v := 0; v < g.N(); v++ {
+		c := q.Class[v]
+		if g.Degree(v) != q.Degree[c] {
+			return fmt.Errorf("view: node %d degree %d != class degree %d", v, g.Degree(v), q.Degree[c])
+		}
+		for p := 0; p < g.Degree(v); p++ {
+			to, ep := g.Succ(v, p)
+			if q.Class[to] != q.Next[c][p] {
+				return fmt.Errorf("view: node %d port %d: class %d != %d", v, p, q.Class[to], q.Next[c][p])
+			}
+			if ep != q.EntryPort[c][p] {
+				return fmt.Errorf("view: node %d port %d: entry %d != %d", v, p, ep, q.EntryPort[c][p])
+			}
+		}
+	}
+	total := 0
+	for _, s := range q.Size {
+		total += s
+	}
+	if total != g.N() {
+		return fmt.Errorf("view: fiber sizes sum to %d, want %d", total, g.N())
+	}
+	return nil
+}
+
+// String renders the automaton compactly, one class per line.
+func (q *Quotient) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "quotient with %d state(s)\n", q.States())
+	for c := 0; c < q.States(); c++ {
+		fmt.Fprintf(&b, "  class %d (deg %d, fiber %d):", c, q.Degree[c], q.Size[c])
+		for p := 0; p < q.Degree[c]; p++ {
+			fmt.Fprintf(&b, " %d->%d/%d", p, q.Next[c][p], q.EntryPort[c][p])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,230 @@
+// Package view implements the views of Yamashita & Kameda used throughout
+// the paper's preliminaries: the view V(v,G) from a node v is the infinite
+// tree of all paths starting at v, coded as sequences of port numbers.
+//
+// Two nodes are symmetric when their views are equal. By Norris' theorem,
+// views of two nodes of an n-node graph are equal iff they are equal when
+// truncated to depth n-1, so symmetry is decidable; the package decides it
+// in polynomial time with port-aware partition refinement and also provides
+// explicit truncated view trees with a canonical encoding (shared by the
+// simulated agents in package rendezvous, which build the same trees by
+// physically exploring).
+package view
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/graph"
+)
+
+// Node is one vertex of a truncated view tree. The root has EntryPort -1;
+// every other node records the port by which the path enters it (what an
+// agent walking the path would perceive). Kids[p] is the subtree reached by
+// taking outgoing port p, or nil beyond the truncation depth.
+type Node struct {
+	Deg       int
+	EntryPort int
+	Kids      []*Node
+}
+
+// Truncated returns the view from v truncated to the given depth
+// (depth 0 = just the root's degree).
+func Truncated(g *graph.Graph, v, depth int) *Node {
+	var rec func(node, entry, d int) *Node
+	rec = func(node, entry, d int) *Node {
+		nd := &Node{Deg: g.Degree(node), EntryPort: entry}
+		if d == 0 {
+			return nd
+		}
+		nd.Kids = make([]*Node, nd.Deg)
+		for p := 0; p < nd.Deg; p++ {
+			to, ep := g.Succ(node, p)
+			nd.Kids[p] = rec(to, ep, d-1)
+		}
+		return nd
+	}
+	return rec(v, -1, depth)
+}
+
+// Encode renders a canonical, self-delimiting byte encoding of a view tree:
+// equal trees encode equally and different trees differ at some byte within
+// both encodings' common prefix range (the encoding is prefix-free among
+// trees of the same truncation depth). Format:
+//
+//	node := '(' deg ',' entry { kid } ')'
+//
+// with decimal numbers; a nil kid (truncation frontier) encodes as '*'.
+func Encode(n *Node) []byte {
+	var b strings.Builder
+	var rec func(*Node)
+	rec = func(nd *Node) {
+		if nd == nil {
+			b.WriteByte('*')
+			return
+		}
+		fmt.Fprintf(&b, "(%d,%d", nd.Deg, nd.EntryPort)
+		for _, k := range nd.Kids {
+			rec(k)
+		}
+		b.WriteByte(')')
+	}
+	rec(n)
+	return []byte(b.String())
+}
+
+// Equal reports whether two view trees are identical.
+func Equal(a, b *Node) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Deg != b.Deg || a.EntryPort != b.EntryPort || len(a.Kids) != len(b.Kids) {
+		return false
+	}
+	for i := range a.Kids {
+		if !Equal(a.Kids[i], b.Kids[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualToDepth reports whether the views from u and v agree when truncated
+// to the given depth. It runs in O(n^2 * depth) time via memoized pairwise
+// comparison rather than materializing the (exponential) trees.
+func EqualToDepth(g *graph.Graph, u, v, depth int) bool {
+	type key struct{ a, b, d int }
+	memo := make(map[key]bool)
+	var rec func(a, b, d int) bool
+	rec = func(a, b, d int) bool {
+		if g.Degree(a) != g.Degree(b) {
+			return false
+		}
+		if a == b || d == 0 {
+			return true
+		}
+		k := key{a, b, d}
+		if r, ok := memo[k]; ok {
+			return r
+		}
+		res := true
+		for p := 0; p < g.Degree(a); p++ {
+			ta, ea := g.Succ(a, p)
+			tb, eb := g.Succ(b, p)
+			if ea != eb || !rec(ta, tb, d-1) {
+				res = false
+				break
+			}
+		}
+		memo[k] = res
+		return res
+	}
+	return rec(u, v, depth)
+}
+
+// Classes returns the view-equivalence classes of all nodes: class[u] ==
+// class[v] iff V(u,G) = V(v,G). Classes are numbered 0..k-1 in a canonical
+// order (lexicographic by the final refinement signature), so the result is
+// deterministic. The computation is port-aware partition refinement run to
+// stabilization, which coincides with view equivalence by Norris' theorem.
+func Classes(g *graph.Graph) []int {
+	n := g.N()
+	color := make([]int, n)
+	// Round 0: color by degree.
+	next := assignCanonical(colorsByKey(func(v int) string {
+		return fmt.Sprintf("d%d", g.Degree(v))
+	}, n))
+	copy(color, next)
+	for round := 0; round < n; round++ {
+		sig := func(v int) string {
+			var b strings.Builder
+			fmt.Fprintf(&b, "%d", color[v])
+			for p := 0; p < g.Degree(v); p++ {
+				to, ep := g.Succ(v, p)
+				fmt.Fprintf(&b, "|%d:%d", ep, color[to])
+			}
+			return b.String()
+		}
+		next = assignCanonical(colorsByKey(sig, n))
+		if sameClasses(color, next) {
+			return next
+		}
+		copy(color, next)
+	}
+	return color
+}
+
+// colorsByKey groups nodes by a string key; returns the per-node keys.
+func colorsByKey(key func(int) string, n int) []string {
+	keys := make([]string, n)
+	for v := 0; v < n; v++ {
+		keys[v] = key(v)
+	}
+	return keys
+}
+
+// assignCanonical maps per-node string keys to class ids numbered by the
+// lexicographic order of the distinct keys.
+func assignCanonical(keys []string) []int {
+	uniq := append([]string(nil), keys...)
+	sort.Strings(uniq)
+	id := make(map[string]int, len(uniq))
+	for _, k := range uniq {
+		if _, ok := id[k]; !ok {
+			id[k] = len(id)
+		}
+	}
+	out := make([]int, len(keys))
+	for v, k := range keys {
+		out[v] = id[k]
+	}
+	return out
+}
+
+// sameClasses reports whether two colorings induce the same partition.
+func sameClasses(a, b []int) bool {
+	fwd := map[int]int{}
+	bwd := map[int]int{}
+	for i := range a {
+		if x, ok := fwd[a[i]]; ok && x != b[i] {
+			return false
+		}
+		if x, ok := bwd[b[i]]; ok && x != a[i] {
+			return false
+		}
+		fwd[a[i]] = b[i]
+		bwd[b[i]] = a[i]
+	}
+	return true
+}
+
+// Symmetric reports whether nodes u and v have equal views.
+func Symmetric(g *graph.Graph, u, v int) bool {
+	c := Classes(g)
+	return c[u] == c[v]
+}
+
+// AllSymmetric reports whether every pair of nodes is symmetric (a single
+// view class), as the paper asserts for Q̂h and for oriented tori and rings.
+func AllSymmetric(g *graph.Graph) bool {
+	c := Classes(g)
+	for _, x := range c {
+		if x != c[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// ClassCount returns the number of distinct views in the graph.
+func ClassCount(g *graph.Graph) int {
+	c := Classes(g)
+	max := -1
+	for _, x := range c {
+		if x > max {
+			max = x
+		}
+	}
+	return max + 1
+}
