@@ -10,6 +10,27 @@
 // Programs are written as ordinary Go code against the blocking World
 // interface and executed as goroutines by the simulator; the style matches
 // the paper's imperative pseudocode (Algorithms 1-3) directly.
+//
+// # Batched move scripts
+//
+// Per-round interaction with the simulator costs two channel handshakes
+// and a goroutine wakeup. Portions of a program whose next actions do not
+// depend on intervening percepts — UXS applications, backtracks along
+// recorded entry ports, fixed path enumerations — can instead be submitted
+// as one batched script via World.MoveSeq: the scheduler then steps the
+// script one action per round itself (preserving exact per-round meeting
+// detection) and wakes the program only once, when the whole script has
+// run. Script actions are plain ints (see ScriptWait, Rel and ActionPort
+// for the encoding); RunScript is the unbatched reference executor that
+// defines MoveSeq's semantics action by action.
+//
+// The duration of a script is always exactly len(actions) rounds — one
+// round per action, moves and waits alike. Procedures that rely on
+// duration padding (package rendezvous; every procedure must take an
+// input-independent number of rounds, or UniversalRV's phase synchrony
+// breaks) can therefore batch freely: batching changes only how the rounds
+// are driven, never how many rounds elapse or where the agent is at each
+// of them.
 package agent
 
 import "fmt"
@@ -33,6 +54,21 @@ type World interface {
 	// Wait stays at the current node for the given number of rounds.
 	// Wait(0) is a no-op that consumes no rounds.
 	Wait(rounds uint64)
+
+	// MoveSeq performs a batched script of actions, one per round, and
+	// returns the entry-port percept after each action (unchanged by
+	// waits); len(entries) == len(actions). Each action is ScriptWait, an
+	// absolute outgoing port applied modulo the current degree (the
+	// convention of Script), or an entry-relative move encoded by Rel —
+	// exactly the semantics of RunScript, which implementations without a
+	// native batched path may delegate to. MoveSeq(nil) is a no-op that
+	// consumes no rounds and returns nil.
+	//
+	// The returned slice is owned by the World and valid only until the
+	// program's next action (Move, Wait or MoveSeq); callers that need it
+	// longer must copy it. Implementations reuse one buffer per agent so
+	// that scripted hot loops stay allocation-free.
+	MoveSeq(actions []int) (entries []int)
 
 	// Clock returns the number of rounds elapsed since this agent
 	// appeared at its initial node (the paper's synchronized local clock).
@@ -65,20 +101,82 @@ const (
 	ScriptWait = -1
 )
 
-// Script returns an oblivious program that performs the fixed action list:
-// each entry is either ScriptWait or an outgoing port number, applied
-// modulo the current degree (so scripts written for regular graphs remain
-// runnable anywhere). After the script is exhausted the agent waits
-// forever.
+// Rel encodes an entry-relative script move: the agent leaves through port
+// (entry + offset) mod degree, where entry is the port by which it entered
+// its current node (taken as 0 if it has never moved). This is exactly the
+// application rule of universal exploration sequences (package uxs), so a
+// whole UXS application batches into one MoveSeq call. offset must be
+// non-negative.
+func Rel(offset int) int { return -2 - offset }
+
+// ActionPort resolves one script action against the agent's current
+// percepts. It returns wait=true for ScriptWait; otherwise the outgoing
+// port: absolute actions (>= 0) are applied modulo degree, Rel-encoded
+// actions relative to entry (with entry < 0 treated as 0). Every int is a
+// valid action; degree must be positive (guaranteed on connected graphs
+// of size >= 2).
+func ActionPort(action, entry, degree int) (port int, wait bool) {
+	if action == ScriptWait {
+		return 0, true
+	}
+	if action >= 0 {
+		return action % degree, false
+	}
+	if entry < 0 {
+		entry = 0
+	}
+	return (entry + (-2 - action)) % degree, false
+}
+
+// RunScript executes a script one action at a time against w — the
+// unbatched reference semantics of World.MoveSeq. World implementations
+// without a native batched path delegate to it, and the engine-equivalence
+// tests use it (via Unbatched) to check that batched execution is
+// behavior-identical.
+func RunScript(w World, actions []int) []int {
+	if len(actions) == 0 {
+		return nil
+	}
+	entries := make([]int, len(actions))
+	entry := w.EntryPort()
+	for i, a := range actions {
+		if p, wait := ActionPort(a, entry, w.Degree()); wait {
+			w.Wait(1)
+		} else {
+			entry = w.Move(p)
+		}
+		entries[i] = entry
+	}
+	return entries
+}
+
+// Unbatched returns a program identical to prog except that every MoveSeq
+// call is executed action by action through Move and Wait. It pins down
+// MoveSeq's semantics: for any program and any STIC, the batched and
+// unbatched runs must produce byte-identical results.
+func Unbatched(prog Program) Program {
+	return func(w World) {
+		prog(unbatchedWorld{w})
+	}
+}
+
+// unbatchedWorld forwards everything but degrades MoveSeq to RunScript.
+type unbatchedWorld struct {
+	World
+}
+
+func (u unbatchedWorld) MoveSeq(actions []int) []int { return RunScript(u.World, actions) }
+
+// Script returns an oblivious program that performs the fixed action list,
+// submitted as one batched MoveSeq script. Each entry uses the script
+// action alphabet: ScriptWait, an outgoing port number applied modulo the
+// current degree (so scripts written for regular graphs remain runnable
+// anywhere), or a Rel-encoded entry-relative move — any other negative
+// value decodes as some Rel offset, so validate hand-built scripts before
+// passing them in. After the script is exhausted the agent waits forever.
 func Script(actions []int) Program {
 	return func(w World) {
-		for _, a := range actions {
-			if a == ScriptWait {
-				w.Wait(1)
-				continue
-			}
-			w.Move(a % w.Degree())
-		}
+		w.MoveSeq(actions)
 	}
 }
 

@@ -97,6 +97,10 @@ func (w *tracingWorld) Move(port int) int {
 	return entry
 }
 
+// MoveSeq degrades to per-action execution so that every scripted move and
+// wait lands in the trace individually (waits still coalesce via Wait).
+func (w *tracingWorld) MoveSeq(actions []int) []int { return RunScript(w, actions) }
+
 func (w *tracingWorld) Wait(rounds uint64) {
 	if rounds == 0 {
 		return

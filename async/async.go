@@ -95,6 +95,10 @@ func (x *extractor) Wait(rounds uint64) {
 	}
 }
 
+// MoveSeq degrades to per-action execution: each scripted move or wait is
+// one recorded action, exactly as if the program had issued it unbatched.
+func (x *extractor) MoveSeq(actions []int) []int { return agent.RunScript(x, actions) }
+
 func (x *extractor) record(a Action) {
 	x.actions = append(x.actions, a)
 	if len(x.actions) >= x.max {

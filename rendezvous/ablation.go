@@ -39,36 +39,15 @@ func unpaddedSymmRV(w agent.World, n, d, delta uint64) {
 		entries = append(entries, entry)
 		unpaddedExplore(w, d, delta)
 	}
-	for i := len(entries) - 1; i >= 0; i-- {
-		w.Move(entries[i])
+	for i, j := 0, len(entries)-1; i < j; i, j = i+1, j-1 {
+		entries[i], entries[j] = entries[j], entries[i]
 	}
+	w.MoveSeq(entries)
 }
 
 // unpaddedExplore is Algorithm 2 verbatim: all existing paths of length d
 // in lexicographic order, each with backtracking and a δ-d wait — and
-// nothing else.
+// nothing else (no top-up to the PathBudget iteration count).
 func unpaddedExplore(w agent.World, d, delta uint64) {
-	dd := int(d)
-	seq := make([]int, dd)
-	degs := make([]int, dd)
-	entries := make([]int, dd)
-	for {
-		for i := 0; i < dd; i++ {
-			degs[i] = w.Degree()
-			entries[i] = w.Move(seq[i])
-		}
-		for i := dd - 1; i >= 0; i-- {
-			w.Move(entries[i])
-		}
-		w.Wait(delta - d)
-		j := dd - 1
-		for j >= 0 && seq[j]+1 >= degs[j] {
-			seq[j] = 0
-			j--
-		}
-		if j < 0 {
-			return
-		}
-		seq[j]++
-	}
+	exploreEnumerate(w, d, delta, ^uint64(0))
 }

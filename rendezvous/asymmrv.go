@@ -55,10 +55,10 @@ func asymmRV(w agent.World, n, delta uint64) {
 
 	// Phase 2: label block schedule.
 	enc := view.Encode(tree)
-	y := uxs.Generate(int(n))
+	walk := newUXSWalk(uxs.Generate(int(n)))
 	repeats := ActiveRepeats(n, delta)
 	slotLen := satMul(repeats, UXSRoundTrip(n))
-	playSchedule(w, enc, EncodingBitBudget(n), repeats, slotLen, y)
+	playSchedule(w, enc, EncodingBitBudget(n), repeats, slotLen, walk)
 }
 
 // viewWalk physically explores every path of length <= depth from the
@@ -92,19 +92,33 @@ func viewWalk(w agent.World, depth int, maxRounds uint64) *view.Node {
 	return rec(-1, depth)
 }
 
-// uxsRoundTrip performs one application of the UXS from the current node
+// uxsWalk holds the precomputed batched script of one UXS application —
+// port 0 out of the start node, then every term entry-relative (the UXS
+// application rule, which agent.Rel encodes verbatim) — plus a reusable
+// buffer for the reverse path. One value is built per program invocation,
+// never shared across agents: the rev buffer is mutable state.
+type uxsWalk struct {
+	fwd []int
+	rev []int
+}
+
+func newUXSWalk(y uxs.Sequence) *uxsWalk {
+	fwd := make([]int, len(y)+1)
+	fwd[0] = 0
+	for i, a := range y {
+		fwd[i+1] = agent.Rel(a)
+	}
+	return &uxsWalk{fwd: fwd, rev: make([]int, len(y)+1)}
+}
+
+// roundTrip performs one application of the UXS from the current node
 // (M+1 moves) followed by backtracking home along the reverse path,
-// consuming exactly UXSRoundTrip(n) = 2*(M+1) rounds.
-func uxsRoundTrip(w agent.World, y uxs.Sequence) {
-	entries := make([]int, 1, len(y)+1)
-	entry := w.Move(0)
-	entries[0] = entry
-	for _, a := range y {
-		p := (entry + a) % w.Degree()
-		entry = w.Move(p)
-		entries = append(entries, entry)
+// consuming exactly UXSRoundTrip(n) = 2*(M+1) rounds — as two batched
+// scripts: the forward application and the reversed entry-port path.
+func (u *uxsWalk) roundTrip(w agent.World) {
+	entries := w.MoveSeq(u.fwd)
+	for i, j := 0, len(entries)-1; j >= 0; i, j = i+1, j-1 {
+		u.rev[i] = entries[j]
 	}
-	for i := len(entries) - 1; i >= 0; i-- {
-		w.Move(entries[i])
-	}
+	w.MoveSeq(u.rev)
 }

@@ -52,8 +52,9 @@ func NewLazyRandomWalk(seed uint64) agent.Program {
 func WaitForMommy(n uint64) (leader, nonLeader agent.Program) {
 	y := uxs.Generate(int(n))
 	leader = func(w agent.World) {
+		walk := newUXSWalk(y)
 		for {
-			uxsRoundTrip(w, y)
+			walk.roundTrip(w)
 		}
 	}
 	return leader, agent.Sit
@@ -84,10 +85,11 @@ func NewDoublingRV(n, label uint64) (agent.Program, error) {
 	}
 	y := uxs.Generate(int(n))
 	return func(w agent.World) {
+		walk := newUXSWalk(y)
 		trt := UXSRoundTrip(n)
 		for {
 			for i := uint64(0); i < runLen; i++ {
-				uxsRoundTrip(w, y)
+				walk.roundTrip(w)
 			}
 			w.Wait(satMul(runLen, trt))
 		}

@@ -81,7 +81,7 @@ func NewAsymmRVID(n, delta uint64) (agent.Program, error) {
 }
 
 func asymmRVID(w agent.World, n, delta uint64) {
-	y := uxs.Generate(int(n))
+	walk := newUXSWalk(uxs.Generate(int(n)))
 	repeats := ActiveRepeats(n, delta)
 	slotLen := satMul(repeats, UXSRoundTrip(n))
 	for d := uint64(1); d <= n-1; d++ {
@@ -95,7 +95,7 @@ func asymmRVID(w agent.World, n, delta uint64) {
 		// Depth-D label schedule.
 		enc := view.Encode(tree)
 		slots := EncodingBitBudgetDepth(n, d)
-		playSchedule(w, enc, slots, repeats, slotLen, y)
+		playSchedule(w, enc, slots, repeats, slotLen, walk)
 	}
 }
 
@@ -103,7 +103,7 @@ func asymmRVID(w agent.World, n, delta uint64) {
 // and asymmRVID: slot k is active (repeats UXS round trips) iff bit k of
 // enc is 1; passive slots (and the padding beyond the label) are merged
 // waits. Exactly slots*slotLen rounds.
-func playSchedule(w agent.World, enc []byte, slots, repeats, slotLen uint64, y uxs.Sequence) {
+func playSchedule(w agent.World, enc []byte, slots, repeats, slotLen uint64, walk *uxsWalk) {
 	encBits := uint64(len(enc)) * 8
 	pendingPassive := uint64(0)
 	for k := uint64(0); k < slots; k++ {
@@ -121,7 +121,7 @@ func playSchedule(w agent.World, enc []byte, slots, repeats, slotLen uint64, y u
 			pendingPassive = 0
 		}
 		for r := uint64(0); r < repeats; r++ {
-			uxsRoundTrip(w, y)
+			walk.roundTrip(w)
 		}
 	}
 	if pendingPassive > 0 {

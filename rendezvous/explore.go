@@ -20,31 +20,64 @@ func explore(w agent.World, n, d, delta uint64) {
 	budget := PathBudget(n, d)
 	perIteration := satAdd(d, delta)
 
+	// Budget cap: under a wrong hypothesis (true degrees exceed n-1) there
+	// can be more than (n-1)^d paths; stopping at the budget keeps the
+	// procedure's duration exact, which is what phase synchrony needs.
+	// Under a correct hypothesis the cap never binds before the
+	// enumeration finishes.
+	count := exploreEnumerate(w, d, delta, budget)
+	if count < budget {
+		w.Wait(satMul(budget-count, perIteration))
+	}
+}
+
+// exploreEnumerate is the enumeration core shared by the padded explore
+// and the paper-literal unpaddedExplore: all port sequences of length d in
+// lexicographic order, each traversed forward, backtracked along the
+// reverse path, and followed by a δ-d wait — capped at maxIter iterations.
+// It returns the number of iterations performed (d+δ rounds each).
+func exploreEnumerate(w agent.World, d, delta, maxIter uint64) uint64 {
+	count := uint64(0)
+	if d == 1 {
+		// Depth-1 paths batch whole iterations: one script moves out
+		// through port p and straight back through the entry port —
+		// which is exactly Rel(0).
+		step := [2]int{0, agent.Rel(0)}
+		for {
+			deg := w.Degree()
+			w.MoveSeq(step[:])
+			w.Wait(delta - d)
+			count++
+			if count == maxIter || step[0]+1 >= deg {
+				return count
+			}
+			step[0]++
+		}
+	}
+
 	dd := int(d)
 	seq := make([]int, dd)     // current port sequence (starts all-zero)
 	degs := make([]int, dd)    // degree of the node at each depth
 	entries := make([]int, dd) // entry ports, for backtracking
-	count := uint64(0)
+	rev := make([]int, dd)     // reversed entries, batched backtrack script
 	for {
 		// Traverse the path π given by seq, recording what is needed to
-		// reverse it and to advance the enumeration.
+		// reverse it and to advance the enumeration. The forward walk is
+		// per-move because the lexicographic successor needs the degree at
+		// every depth — a percept only the walk itself can deliver.
 		for i := 0; i < dd; i++ {
 			degs[i] = w.Degree()
 			entries[i] = w.Move(seq[i])
 		}
-		// Traverse the reverse path back to u.
-		for i := dd - 1; i >= 0; i-- {
-			w.Move(entries[i])
+		// Traverse the reverse path back to u, as one batched script.
+		for i, j := 0, dd-1; j >= 0; i, j = i+1, j-1 {
+			rev[i] = entries[j]
 		}
+		w.MoveSeq(rev)
 		w.Wait(delta - d)
 		count++
-		if count == budget {
-			// Budget cap: under a wrong hypothesis (true degrees exceed
-			// n-1) there can be more than (n-1)^d paths; stopping here
-			// keeps the procedure's duration exact, which is what phase
-			// synchrony needs. Under a correct hypothesis the cap never
-			// binds before the enumeration finishes.
-			break
+		if count == maxIter {
+			return count
 		}
 
 		// Lexicographic successor: bump the deepest position that has a
@@ -56,11 +89,8 @@ func explore(w agent.World, n, d, delta uint64) {
 			j--
 		}
 		if j < 0 {
-			break
+			return count
 		}
 		seq[j]++
-	}
-	if count < budget {
-		w.Wait(satMul(budget-count, perIteration))
 	}
 }

@@ -61,11 +61,12 @@ func SoloSymmRVDuration(g *graph.Graph, start int, n, d, delta uint64) uint64 {
 // soloWorld walks the graph directly — single-agent execution needs no
 // scheduler.
 type soloWorld struct {
-	g     *graph.Graph
-	pos   int
-	deg   int
-	entry int
-	clock uint64
+	g       *graph.Graph
+	pos     int
+	deg     int
+	entry   int
+	clock   uint64
+	entries []int // reusable MoveSeq result buffer (see the World contract)
 }
 
 func (w *soloWorld) Degree() int    { return w.deg }
@@ -83,6 +84,29 @@ func (w *soloWorld) Move(port int) int {
 }
 
 func (w *soloWorld) Wait(rounds uint64) { w.clock += rounds }
+
+// MoveSeq steps a batched script directly against the graph — the native
+// equivalent of agent.RunScript without per-move interface dispatch. The
+// returned slice is the world's reusable buffer, per the World contract.
+func (w *soloWorld) MoveSeq(actions []int) []int {
+	if len(actions) == 0 {
+		return nil
+	}
+	if cap(w.entries) >= len(actions) {
+		w.entries = w.entries[:len(actions)]
+	} else {
+		w.entries = make([]int, len(actions))
+	}
+	for i, a := range actions {
+		if p, wait := agent.ActionPort(a, w.entry, w.deg); !wait {
+			to, ep := w.g.Succ(w.pos, p)
+			w.pos, w.entry, w.deg = to, ep, w.g.Degree(to)
+		}
+		w.clock++
+		w.entries[i] = w.entry
+	}
+	return w.entries
+}
 
 // measureDurations runs body for both agents and collects their local
 // clocks after body returns. The two agent goroutines may run

@@ -40,7 +40,9 @@ func NewSymmRV(n, d, delta uint64) (agent.Program, error) {
 func symmRV(w agent.World, n, d, delta uint64) {
 	y := uxs.Generate(int(n))
 
-	// Explore at u0, then step to u1 = succ(u0, 0).
+	// Explore at u0, then step to u1 = succ(u0, 0). The walk steps stay
+	// per-move (an Explore interleaves at every node of R(u)); the final
+	// backtrack batches into one script.
 	explore(w, n, d, delta)
 	entry := w.Move(0)
 	entries := make([]int, 1, len(y)+1)
@@ -55,8 +57,9 @@ func symmRV(w agent.World, n, d, delta uint64) {
 		explore(w, n, d, delta)
 	}
 
-	// Go back to u0 along the reverse of R(u).
-	for i := len(entries) - 1; i >= 0; i-- {
-		w.Move(entries[i])
+	// Go back to u0 along the reverse of R(u), as one batched script.
+	for i, j := 0, len(entries)-1; i < j; i, j = i+1, j-1 {
+		entries[i], entries[j] = entries[j], entries[i]
 	}
+	w.MoveSeq(entries)
 }

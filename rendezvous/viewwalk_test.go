@@ -126,13 +126,13 @@ func TestUXSRoundTripReturnsHome(t *testing.T) {
 	for _, g := range []*graph.Graph{graph.Cycle(7), graph.Path(4), graph.OrientedTorus(3, 3)} {
 		n := uint64(g.N())
 		dur := SoloDuration(g, 0, func(w agent.World) {
-			uxsRoundTrip(w, uxsSequenceFor(n))
+			newUXSWalk(uxsSequenceFor(n)).roundTrip(w)
 		})
 		if dur != UXSRoundTrip(n) {
 			t.Fatalf("%s: round trip %d rounds, want %d", g, dur, UXSRoundTrip(n))
 		}
 		w := &soloWorld{g: g, pos: 0, deg: g.Degree(0), entry: -1}
-		uxsRoundTrip(w, uxsSequenceFor(n))
+		newUXSWalk(uxsSequenceFor(n)).roundTrip(w)
 		if w.pos != 0 {
 			t.Fatalf("%s: round trip ended at %d", g, w.pos)
 		}

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# bench.sh — run the benchmark suite and emit a JSON perf record
+# (ns/op, B/op, allocs/op per benchmark) for the PR perf trajectory.
+#
+# Usage: scripts/bench.sh [output.json]   (default: BENCH_PR1.json)
+#
+# The emitted file contains a "baseline" section (the seed engine's
+# numbers, recorded in scripts/seed-baseline.json) and a "current" section
+# measured by this run: the root experiment suite plus the sim, view and
+# uxs microbenchmarks that the engine rework targets.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_PR1.json}"
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+echo "== root experiment suite" >&2
+go test -run '^$' -bench . -benchtime 1x -benchmem . | tee -a "$tmp"
+echo "== sim engine microbenchmarks" >&2
+go test -run '^$' -bench 'BenchmarkScriptedWalk|BenchmarkPerMoveWalk|BenchmarkRoundThroughput|BenchmarkFastForward' -benchmem ./sim/ | tee -a "$tmp"
+echo "== view + uxs microbenchmarks" >&2
+go test -run '^$' -bench 'BenchmarkClasses' -benchmem ./view/ | tee -a "$tmp"
+go test -run '^$' -bench 'BenchmarkGenerate' -benchmem ./uxs/ | tee -a "$tmp"
+
+{
+  printf '{\n'
+  printf '  "generated": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+  printf '  "baseline": '
+  sed 's/^/  /' scripts/seed-baseline.json | sed '1s/^  //'
+  printf '  ,\n  "current": [\n'
+  awk '
+    /^Benchmark/ {
+      name = $1
+      sub(/-[0-9]+$/, "", name)
+      ns = ""; bytes = "null"; allocs = "null"
+      for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op") ns = $(i-1)
+        if ($i == "B/op") bytes = $(i-1)
+        if ($i == "allocs/op") allocs = $(i-1)
+      }
+      if (ns != "") {
+        if (!first) first = 1; else printf ",\n"
+        printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, ns, bytes, allocs
+      }
+    }
+    END { printf "\n" }
+  ' "$tmp"
+  printf '  ]\n}\n'
+} > "$out"
+
+echo "wrote $out" >&2

@@ -28,6 +28,55 @@ func BenchmarkRoundThroughput(b *testing.B) {
 	b.ReportMetric(100_000*float64(b.N)/b.Elapsed().Seconds(), "rounds/s")
 }
 
+// uxsStyleScript builds a long entry-relative walk script — the shape of
+// one UXS application (port 0, then Rel-encoded terms), the hot loop of
+// every algorithm in package rendezvous.
+func uxsStyleScript(steps, n int) []int {
+	script := make([]int, steps)
+	script[0] = 0
+	x := uint64(12345)
+	for i := 1; i < steps; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		script[i] = agent.Rel(int(x>>33) % n)
+	}
+	return script
+}
+
+// BenchmarkScriptedWalk measures the batched execution engine: both
+// agents loop a long MoveSeq script, so the scheduler steps positions in
+// its tight lock-step loop with no channel traffic.
+func BenchmarkScriptedWalk(b *testing.B) {
+	benchWalk(b, false)
+}
+
+// BenchmarkPerMoveWalk is the identical walk through the per-move
+// reference path (two channel handshakes and a goroutine wakeup per
+// round) — the seed engine's only mode, kept as the speedup baseline.
+func BenchmarkPerMoveWalk(b *testing.B) {
+	benchWalk(b, true)
+}
+
+func benchWalk(b *testing.B, unbatched bool) {
+	g := graph.Cycle(64)
+	script := uxsStyleScript(4096, 64)
+	prog := func(w agent.World) {
+		for {
+			w.MoveSeq(script)
+		}
+	}
+	if unbatched {
+		prog = agent.Unbatched(prog)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := RunPrograms(g, prog, prog, 0, 32, 0, Config{Budget: 100_000})
+		if res.Outcome != BudgetExhausted {
+			b.Fatalf("unexpected outcome %v", res.Outcome)
+		}
+	}
+	b.ReportMetric(100_000*float64(b.N)/b.Elapsed().Seconds(), "rounds/s")
+}
+
 // BenchmarkFastForward measures the wait fast-path: two agents trading
 // astronomical waits must finish in microseconds regardless of the
 // simulated round count.

@@ -1,0 +1,269 @@
+package sim_test
+
+// Engine-equivalence suite: batched (MoveSeq) and unbatched (per-move)
+// execution of the same programs must produce byte-identical sim.Result
+// values — same outcome, meeting node and round, elapsed rounds, and move
+// counts — across the graph families, delays and budgets the STIC tests
+// exercise. agent.Unbatched degrades every MoveSeq call to the per-move
+// reference path (the seed engine's only path), so each case runs the
+// exact same algorithm through both execution engines.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/agent"
+	"repro/graph"
+	"repro/rendezvous"
+	"repro/sim"
+)
+
+// sameResult runs the program pair through both engines and compares the
+// full Result structs.
+func sameResult(t *testing.T, name string, g *graph.Graph, pa, pb agent.Program, u, v int, delay, budget uint64) {
+	t.Helper()
+	batched := sim.RunPrograms(g, pa, pb, u, v, delay, sim.Config{Budget: budget})
+	unbatched := sim.RunPrograms(g, agent.Unbatched(pa), agent.Unbatched(pb), u, v, delay, sim.Config{Budget: budget})
+	if batched != unbatched {
+		t.Fatalf("%s: engines disagree\n  batched:   %+v\n  unbatched: %+v", name, batched, unbatched)
+	}
+}
+
+func TestEngineEquivalenceSymmRV(t *testing.T) {
+	cases := []struct {
+		g    *graph.Graph
+		u, v int
+		d    uint64
+	}{
+		{graph.TwoNode(), 0, 1, 1},
+		{graph.Cycle(4), 0, 2, 2},
+		{graph.Cycle(5), 0, 2, 2},
+		{graph.Cycle(6), 1, 4, 3},
+		{graph.SymmetricTree(graph.ChainShape(1)), 0, 2, 1},
+		{graph.SymmetricTree(graph.FullShape(2, 2)), 0, 1, 1},
+		{graph.OrientedTorus(3, 3), 0, 4, 2},
+	}
+	for _, c := range cases {
+		n := uint64(c.g.N())
+		for _, delta := range []uint64{c.d, c.d + 1, c.d + 3} {
+			prog, err := rendezvous.NewSymmRV(n, c.d, delta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			budget := 2 * rendezvous.SymmRVTime(n, c.d, delta)
+			name := fmt.Sprintf("SymmRV/%s-(%d,%d)-δ%d", c.g, c.u, c.v, delta)
+			sameResult(t, name, c.g, prog, prog, c.u, c.v, delta, budget)
+		}
+	}
+}
+
+func TestEngineEquivalenceSymmRVNeverMeets(t *testing.T) {
+	// δ below Shrink: both engines must run the full padded duration and
+	// report the same non-meeting result with equal move counts.
+	g := graph.Cycle(8)
+	prog, err := rendezvous.NewSymmRV(8, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "SymmRV/ring-8-below-shrink", g, prog, prog, 0, 4, 3, 3*rendezvous.SymmRVTime(8, 3, 3))
+}
+
+func TestEngineEquivalenceAsymmRV(t *testing.T) {
+	cases := []struct {
+		g    *graph.Graph
+		u, v int
+	}{
+		{graph.Path(3), 0, 2},
+		{graph.Path(4), 0, 1},
+		{graph.Star(4), 0, 1},
+		{graph.Tree(graph.ChainShape(3)), 0, 3},
+	}
+	for _, c := range cases {
+		n := uint64(c.g.N())
+		for _, delta := range []uint64{0, 2} {
+			prog, err := rendezvous.NewAsymmRV(n, delta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			name := fmt.Sprintf("AsymmRV/%s-(%d,%d)-δ%d", c.g, c.u, c.v, delta)
+			sameResult(t, name, c.g, prog, prog, c.u, c.v, delta, 2*rendezvous.AsymmRVTime(n, delta))
+		}
+	}
+}
+
+func TestEngineEquivalenceDeepening(t *testing.T) {
+	for _, delta := range []uint64{0, 1} {
+		prog, err := rendezvous.NewAsymmRVID(3, delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := graph.Path(3)
+		name := fmt.Sprintf("AsymmRVID/path-3-δ%d", delta)
+		sameResult(t, name, g, prog, prog, 0, 2, delta, 2*rendezvous.AsymmRVIDTime(3, delta))
+	}
+}
+
+func TestEngineEquivalenceUnpaddedSymmRV(t *testing.T) {
+	// The ablation desynchronizes on nonsymmetric pairs — both engines
+	// must desynchronize identically.
+	prog, err := rendezvous.NewUnpaddedSymmRV(4, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Path(4)
+	sameResult(t, "UnpaddedSymmRV/path-4", g, prog, prog, 0, 2, 2, 2*rendezvous.SymmRVTime(4, 1, 2))
+}
+
+func TestEngineEquivalenceUniversalRV(t *testing.T) {
+	cases := []struct {
+		g      *graph.Graph
+		u, v   int
+		delta  uint64
+		budget uint64
+	}{
+		{graph.TwoNode(), 0, 1, 1, 2 * rendezvous.UniversalRVTimeBound(2, 1, 1)},
+		{graph.TwoNode(), 0, 1, 0, rendezvous.UniversalRVTimeBound(2, 1, 2)}, // infeasible
+		{graph.Path(3), 0, 2, 0, 2 * rendezvous.UniversalRVTimeBound(3, 1, 0)},
+	}
+	for _, c := range cases {
+		name := fmt.Sprintf("UniversalRV/%s-δ%d", c.g, c.delta)
+		sameResult(t, name, c.g, rendezvous.UniversalRV(), rendezvous.UniversalRV(), c.u, c.v, c.delta, c.budget)
+	}
+}
+
+func TestEngineEquivalenceFastUniversalRV(t *testing.T) {
+	g := graph.Path(3)
+	bound := rendezvous.FastUniversalRVTimeBound(3, 1, 0)
+	sameResult(t, "FastUniversalRV/path-3", g, rendezvous.FastUniversalRV(), rendezvous.FastUniversalRV(), 0, 2, 0, 2*bound)
+}
+
+func TestEngineEquivalenceBaselines(t *testing.T) {
+	// Wait-for-Mommy: a leader looping batched UXS round trips against a
+	// sitter, several delays.
+	g := graph.Cycle(7)
+	leader, nonLeader := rendezvous.WaitForMommy(7)
+	for _, delta := range []uint64{0, 3, 5} {
+		sameResult(t, fmt.Sprintf("WaitForMommy/δ%d", delta), g, leader, nonLeader, 0, 4, delta, 10*rendezvous.UXSRoundTrip(7))
+	}
+
+	// Doubling (labeled) baseline on a ring.
+	p1, err := rendezvous.NewDoublingRV(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := rendezvous.NewDoublingRV(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g5 := graph.Cycle(5)
+	for _, delta := range []uint64{0, 1, 7} {
+		sameResult(t, fmt.Sprintf("DoublingRV/δ%d", delta), g5, p1, p2, 0, 2, delta, 1<<24)
+	}
+}
+
+func TestEngineEquivalenceScriptPrograms(t *testing.T) {
+	// Oblivious scripts exercise raw MoveSeq batching, including in-script
+	// wait runs (coalesced by the scheduler) and mid-script budget cuts.
+	torus := graph.OrientedTorus(3, 3)
+	words := []string{
+		"NNEESSWW",
+		"N.E.S.W.",
+		"...N...E",
+		"NESWNESWNESWNESW",
+	}
+	for _, wordA := range words {
+		progA, err := agent.ScriptWord(wordA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, wordB := range words {
+			progB, err := agent.ScriptWord(wordB)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, delay := range []uint64{0, 1, 2} {
+				// Budgets below, at and past the script lengths, so runs
+				// end mid-script, between scripts and after termination.
+				for _, budget := range []uint64{3, 7, 16, 64} {
+					name := fmt.Sprintf("Script/%s-vs-%s-δ%d-b%d", wordA, wordB, delay, budget)
+					sameResult(t, name, torus, progA, progB, 0, 4, delay, budget)
+				}
+			}
+		}
+	}
+}
+
+func TestEngineEquivalenceLongWaitRuns(t *testing.T) {
+	// In-script wait runs take the scheduler's coalesced fast-forward
+	// path; budgets are chosen to cut runs mid-way and to outlast them.
+	g := graph.Cycle(4)
+	script := make([]int, 0, 2003)
+	script = append(script, 0)
+	for i := 0; i < 2000; i++ {
+		script = append(script, agent.ScriptWait)
+	}
+	script = append(script, agent.Rel(0), 0)
+	prog := agent.Script(script)
+	for _, delay := range []uint64{0, 1} {
+		for _, budget := range []uint64{100, 2001, 5000} {
+			name := fmt.Sprintf("WaitRun/δ%d-b%d", delay, budget)
+			sameResult(t, name, g, prog, prog, 0, 2, delay, budget)
+		}
+	}
+}
+
+func TestEngineEquivalenceObserverTimeline(t *testing.T) {
+	// The observer path (no fast-forwarding, per-round callbacks) must see
+	// identical per-round positions from both engines.
+	g := graph.OrientedTorus(3, 3)
+	prog, err := agent.ScriptWord("NN..EE..SSWW")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := sim.CaptureTimeline(g, prog, 0, 4, 2, 30)
+	b := sim.CaptureTimeline(g, agent.Unbatched(prog), 0, 4, 2, 30)
+	if a.Result != b.Result {
+		t.Fatalf("timeline results disagree: %+v vs %+v", a.Result, b.Result)
+	}
+	if len(a.Rounds) != len(b.Rounds) {
+		t.Fatalf("timeline lengths disagree: %d vs %d", len(a.Rounds), len(b.Rounds))
+	}
+	for i := range a.Rounds {
+		if a.Rounds[i] != b.Rounds[i] {
+			t.Fatalf("round %d disagrees: %+v vs %+v", i, a.Rounds[i], b.Rounds[i])
+		}
+	}
+}
+
+func TestEngineEquivalenceMultiAgent(t *testing.T) {
+	// RunMany drives the same runner machinery; a mixed batched/unbatched
+	// population must gather identically either way.
+	g := graph.Cycle(6)
+	prog, err := agent.ScriptWord("NNNNNNNN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(p agent.Program) []sim.MultiAgent {
+		return []sim.MultiAgent{
+			{Program: p, Start: 0, Appear: 0},
+			{Program: p, Start: 2, Appear: 1},
+			{Program: p, Start: 4, Appear: 2},
+		}
+	}
+	cfg := sim.MultiConfig{Budget: 100, StopOnFirstMeeting: true}
+	a := sim.RunMany(g, mk(prog), cfg)
+	b := sim.RunMany(g, mk(agent.Unbatched(prog)), cfg)
+	if a.Rounds != b.Rounds || a.Gathered != b.Gathered || len(a.Meetings) != len(b.Meetings) {
+		t.Fatalf("multi-agent engines disagree: %+v vs %+v", a, b)
+	}
+	for i := range a.Meetings {
+		if a.Meetings[i] != b.Meetings[i] {
+			t.Fatalf("meeting %d disagrees: %+v vs %+v", i, a.Meetings[i], b.Meetings[i])
+		}
+	}
+	for i := range a.Moves {
+		if a.Moves[i] != b.Moves[i] {
+			t.Fatalf("agent %d moves disagree: %d vs %d", i, a.Moves[i], b.Moves[i])
+		}
+	}
+}

@@ -9,6 +9,20 @@
 // O(1), which is what makes the paper's padding-heavy algorithms (whose
 // round counts are exponential) simulable: simulated time is decoupled
 // from physical work.
+//
+// # Batched execution
+//
+// A per-move interaction costs two unbuffered-channel handshakes and a
+// goroutine wakeup. Programs that know a stretch of actions in advance
+// submit it as one agent.World.MoveSeq script: the scheduler then steps
+// the scripted positions itself, round by round, in a tight in-process
+// loop — waking the agent goroutine once per script instead of once per
+// edge traversal — while preserving exact per-round meeting detection,
+// budget accounting and observer semantics. Runs of ScriptWait actions
+// inside a script coalesce into the same O(1) fast-forward path as Wait.
+// Batched and unbatched execution of the same program are
+// behavior-identical (same Result field by field); the engine-equivalence
+// tests pin this down across the STIC suite.
 package sim
 
 import (
@@ -133,6 +147,34 @@ func RunPrograms(g *graph.Graph, progA, progB agent.Program, u, v int, delay uin
 			return res
 		}
 
+		// Tight lock-step loop: while both agents are executing scripted
+		// moves, step the positions directly — no channel traffic, no
+		// goroutine wakeups — with the same per-round meeting detection
+		// and budget accounting as the general path below.
+		if cfg.Observer == nil && rb != nil {
+			stepped := false
+			for ra.scriptMoveReady() && rb.scriptMoveReady() && t < budget {
+				ra.scriptStep()
+				rb.scriptStep()
+				t++
+				stepped = true
+				if ra.pos == rb.pos {
+					return Result{
+						Outcome:       Met,
+						MeetingNode:   ra.pos,
+						MeetingRound:  t,
+						TimeFromLater: t - delay,
+						Rounds:        t,
+						MovesA:        ra.moves,
+						MovesB:        rb.moves,
+					}
+				}
+			}
+			if stepped {
+				continue
+			}
+		}
+
 		// Fast-forward while nothing can change: both agents waiting (or
 		// done / not yet present). Meetings cannot occur inside the skip
 		// because positions are static and were just checked unequal.
@@ -170,6 +212,7 @@ const (
 	stNeedReq agentState = iota
 	stMovePending
 	stWaiting
+	stScript
 	stDone
 )
 
@@ -178,6 +221,7 @@ type reqKind int
 const (
 	reqMove reqKind = iota
 	reqWait
+	reqScript
 	reqDone
 	reqPanic
 )
@@ -186,12 +230,14 @@ type request struct {
 	kind   reqKind
 	port   int
 	rounds uint64
+	script []int
 	val    any // panic value for reqPanic
 }
 
 type grantMsg struct {
-	degree int
-	entry  int
+	degree  int
+	entry   int
+	entries []int // per-action entry ports, for reqScript grants
 }
 
 // stopSentinel unwinds an agent goroutine when the run finishes.
@@ -210,6 +256,15 @@ type runner struct {
 	movePort int
 	waitLeft uint64
 	moves    uint64
+
+	// Script execution state (stScript): the pending action list, the
+	// cursor, the entry-port results accumulated so far, and the cached
+	// length of the run of consecutive ScriptWait actions at the cursor
+	// (0 = not computed or cursor on a move).
+	script        []int
+	scriptAt      int
+	scriptEntries []int
+	scriptWaitRun uint64
 }
 
 func newRunner(g *graph.Graph, prog agent.Program, start int) *runner {
@@ -259,6 +314,19 @@ func (r *runner) fetch() {
 	case reqWait:
 		r.state = stWaiting
 		r.waitLeft = rq.rounds
+	case reqScript:
+		r.state = stScript
+		r.script = rq.script
+		r.scriptAt = 0
+		// Reuse the per-runner entries buffer (the World.MoveSeq contract
+		// makes the previous grant's slice invalid once the agent issues a
+		// new action), so scripted hot loops allocate nothing.
+		if cap(r.scriptEntries) >= len(rq.script) {
+			r.scriptEntries = r.scriptEntries[:len(rq.script)]
+		} else {
+			r.scriptEntries = make([]int, len(rq.script))
+		}
+		r.scriptWaitRun = 0
 	case reqDone:
 		r.state = stDone
 	case reqPanic:
@@ -274,10 +342,56 @@ func (r *runner) maxSkip() uint64 {
 		return 1
 	case stWaiting:
 		return r.waitLeft
+	case stScript:
+		if r.script[r.scriptAt] != agent.ScriptWait {
+			return 1
+		}
+		if r.scriptWaitRun == 0 {
+			// Cache the length of the wait run at the cursor so repeated
+			// maxSkip calls (when the other agent limits the skip) stay
+			// O(1) amortized.
+			i := r.scriptAt
+			for i < len(r.script) && r.script[i] == agent.ScriptWait {
+				i++
+			}
+			r.scriptWaitRun = uint64(i - r.scriptAt)
+		}
+		return r.scriptWaitRun
 	case stDone:
 		return ^uint64(0)
 	}
 	return 1
+}
+
+// scriptMoveReady reports whether the runner's next round is a scripted
+// move — the state the scheduler's tight lock-step loop handles.
+func (r *runner) scriptMoveReady() bool {
+	return r.state == stScript && r.script[r.scriptAt] != agent.ScriptWait
+}
+
+// scriptStep executes exactly one scripted move. The caller must have
+// checked scriptMoveReady.
+func (r *runner) scriptStep() {
+	p, _ := agent.ActionPort(r.script[r.scriptAt], r.entry, r.g.Degree(r.pos))
+	to, ep := r.g.Succ(r.pos, p)
+	r.pos, r.entry = to, ep
+	r.moves++
+	r.scriptEntries[r.scriptAt] = ep
+	r.scriptAt++
+	if r.scriptAt == len(r.script) {
+		r.finishScript()
+	}
+}
+
+// finishScript hands the accumulated entry ports back to the agent
+// goroutine and returns the runner to the request-pulling state. The
+// entries buffer stays owned by the runner for reuse; the agent may read
+// it only until its next request (the MoveSeq contract), which is
+// sequenced after this grant by the req channel.
+func (r *runner) finishScript() {
+	r.grant <- grantMsg{degree: r.g.Degree(r.pos), entry: r.entry, entries: r.scriptEntries}
+	r.state = stNeedReq
+	r.script = nil
 }
 
 // advance applies k rounds of this agent's pending action. k must respect
@@ -293,8 +407,23 @@ func (r *runner) advance(k uint64) {
 	case stWaiting:
 		r.waitLeft -= k
 		if r.waitLeft == 0 {
-			r.grant <- grantMsg{}
+			r.grant <- grantMsg{degree: r.g.Degree(r.pos), entry: r.entry}
 			r.state = stNeedReq
+		}
+	case stScript:
+		if r.script[r.scriptAt] == agent.ScriptWait {
+			// k rounds of a (cached) wait run: positions are static, the
+			// entry percept is unchanged.
+			for i := uint64(0); i < k; i++ {
+				r.scriptEntries[r.scriptAt] = r.entry
+				r.scriptAt++
+			}
+			r.scriptWaitRun -= k
+			if r.scriptAt == len(r.script) {
+				r.finishScript()
+			}
+		} else {
+			r.scriptStep()
 		}
 	case stDone:
 		// nothing to do
@@ -337,6 +466,17 @@ func (w *world) Wait(rounds uint64) {
 	w.send(request{kind: reqWait, rounds: rounds})
 	w.recv()
 	w.clock += rounds
+}
+
+func (w *world) MoveSeq(actions []int) []int {
+	if len(actions) == 0 {
+		return nil
+	}
+	w.send(request{kind: reqScript, script: actions})
+	g := w.recv()
+	w.deg, w.entry = g.degree, g.entry
+	w.clock += uint64(len(actions))
+	return g.entries
 }
 
 func (w *world) send(rq request) {

@@ -1,0 +1,99 @@
+package uxs
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// reference recomputes the raw candidate without the cache.
+func reference(n, length int) Sequence {
+	r := rng.New(0xC0FFEE ^ uint64(n)*0x9E3779B97F4A7C15)
+	s := make(Sequence, length)
+	for i := range s {
+		s[i] = r.Intn(n)
+	}
+	return s
+}
+
+func sequencesEqual(a, b Sequence) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestGenerateMemoMatchesReference(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 9, 17} {
+		want := reference(n, DefaultLength(n))
+		if !sequencesEqual(Generate(n), want) {
+			t.Fatalf("n=%d: cached sequence differs from reference", n)
+		}
+		// Second call must serve the identical content (cache hit).
+		if !sequencesEqual(Generate(n), want) {
+			t.Fatalf("n=%d: cache hit differs from reference", n)
+		}
+	}
+}
+
+func TestGenerateLengthPrefixConsistency(t *testing.T) {
+	// Shorter-then-longer and longer-then-shorter orders must both serve
+	// prefix-consistent views of the same underlying sequence.
+	n := 7
+	short := GenerateLength(n, 10)
+	long := GenerateLength(n, 5*DefaultLength(n))
+	again := GenerateLength(n, 10)
+	if !sequencesEqual(short, long[:10]) {
+		t.Fatal("short request disagrees with prefix of long request")
+	}
+	if !sequencesEqual(short, again) {
+		t.Fatal("repeated short request changed")
+	}
+	if !sequencesEqual(long, reference(n, len(long))) {
+		t.Fatal("extended sequence differs from reference")
+	}
+	// The capped view must not allow appends to clobber the cache.
+	_ = append(short[:len(short):len(short)], 99)
+	if !sequencesEqual(GenerateLength(n, 11), reference(n, 11)) {
+		t.Fatal("append through a served view corrupted the cache")
+	}
+}
+
+// TestGenerateConcurrent hammers the memo cache from many goroutines —
+// run with -race, this is the regression test for the shared-cache
+// synchronization that sweep workers rely on.
+func TestGenerateConcurrent(t *testing.T) {
+	sizes := []int{4, 6, 8, 11, 16}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				n := sizes[(w+i)%len(sizes)]
+				s := Generate(n)
+				if len(s) != DefaultLength(n) {
+					t.Errorf("n=%d: length %d", n, len(s))
+					return
+				}
+				l := GenerateLength(n, 7+i)
+				if len(l) != 7+i {
+					t.Errorf("n=%d: explicit length %d != %d", n, len(l), 7+i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, n := range sizes {
+		if !sequencesEqual(Generate(n), reference(n, DefaultLength(n))) {
+			t.Fatalf("n=%d: post-stress content mismatch", n)
+		}
+	}
+}

@@ -14,6 +14,8 @@
 package uxs
 
 import (
+	"sync"
+
 	"repro/graph"
 	"repro/internal/rng"
 )
@@ -42,17 +44,52 @@ func DefaultLength(n int) int {
 	return 3 * n * n * (bits + 1)
 }
 
+// memo caches generated sequences per n. Sequences are deterministic
+// functions of n and prefix-consistent across lengths, so one cached copy
+// (the longest requested so far) serves every phase of every run and every
+// sweep worker; the paper's algorithms regenerate Y(n) once per phase,
+// which without the cache multiplies 3n²·(lg n+1) terms of rng work into
+// every hot loop. Guarded by a mutex: sweeps call Generate concurrently.
+var memo struct {
+	mu   sync.Mutex
+	seqs map[int]Sequence
+}
+
 // Generate returns the deterministic UXS candidate Y(n) for graphs of size
 // n. Both agents of a rendezvous instance compute the same sequence from n
 // alone, as the paper requires. Terms lie in [0, n).
+//
+// The result is memoized and shared between callers (including concurrent
+// sweep workers); callers must treat it as read-only.
 func Generate(n int) Sequence {
 	return GenerateLength(n, DefaultLength(n))
 }
 
 // GenerateLength returns the deterministic candidate of an explicit length.
 // Sequences of different lengths agree on their common prefix, so extending
-// a sequence refines rather than replaces the walk.
+// a sequence refines rather than replaces the walk — which is also what
+// makes the length-capped view returned here safe to serve from the shared
+// per-n cache. Callers must treat the result as read-only.
 func GenerateLength(n, length int) Sequence {
+	memo.mu.Lock()
+	defer memo.mu.Unlock()
+	s := memo.seqs[n]
+	if len(s) < length {
+		gen := length
+		if d := DefaultLength(n); d > gen {
+			gen = d
+		}
+		s = generate(n, gen)
+		if memo.seqs == nil {
+			memo.seqs = make(map[int]Sequence)
+		}
+		memo.seqs[n] = s
+	}
+	return s[:length:length]
+}
+
+// generate computes the raw candidate of an explicit length.
+func generate(n, length int) Sequence {
 	r := rng.New(0xC0FFEE ^ uint64(n)*0x9E3779B97F4A7C15)
 	s := make(Sequence, length)
 	for i := range s {
@@ -96,26 +133,50 @@ func ApplyPorts(g *graph.Graph, u int, s Sequence) (out, in []int) {
 }
 
 // CoversFrom reports whether the application of s at u visits every node.
+// The walk is streamed — no path slice is materialized — and returns as
+// soon as the last unvisited node is reached.
 func CoversFrom(g *graph.Graph, u int, s Sequence) bool {
-	seen := make([]bool, g.N())
-	count := 0
-	for _, v := range Apply(g, u, s) {
-		if !seen[v] {
-			seen[v] = true
-			count++
-			if count == g.N() {
+	stamp := make([]int, g.N())
+	return coversFrom(g, u, s, stamp, 1)
+}
+
+// coversFrom is the streaming cover check behind CoversFrom and Covers:
+// stamp is an epoch-tagged visited array (stamp[v] == epoch means visited),
+// reusable across starts without clearing.
+func coversFrom(g *graph.Graph, u int, s Sequence, stamp []int, epoch int) bool {
+	n := g.N()
+	stamp[u] = epoch
+	if n == 1 {
+		return true
+	}
+	count := 1
+	cur, entry := g.Succ(u, 0)
+	if stamp[cur] != epoch {
+		stamp[cur] = epoch
+		if count++; count == n {
+			return true
+		}
+	}
+	for _, a := range s {
+		p := (entry + a) % g.Degree(cur)
+		cur, entry = g.Succ(cur, p)
+		if stamp[cur] != epoch {
+			stamp[cur] = epoch
+			if count++; count == n {
 				return true
 			}
 		}
 	}
-	return count == g.N()
+	return false
 }
 
 // Covers reports whether s is a UXS for the concrete graph g: its
-// application from every node visits all nodes.
+// application from every node visits all nodes. One visited array is
+// reused (epoch-stamped) across all n starts.
 func Covers(g *graph.Graph, s Sequence) bool {
+	stamp := make([]int, g.N())
 	for u := 0; u < g.N(); u++ {
-		if !CoversFrom(g, u, s) {
+		if !coversFrom(g, u, s, stamp, u+1) {
 			return false
 		}
 	}

@@ -13,7 +13,6 @@ package view
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"repro/graph"
@@ -124,77 +123,94 @@ func EqualToDepth(g *graph.Graph, u, v, depth int) bool {
 }
 
 // Classes returns the view-equivalence classes of all nodes: class[u] ==
-// class[v] iff V(u,G) = V(v,G). Classes are numbered 0..k-1 in a canonical
-// order (lexicographic by the final refinement signature), so the result is
-// deterministic. The computation is port-aware partition refinement run to
+// class[v] iff V(u,G) = V(v,G). Classes are numbered 0..k-1 by first
+// occurrence in node order, so the result is deterministic for a given
+// graph. The computation is port-aware integer partition refinement run to
 // stabilization, which coincides with view equivalence by Norris' theorem.
+//
+// Each round hashes the integer signature (own color, then per port the
+// entry port and the neighbor's color) into class ids directly — no string
+// building, no sorting — and stops when a round fails to split any class:
+// signatures start with the node's current color, so a round can only
+// refine the partition, and an unchanged class count means an unchanged
+// partition.
 func Classes(g *graph.Graph) []int {
 	n := g.N()
 	color := make([]int, n)
-	// Round 0: color by degree.
-	next := assignCanonical(colorsByKey(func(v int) string {
-		return fmt.Sprintf("d%d", g.Degree(v))
-	}, n))
-	copy(color, next)
-	for round := 0; round < n; round++ {
-		sig := func(v int) string {
-			var b strings.Builder
-			fmt.Fprintf(&b, "%d", color[v])
-			for p := 0; p < g.Degree(v); p++ {
-				to, ep := g.Succ(v, p)
-				fmt.Fprintf(&b, "|%d:%d", ep, color[to])
-			}
-			return b.String()
+	next := make([]int, n)
+
+	// Round 0: color by degree, ids by first occurrence.
+	degID := make(map[int]int)
+	for v := 0; v < n; v++ {
+		id, ok := degID[g.Degree(v)]
+		if !ok {
+			id = len(degID)
+			degID[g.Degree(v)] = id
 		}
-		next = assignCanonical(colorsByKey(sig, n))
-		if sameClasses(color, next) {
+		color[v] = id
+	}
+	numClasses := len(degID)
+
+	var (
+		buf  []int            // reusable signature buffer
+		sigs [][]int          // signature of each class id this round
+		tab  map[uint64][]int // FNV hash -> class ids, collision-checked
+	)
+	for round := 0; round < n; round++ {
+		sigs = sigs[:0]
+		tab = make(map[uint64][]int, 2*numClasses)
+		for v := 0; v < n; v++ {
+			d := g.Degree(v)
+			buf = buf[:0]
+			buf = append(buf, color[v])
+			for p := 0; p < d; p++ {
+				to, ep := g.Succ(v, p)
+				buf = append(buf, ep, color[to])
+			}
+			h := hashInts(buf)
+			id := -1
+			for _, cand := range tab[h] {
+				if equalInts(sigs[cand], buf) {
+					id = cand
+					break
+				}
+			}
+			if id < 0 {
+				id = len(sigs)
+				sigs = append(sigs, append([]int(nil), buf...))
+				tab[h] = append(tab[h], id)
+			}
+			next[v] = id
+		}
+		if len(sigs) == numClasses {
+			// No class split: the partition is stable. next equals the
+			// same partition as color, renumbered by first occurrence.
 			return next
 		}
-		copy(color, next)
+		numClasses = len(sigs)
+		color, next = next, color
 	}
 	return color
 }
 
-// colorsByKey groups nodes by a string key; returns the per-node keys.
-func colorsByKey(key func(int) string, n int) []string {
-	keys := make([]string, n)
-	for v := 0; v < n; v++ {
-		keys[v] = key(v)
+// hashInts is FNV-1a over the signature words.
+func hashInts(xs []int) uint64 {
+	h := uint64(14695981039346656037)
+	for _, x := range xs {
+		h ^= uint64(x)
+		h *= 1099511628211
 	}
-	return keys
+	return h
 }
 
-// assignCanonical maps per-node string keys to class ids numbered by the
-// lexicographic order of the distinct keys.
-func assignCanonical(keys []string) []int {
-	uniq := append([]string(nil), keys...)
-	sort.Strings(uniq)
-	id := make(map[string]int, len(uniq))
-	for _, k := range uniq {
-		if _, ok := id[k]; !ok {
-			id[k] = len(id)
-		}
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
 	}
-	out := make([]int, len(keys))
-	for v, k := range keys {
-		out[v] = id[k]
-	}
-	return out
-}
-
-// sameClasses reports whether two colorings induce the same partition.
-func sameClasses(a, b []int) bool {
-	fwd := map[int]int{}
-	bwd := map[int]int{}
 	for i := range a {
-		if x, ok := fwd[a[i]]; ok && x != b[i] {
+		if a[i] != b[i] {
 			return false
 		}
-		if x, ok := bwd[b[i]]; ok && x != a[i] {
-			return false
-		}
-		fwd[a[i]] = b[i]
-		bwd[b[i]] = a[i]
 	}
 	return true
 }
