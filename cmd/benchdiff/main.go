@@ -1,0 +1,155 @@
+// Command benchdiff compares two BENCH_PR*.json perf records (as emitted
+// by scripts/bench.sh) and exits nonzero when any benchmark present in
+// both regressed in ns/op by more than the threshold. CI runs it over the
+// committed records so a PR cannot silently give back the perf the
+// trajectory has banked.
+//
+// Usage:
+//
+//	benchdiff [-threshold 0.15] [-all] old.json new.json
+//
+// Benchmarks are matched by full name (including sub-benchmark size
+// suffixes, e.g. "BenchmarkClasses/ring-128"). Names that appear more
+// than once within one file are ambiguous — a symptom of the PR 1 name
+// extraction bug — and are skipped with a warning rather than compared
+// against an arbitrary duplicate. Entries only present on one side are
+// reported but never fail the run (benchmarks come and go across PRs).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type entry struct {
+	Name   string   `json:"name"`
+	Ns     float64  `json:"ns_per_op"`
+	Bytes  *float64 `json:"bytes_per_op"`
+	Allocs *float64 `json:"allocs_per_op"`
+}
+
+type record struct {
+	Generated string  `json:"generated"`
+	Current   []entry `json:"current"`
+}
+
+func load(path string) (map[string]entry, []string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var rec record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	count := make(map[string]int)
+	for _, e := range rec.Current {
+		count[e.Name]++
+	}
+	out := make(map[string]entry, len(rec.Current))
+	var dups []string
+	for _, e := range rec.Current {
+		if count[e.Name] > 1 {
+			continue
+		}
+		out[e.Name] = e
+	}
+	for name, c := range count {
+		if c > 1 {
+			dups = append(dups, name)
+		}
+	}
+	sort.Strings(dups)
+	return out, dups, nil
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0.15, "ns/op regression ratio that fails the run")
+	all := flag.Bool("all", false, "print every comparison, not just regressions and improvements > threshold")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.15] [-all] old.json new.json")
+		os.Exit(2)
+	}
+	oldPath, newPath := flag.Arg(0), flag.Arg(1)
+
+	oldBy, oldDups, err := load(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newBy, newDups, err := load(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	for _, d := range oldDups {
+		fmt.Printf("skip   %-40s duplicated in %s (ambiguous name)\n", d, oldPath)
+	}
+	for _, d := range newDups {
+		fmt.Printf("skip   %-40s duplicated in %s (ambiguous name)\n", d, newPath)
+	}
+
+	var names []string
+	for name := range oldBy {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	regressions := 0
+	compared := 0
+	for _, name := range names {
+		o := oldBy[name]
+		n, ok := newBy[name]
+		if !ok {
+			if *all {
+				fmt.Printf("only   %-40s present only in %s\n", name, oldPath)
+			}
+			continue
+		}
+		compared++
+		if o.Ns <= 0 {
+			continue
+		}
+		ratio := n.Ns/o.Ns - 1
+		switch {
+		case ratio > *threshold:
+			regressions++
+			fmt.Printf("REGRESS %-40s %14.1f -> %14.1f ns/op  (%+.1f%%)\n", name, o.Ns, n.Ns, 100*ratio)
+		case ratio < -*threshold:
+			fmt.Printf("faster  %-40s %14.1f -> %14.1f ns/op  (%+.1f%%)\n", name, o.Ns, n.Ns, 100*ratio)
+		default:
+			if *all {
+				fmt.Printf("ok      %-40s %14.1f -> %14.1f ns/op  (%+.1f%%)\n", name, o.Ns, n.Ns, 100*ratio)
+			}
+		}
+	}
+	if *all {
+		var extra []string
+		for name := range newBy {
+			if _, ok := oldBy[name]; !ok {
+				extra = append(extra, name)
+			}
+		}
+		sort.Strings(extra)
+		for _, name := range extra {
+			fmt.Printf("new    %-40s present only in %s\n", name, newPath)
+		}
+	}
+
+	fmt.Printf("benchdiff: %d benchmarks compared, %d regression(s) beyond %.0f%% (%s vs %s)\n",
+		compared, regressions, *threshold*100, oldPath, newPath)
+	if compared == 0 {
+		// Nothing matched: the gate would be vacuous (name drift, a
+		// mangled record, or wrong files). Fail loudly rather than let CI
+		// stay green with the regression check doing nothing.
+		fmt.Fprintln(os.Stderr, "benchdiff: no benchmark names matched between the two records")
+		os.Exit(1)
+	}
+	if regressions > 0 {
+		os.Exit(1)
+	}
+}

@@ -47,7 +47,8 @@ func symmCases() []symmCase {
 
 // E4 exercises Lemma 3.2: SymmRV(n, Shrink(u,v), δ) achieves rendezvous
 // for every symmetric STIC with δ >= Shrink(u,v), within the Lemma 3.3
-// budget T(n,d,δ). Runs are executed in parallel with sim.ParallelMap.
+// budget T(n,d,δ). Runs execute in parallel with sim.Sweep, sharded by
+// graph: one graph's delay sweep stays on one worker.
 func E4() *Table {
 	t := &Table{
 		ID:       "E4",
@@ -56,7 +57,7 @@ func E4() *Table {
 		Columns:  []string{"graph", "pair", "d=Shrink", "δ", "met", "time from later", "T(n,d,δ)", "moves/agent"},
 	}
 	cases := symmCases()
-	results := sim.ParallelMap(cases, 0, func(c symmCase) sim.Result {
+	results := sim.Sweep(cases, 0, func(c symmCase) any { return c.g }, func(_ *sim.Scratch, c symmCase) sim.Result {
 		n := uint64(c.g.N())
 		prog, err := rendezvous.NewSymmRV(n, c.d, c.dlt)
 		if err != nil {

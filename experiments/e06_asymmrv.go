@@ -52,7 +52,7 @@ func E6() *Table {
 		}
 	}
 
-	results := sim.ParallelMap(cases, 0, func(c caze) sim.Result {
+	results := sim.Sweep(cases, 0, func(c caze) any { return c.g }, func(_ *sim.Scratch, c caze) sim.Result {
 		n := uint64(c.g.N())
 		prog, err := rendezvous.NewAsymmRV(n, c.delta)
 		if err != nil {

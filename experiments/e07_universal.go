@@ -54,13 +54,21 @@ func E7(full bool) *Table {
 		)
 	}
 
-	results := sim.ParallelMap(cases, 0, func(c caze) sim.Result {
-		rep := stic.Classify(stic.STIC{G: c.g, U: c.u, V: c.v, Delay: c.delta})
-		budget := universalBudget(c.g, rep, c.delta)
+	// Classify each STIC once, up front; the classification feeds both the
+	// budget choice inside the sweep and the feasibility checks below.
+	reps := make([]stic.Report, len(cases))
+	idxs := make([]int, len(cases))
+	for i, c := range cases {
+		reps[i] = stic.Classify(stic.STIC{G: c.g, U: c.u, V: c.v, Delay: c.delta})
+		idxs[i] = i
+	}
+	results := sim.Sweep(idxs, 0, func(i int) any { return cases[i].g }, func(_ *sim.Scratch, i int) sim.Result {
+		c := cases[i]
+		budget := universalBudget(c.g, reps[i], c.delta)
 		return sim.Run(c.g, rendezvous.UniversalRV(), c.u, c.v, c.delta, sim.Config{Budget: budget})
 	})
 	for i, c := range cases {
-		rep := stic.Classify(stic.STIC{G: c.g, U: c.u, V: c.v, Delay: c.delta})
+		rep := reps[i]
 		res := results[i]
 		class := "nonsymmetric"
 		if rep.Symmetric {

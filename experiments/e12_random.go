@@ -36,22 +36,32 @@ func E12() *Table {
 		{graph.Cycle(8), 0, 4, 5},
 	}
 	const runs = 32
-	for _, c := range cases {
-		type job struct{ seedA, seedB uint64 }
-		jobs := make([]job, runs)
-		for i := range jobs {
-			jobs[i] = job{seedA: uint64(1000 + 2*i), seedB: uint64(1001 + 2*i)}
+	// One sweep over the whole (configuration x seed) grid, sharded by
+	// configuration: each graph's 32 runs stay sequential on one worker
+	// while distinct configurations run concurrently; the per-shard
+	// results are then aggregated into the per-configuration statistics.
+	type job struct {
+		caseIdx      int
+		seedA, seedB uint64
+	}
+	jobs := make([]job, 0, len(cases)*runs)
+	for ci := range cases {
+		for i := 0; i < runs; i++ {
+			jobs = append(jobs, job{caseIdx: ci, seedA: uint64(1000 + 2*i), seedB: uint64(1001 + 2*i)})
 		}
-		times := sim.ParallelMap(jobs, 0, func(j job) uint64 {
-			a := rendezvous.NewLazyRandomWalk(j.seedA)
-			b := rendezvous.NewLazyRandomWalk(j.seedB)
-			res := sim.RunPrograms(c.g, a, b, c.u, c.v, c.delta, sim.Config{Budget: 1 << 22})
-			if res.Outcome != sim.Met {
-				return 1 << 22 // censored at budget
-			}
-			return res.MeetingRound
-		})
-		sorted := append([]uint64(nil), times...)
+	}
+	times := sim.Sweep(jobs, 0, func(j job) any { return j.caseIdx }, func(_ *sim.Scratch, j job) uint64 {
+		c := cases[j.caseIdx]
+		a := rendezvous.NewLazyRandomWalk(j.seedA)
+		b := rendezvous.NewLazyRandomWalk(j.seedB)
+		res := sim.RunPrograms(c.g, a, b, c.u, c.v, c.delta, sim.Config{Budget: 1 << 22})
+		if res.Outcome != sim.Met {
+			return 1 << 22 // censored at budget
+		}
+		return res.MeetingRound
+	})
+	for ci, c := range cases {
+		sorted := append([]uint64(nil), times[ci*runs:(ci+1)*runs]...)
 		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 		median := sorted[len(sorted)/2]
 		max := sorted[len(sorted)-1]

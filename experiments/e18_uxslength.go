@@ -66,7 +66,7 @@ func E18() *Table {
 			g := graph.RandomConnected(n, extra, uint64(1000+i))
 			items = append(items, workItem{g: g, s: uxs.GenerateLength(g.N(), length(g.N()))})
 		}
-		covered := sim.ParallelMap(items, 0, func(it workItem) bool {
+		covered := sim.Sweep(items, 0, func(it workItem) any { return it.g.N() }, func(_ *sim.Scratch, it workItem) bool {
 			return uxs.Covers(it.g, it.s)
 		})
 		okRandom := 0

@@ -47,7 +47,7 @@ func E19() *Table {
 	for _, c := range cases {
 		jobs = append(jobs, job{c, false}, job{c, true})
 	}
-	results := sim.ParallelMap(jobs, 0, func(j job) sim.Result {
+	results := sim.Sweep(jobs, 0, func(j job) any { return j.c.g }, func(_ *sim.Scratch, j job) sim.Result {
 		n := uint64(j.c.g.N())
 		if j.fast {
 			prog, err := rendezvous.NewAsymmRVID(n, j.c.delta)

@@ -49,5 +49,6 @@ func unpaddedSymmRV(w agent.World, n, d, delta uint64) {
 // in lexicographic order, each with backtracking and a δ-d wait — and
 // nothing else (no top-up to the PathBudget iteration count).
 func unpaddedExplore(w agent.World, d, delta uint64) {
-	exploreEnumerate(w, d, delta, ^uint64(0))
+	var s rvScratch
+	exploreEnumerate(w, d, delta, ^uint64(0), &s)
 }

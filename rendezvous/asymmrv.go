@@ -3,6 +3,8 @@ package rendezvous
 import (
 	"fmt"
 
+	"sync"
+
 	"repro/agent"
 	"repro/uxs"
 	"repro/view"
@@ -36,11 +38,56 @@ func NewAsymmRV(n, delta uint64) (agent.Program, error) {
 	if AsymmRVTime(n, delta) >= RoundCap {
 		return nil, fmt.Errorf("rendezvous: AsymmRV(n=%d,δ=%d) duration saturates RoundCap", n, delta)
 	}
-	return func(w agent.World) { asymmRV(w, n, delta) }, nil
+	return func(w agent.World) {
+		var s rvScratch
+		asymmRVWith(w, n, delta, &s)
+	}, nil
 }
 
-// asymmRV is the internal body shared with UniversalRV.
+// rvScratch is the per-agent scratch of the whole phase pipeline: the
+// flat tree slab the physical view walk builds into, the label encoding
+// buffer, the per-size UXS walk scripts, and the enumeration buffers of
+// Explore/SymmRV — all reused across sub-phases and (inside UniversalRV)
+// across phases, so the steady-state walk-encode-schedule-explore loop
+// allocates nothing. One value per program invocation, never shared
+// across agents: everything in it is mutable state.
+type rvScratch struct {
+	tree view.Tree
+	enc  []byte
+	// rev is the reverse-path buffer shared by every UXS walk this agent
+	// plays (the forward scripts are immutable and shared globally; only
+	// the reverse path is per-agent state).
+	rev []int
+	// explore's per-iteration buffers (all of length d).
+	expSeq, expDegs, expEntries, expRev []int
+	// symmRV's reverse-path buffer (length M+1).
+	symEntries []int
+}
+
+// uxsWalkFor returns this agent's UXS walk for size hypothesis n: the
+// globally cached forward script plus the scratch's reverse buffer.
+func (s *rvScratch) uxsWalkFor(n uint64) uxsWalk {
+	return uxsWalk{fwd: uxsFwdFor(n), rev: &s.rev}
+}
+
+// scratchInts returns a length-n view of *buf, reallocating only when the
+// capacity is insufficient. Contents are undefined.
+func scratchInts(buf *[]int, n int) []int {
+	if cap(*buf) < n {
+		*buf = make([]int, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// asymmRV is the internal body shared with UniversalRV; the convenience
+// form allocates a fresh scratch.
 func asymmRV(w agent.World, n, delta uint64) {
+	var s rvScratch
+	asymmRVWith(w, n, delta, &s)
+}
+
+func asymmRVWith(w agent.World, n, delta uint64, s *rvScratch) {
 	// Phase 1: reconstruct the truncated view by physical DFS, padded to
 	// the input-independent budget ViewWalkTime(n). The walk carries the
 	// budget as a hard cap: under a wrong (too small) hypothesis n the
@@ -49,76 +96,116 @@ func asymmRV(w agent.World, n, delta uint64) {
 	// synchrony requires; under a correct hypothesis the cap never binds.
 	budget := ViewWalkTime(n)
 	start := w.Clock()
-	tree := viewWalk(w, int(n)-1, budget)
+	viewWalk(w, int(n)-1, budget, &s.tree)
 	used := w.Clock() - start
 	w.Wait(budget - used)
 
 	// Phase 2: label block schedule.
-	enc := view.Encode(tree)
-	walk := newUXSWalk(uxs.Generate(int(n)))
+	s.enc = s.tree.AppendEncode(s.enc[:0])
+	walk := s.uxsWalkFor(n)
 	repeats := ActiveRepeats(n, delta)
 	slotLen := satMul(repeats, UXSRoundTrip(n))
-	playSchedule(w, enc, EncodingBitBudget(n), repeats, slotLen, walk)
+	playSchedule(w, s.enc, EncodingBitBudget(n), repeats, slotLen, walk)
 }
 
 // viewWalk physically explores every path of length <= depth from the
-// current node by DFS with backtracking, and returns the truncated view
-// tree it observed. It uses 2*(number of paths of length <= depth) rounds,
-// never more than maxRounds, and ends where it started. The root's entry
-// port is canonicalized to -1 so that the encoding depends only on the
-// view, not on how the agent arrived at its current node.
-func viewWalk(w agent.World, depth int, maxRounds uint64) *view.Node {
-	remaining := maxRounds
-	var rec func(entry, d int) *view.Node
-	rec = func(entry, d int) *view.Node {
-		nd := &view.Node{Deg: w.Degree(), EntryPort: entry}
-		if d == 0 {
-			return nd
-		}
-		nd.Kids = make([]*view.Node, nd.Deg)
-		for p := 0; p < nd.Deg; p++ {
-			if remaining < 2 {
-				// Budget exhausted under a wrong hypothesis: leave the
-				// remaining subtrees as frontier marks.
-				return nd
-			}
-			remaining -= 2
-			ep := w.Move(p)
-			nd.Kids[p] = rec(ep, d-1)
-			w.Move(ep) // backtrack along the reverse edge
-		}
-		return nd
-	}
-	return rec(-1, depth)
+// current node by DFS with backtracking, and builds the truncated view it
+// observed into t (replacing t's previous contents; a warm tree makes the
+// walk allocation-free). It uses 2*(number of paths of length <= depth)
+// rounds, never more than maxRounds, and ends where it started. The
+// root's entry port is canonicalized to -1 so that the encoding depends
+// only on the view, not on how the agent arrived at its current node.
+func viewWalk(w agent.World, depth int, maxRounds uint64, t *view.Tree) {
+	t.Reset()
+	vw := viewWalker{w: w, t: t, remaining: maxRounds}
+	root := t.NewNode(int32(w.Degree()), -1)
+	vw.explore(root, depth)
 }
 
-// uxsWalk holds the precomputed batched script of one UXS application —
-// port 0 out of the start node, then every term entry-relative (the UXS
-// application rule, which agent.Rel encodes verbatim) — plus a reusable
-// buffer for the reverse path. One value is built per program invocation,
-// never shared across agents: the rev buffer is mutable state.
+// viewWalker carries the DFS state as a named receiver (not a closure), so
+// recursion into a warm tree performs no allocations.
+type viewWalker struct {
+	w         agent.World
+	t         *view.Tree
+	remaining uint64
+}
+
+func (vw *viewWalker) explore(id int32, d int) {
+	if d == 0 {
+		return
+	}
+	vw.t.Expand(id)
+	deg := int(vw.t.At(id).Deg)
+	for p := 0; p < deg; p++ {
+		if vw.remaining < 2 {
+			// Budget exhausted under a wrong hypothesis: leave the
+			// remaining subtrees as frontier marks.
+			return
+		}
+		vw.remaining -= 2
+		ep := vw.w.Move(p)
+		kid := vw.t.NewNode(int32(vw.w.Degree()), int32(ep))
+		vw.t.SetKid(id, p, kid)
+		vw.explore(kid, d-1)
+		vw.w.Move(ep) // backtrack along the reverse edge
+	}
+}
+
+// uxsWalk holds the batched script of one UXS application — port 0 out of
+// the start node, then every term entry-relative (the UXS application
+// rule, which agent.Rel encodes verbatim) — plus a pointer to the
+// caller-owned reverse-path buffer. The forward script is immutable and
+// may be shared across agents (uxsFwdFor memoizes one per size); the rev
+// buffer is mutable per-agent state and must never be shared.
 type uxsWalk struct {
 	fwd []int
-	rev []int
+	rev *[]int
 }
 
-func newUXSWalk(y uxs.Sequence) *uxsWalk {
+// buildUXSFwd renders the batched forward script of one UXS application.
+func buildUXSFwd(y uxs.Sequence) []int {
 	fwd := make([]int, len(y)+1)
 	fwd[0] = 0
 	for i, a := range y {
 		fwd[i+1] = agent.Rel(a)
 	}
-	return &uxsWalk{fwd: fwd, rev: make([]int, len(y)+1)}
+	return fwd
+}
+
+// uxsFwdFor memoizes the forward script per size hypothesis, mirroring
+// uxs.Generate's own memo: UniversalRV revisits every n infinitely often,
+// and rebuilding the script each phase was a dominant allocator.
+var (
+	uxsFwdMu    sync.Mutex
+	uxsFwdCache = map[uint64][]int{}
+)
+
+func uxsFwdFor(n uint64) []int {
+	uxsFwdMu.Lock()
+	defer uxsFwdMu.Unlock()
+	if f, ok := uxsFwdCache[n]; ok {
+		return f
+	}
+	f := buildUXSFwd(uxs.Generate(int(n)))
+	uxsFwdCache[n] = f
+	return f
+}
+
+// newUXSWalk builds a standalone walk owning its reverse buffer — the
+// form the baselines (one walk per program) and tests use.
+func newUXSWalk(y uxs.Sequence) uxsWalk {
+	return uxsWalk{fwd: buildUXSFwd(y), rev: new([]int)}
 }
 
 // roundTrip performs one application of the UXS from the current node
 // (M+1 moves) followed by backtracking home along the reverse path,
 // consuming exactly UXSRoundTrip(n) = 2*(M+1) rounds — as two batched
 // scripts: the forward application and the reversed entry-port path.
-func (u *uxsWalk) roundTrip(w agent.World) {
+func (u uxsWalk) roundTrip(w agent.World) {
 	entries := w.MoveSeq(u.fwd)
+	rev := scratchInts(u.rev, len(entries))
 	for i, j := 0, len(entries)-1; j >= 0; i, j = i+1, j-1 {
-		u.rev[i] = entries[j]
+		rev[i] = entries[j]
 	}
-	w.MoveSeq(u.rev)
+	w.MoveSeq(rev)
 }

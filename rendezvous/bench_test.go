@@ -5,7 +5,29 @@ import (
 
 	"repro/graph"
 	"repro/sim"
+	"repro/view"
 )
+
+// BenchmarkViewWalk: the AsymmRV hot path — physical view reconstruction
+// into a warm flat tree plus label encoding. Steady state is 0 allocs/op:
+// the tree slab, kid arena and encoding buffer all live in the per-agent
+// scratch and are reused across walks.
+func BenchmarkViewWalk(b *testing.B) {
+	g := graph.Petersen()
+	var tree view.Tree
+	var enc []byte
+	w := &soloWorld{g: g, pos: 0, deg: g.Degree(0), entry: -1}
+	viewWalk(w, 3, RoundCap, &tree)
+	enc = tree.AppendEncode(enc[:0])
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.pos, w.deg, w.entry = 0, g.Degree(0), -1
+		viewWalk(w, 3, RoundCap, &tree)
+		enc = tree.AppendEncode(enc[:0])
+	}
+	_ = enc
+}
 
 // BenchmarkSymmRVTwoNode: the dedicated symmetric procedure on K2, δ=1.
 func BenchmarkSymmRVTwoNode(b *testing.B) {

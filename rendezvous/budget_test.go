@@ -32,7 +32,7 @@ func TestEncodingBitBudgetDominatesRealEncodings(t *testing.T) {
 			continue // saturated budgets trivially dominate
 		}
 		for v := 0; v < g.N(); v++ {
-			enc := view.Encode(view.Truncated(g, v, g.N()-1))
+			enc := view.Truncated(g, v, g.N()-1).Encode()
 			bits := uint64(len(enc)) * 8
 			if bits > budget {
 				t.Fatalf("%s node %d: encoding %d bits exceeds budget K(%d)=%d", g, v, bits, n, budget)
@@ -47,7 +47,7 @@ func TestEncodingBitBudgetDominatesRandom(t *testing.T) {
 		g := graph.RandomConnected(n, 0, seed)
 		budget := EncodingBitBudget(uint64(n))
 		for v := 0; v < n; v++ {
-			enc := view.Encode(view.Truncated(g, v, n-1))
+			enc := view.Truncated(g, v, n-1).Encode()
 			if uint64(len(enc))*8 > budget {
 				return false
 			}

@@ -4,8 +4,6 @@ import (
 	"fmt"
 
 	"repro/agent"
-	"repro/uxs"
-	"repro/view"
 )
 
 // This file implements the repository's main extension beyond the paper:
@@ -81,21 +79,27 @@ func NewAsymmRVID(n, delta uint64) (agent.Program, error) {
 }
 
 func asymmRVID(w agent.World, n, delta uint64) {
-	walk := newUXSWalk(uxs.Generate(int(n)))
+	var s rvScratch
+	asymmRVIDWith(w, n, delta, &s)
+}
+
+func asymmRVIDWith(w agent.World, n, delta uint64, s *rvScratch) {
+	walk := s.uxsWalkFor(n)
 	repeats := ActiveRepeats(n, delta)
 	slotLen := satMul(repeats, UXSRoundTrip(n))
 	for d := uint64(1); d <= n-1; d++ {
-		// Sub-phase D: physical view walk to depth D, padded.
+		// Sub-phase D: physical view walk to depth D, padded. The scratch
+		// tree and label buffer are reused across sub-phases and phases.
 		budget := ViewWalkTimeDepth(n, d)
 		start := w.Clock()
-		tree := viewWalk(w, int(d), budget)
+		viewWalk(w, int(d), budget, &s.tree)
 		used := w.Clock() - start
 		w.Wait(budget - used)
 
 		// Depth-D label schedule.
-		enc := view.Encode(tree)
+		s.enc = s.tree.AppendEncode(s.enc[:0])
 		slots := EncodingBitBudgetDepth(n, d)
-		playSchedule(w, enc, slots, repeats, slotLen, walk)
+		playSchedule(w, s.enc, slots, repeats, slotLen, walk)
 	}
 }
 
@@ -103,7 +107,7 @@ func asymmRVID(w agent.World, n, delta uint64) {
 // and asymmRVID: slot k is active (repeats UXS round trips) iff bit k of
 // enc is 1; passive slots (and the padding beyond the label) are merged
 // waits. Exactly slots*slotLen rounds.
-func playSchedule(w agent.World, enc []byte, slots, repeats, slotLen uint64, walk *uxsWalk) {
+func playSchedule(w agent.World, enc []byte, slots, repeats, slotLen uint64, walk uxsWalk) {
 	encBits := uint64(len(enc)) * 8
 	pendingPassive := uint64(0)
 	for k := uint64(0); k < slots; k++ {
@@ -137,6 +141,7 @@ func playSchedule(w agent.World, enc []byte, slots, repeats, slotLen uint64, wal
 // nonsymmetric STICs drop sharply (experiment E19).
 func FastUniversalRV() agent.Program {
 	return func(w agent.World) {
+		var s rvScratch // reused across every phase of this agent
 		for p := uint64(1); ; p++ {
 			n, d, delta := Untriple(p)
 			if d >= n {
@@ -146,10 +151,10 @@ func FastUniversalRV() agent.Program {
 				w.Wait(RoundCap)
 				continue
 			}
-			asymmRVID(w, n, delta)
+			asymmRVIDWith(w, n, delta, &s)
 			w.Wait(AsymmRVIDTime(n, delta))
 			if delta >= d {
-				symmRV(w, n, d, delta)
+				symmRVWith(w, n, d, delta, &s)
 			}
 		}
 	}

@@ -14,6 +14,11 @@ import "repro/agent"
 // is exactly PathBudget(n,d) * (d+δ) rounds, which realizes Lemma 3.3's
 // bound with equality. Requires 1 <= d <= δ (the paper's precondition).
 func explore(w agent.World, n, d, delta uint64) {
+	var s rvScratch
+	exploreWith(w, n, d, delta, &s)
+}
+
+func exploreWith(w agent.World, n, d, delta uint64, s *rvScratch) {
 	if d < 1 || d > delta {
 		panic("rendezvous: explore requires 1 <= d <= delta")
 	}
@@ -25,7 +30,7 @@ func explore(w agent.World, n, d, delta uint64) {
 	// procedure's duration exact, which is what phase synchrony needs.
 	// Under a correct hypothesis the cap never binds before the
 	// enumeration finishes.
-	count := exploreEnumerate(w, d, delta, budget)
+	count := exploreEnumerate(w, d, delta, budget, s)
 	if count < budget {
 		w.Wait(satMul(budget-count, perIteration))
 	}
@@ -35,17 +40,22 @@ func explore(w agent.World, n, d, delta uint64) {
 // and the paper-literal unpaddedExplore: all port sequences of length d in
 // lexicographic order, each traversed forward, backtracked along the
 // reverse path, and followed by a δ-d wait — capped at maxIter iterations.
-// It returns the number of iterations performed (d+δ rounds each).
-func exploreEnumerate(w agent.World, d, delta, maxIter uint64) uint64 {
+// It returns the number of iterations performed (d+δ rounds each). The
+// enumeration buffers live in the scratch: SymmRV calls this at every
+// node of its UXS walk, so per-call allocation would dominate the phase.
+func exploreEnumerate(w agent.World, d, delta, maxIter uint64, s *rvScratch) uint64 {
 	count := uint64(0)
 	if d == 1 {
 		// Depth-1 paths batch whole iterations: one script moves out
 		// through port p and straight back through the entry port —
-		// which is exactly Rel(0).
-		step := [2]int{0, agent.Rel(0)}
+		// which is exactly Rel(0). The script lives in the scratch: a
+		// local array would escape through the MoveSeq interface call,
+		// one heap allocation per Explore.
+		step := scratchInts(&s.expSeq, 2)
+		step[0], step[1] = 0, agent.Rel(0)
 		for {
 			deg := w.Degree()
-			w.MoveSeq(step[:])
+			w.MoveSeq(step)
 			w.Wait(delta - d)
 			count++
 			if count == maxIter || step[0]+1 >= deg {
@@ -56,16 +66,31 @@ func exploreEnumerate(w agent.World, d, delta, maxIter uint64) uint64 {
 	}
 
 	dd := int(d)
-	seq := make([]int, dd)     // current port sequence (starts all-zero)
-	degs := make([]int, dd)    // degree of the node at each depth
-	entries := make([]int, dd) // entry ports, for backtracking
-	rev := make([]int, dd)     // reversed entries, batched backtrack script
+	seq := scratchInts(&s.expSeq, dd) // current port sequence (starts all-zero)
+	for i := range seq {
+		seq[i] = 0
+	}
+	degs := scratchInts(&s.expDegs, dd)       // degree of the node at each depth
+	entries := scratchInts(&s.expEntries, dd) // entry ports, for backtracking
+	rev := scratchInts(&s.expRev, dd)         // reversed entries, batched backtrack script
+
+	// The forward walk needs the degree at every depth to compute the
+	// lexicographic successor — a percept only an unscripted visit can
+	// deliver. But degrees learned once stay valid: the successor of a
+	// sequence differs from it only at one bumped position j (deeper
+	// positions reset to port 0), so the next path revisits the same nodes
+	// at depths 0..j and degs[0..j] carry over. The moves through those
+	// depths — ports known, percepts already learned — batch into a single
+	// script; only the suffix beyond the bump (new nodes, unknown degrees)
+	// is walked per-move. In the common case (bump at the deepest
+	// position) the entire forward walk is one script.
+	known := 0 // leading depths whose degs[] entries are valid
 	for {
-		// Traverse the path π given by seq, recording what is needed to
-		// reverse it and to advance the enumeration. The forward walk is
-		// per-move because the lexicographic successor needs the degree at
-		// every depth — a percept only the walk itself can deliver.
-		for i := 0; i < dd; i++ {
+		if known > 0 {
+			scripted := w.MoveSeq(seq[:known])
+			copy(entries, scripted)
+		}
+		for i := known; i < dd; i++ {
 			degs[i] = w.Degree()
 			entries[i] = w.Move(seq[i])
 		}
@@ -92,5 +117,6 @@ func exploreEnumerate(w agent.World, d, delta, maxIter uint64) uint64 {
 			return count
 		}
 		seq[j]++
+		known = j + 1 // nodes at depths 0..j are revisited next iteration
 	}
 }

@@ -36,25 +36,30 @@ func NewSymmRV(n, d, delta uint64) (agent.Program, error) {
 	return func(w agent.World) { symmRV(w, n, d, delta) }, nil
 }
 
-// symmRV is the internal body shared with UniversalRV.
+// symmRV is the internal body shared with UniversalRV; the convenience
+// form allocates a fresh scratch.
 func symmRV(w agent.World, n, d, delta uint64) {
+	var s rvScratch
+	symmRVWith(w, n, d, delta, &s)
+}
+
+func symmRVWith(w agent.World, n, d, delta uint64, s *rvScratch) {
 	y := uxs.Generate(int(n))
 
 	// Explore at u0, then step to u1 = succ(u0, 0). The walk steps stay
 	// per-move (an Explore interleaves at every node of R(u)); the final
 	// backtrack batches into one script.
-	explore(w, n, d, delta)
+	exploreWith(w, n, d, delta, s)
 	entry := w.Move(0)
-	entries := make([]int, 1, len(y)+1)
-	entries[0] = entry
-	explore(w, n, d, delta)
+	entries := append(scratchInts(&s.symEntries, len(y)+1)[:0], entry)
+	exploreWith(w, n, d, delta, s)
 
 	// Follow the UXS: from u_i entered by port q, leave by (q + a_i) mod d(u_i).
 	for _, a := range y {
 		p := (entry + a) % w.Degree()
 		entry = w.Move(p)
 		entries = append(entries, entry)
-		explore(w, n, d, delta)
+		exploreWith(w, n, d, delta, s)
 	}
 
 	// Go back to u0 along the reverse of R(u), as one batched script.
@@ -62,4 +67,5 @@ func symmRV(w agent.World, n, d, delta uint64) {
 		entries[i], entries[j] = entries[j], entries[i]
 	}
 	w.MoveSeq(entries)
+	s.symEntries = entries // keep the grown buffer for the next phase
 }

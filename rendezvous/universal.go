@@ -25,6 +25,7 @@ import "repro/agent"
 // them, so the substitution is unobservable within any feasible budget.
 func UniversalRV() agent.Program {
 	return func(w agent.World) {
+		var s rvScratch // reused across every phase of this agent
 		for p := uint64(1); ; p++ {
 			n, d, delta := Untriple(p)
 			if d >= n {
@@ -37,7 +38,7 @@ func UniversalRV() agent.Program {
 				continue
 			}
 			// AsymmRV for its exact duration; it ends at the start node.
-			asymmRV(w, n, delta)
+			asymmRVWith(w, n, delta, &s)
 			// Bookkeeping wait mirroring the paper's "wait until
 			// 2(P(n)+δ) rounds from the start of AsymmRV": keeps both
 			// agents' phase clocks identical and keeps this agent parked
@@ -45,7 +46,7 @@ func UniversalRV() agent.Program {
 			// (δ-shifted) AsymmRV schedule.
 			w.Wait(AsymmRVTime(n, delta))
 			if delta >= d {
-				symmRV(w, n, d, delta)
+				symmRVWith(w, n, d, delta, &s)
 			}
 		}
 	}
@@ -59,6 +60,7 @@ func UniversalRV() agent.Program {
 // symmetric positions. It is the ablation measured by experiment E11.
 func AsymmOnlyUniversalRV() agent.Program {
 	return func(w agent.World) {
+		var s rvScratch // reused across every phase of this agent
 		for p := uint64(1); ; p++ {
 			n, d, delta := Untriple(p)
 			if d >= n {
@@ -68,7 +70,7 @@ func AsymmOnlyUniversalRV() agent.Program {
 				w.Wait(RoundCap)
 				continue
 			}
-			asymmRV(w, n, delta)
+			asymmRVWith(w, n, delta, &s)
 			w.Wait(AsymmRVTime(n, delta))
 		}
 	}

@@ -15,11 +15,11 @@ import (
 func uxsSequenceFor(n uint64) uxs.Sequence { return uxs.Generate(int(n)) }
 
 // soloViewWalk runs the agent-side physical view exploration alone and
-// returns the tree it built plus the rounds it used.
-func soloViewWalk(g *graph.Graph, start, depth int, budget uint64) (*view.Node, uint64) {
-	var tree *view.Node
+// returns the flat tree it built plus the rounds it used.
+func soloViewWalk(g *graph.Graph, start, depth int, budget uint64) (*view.Tree, uint64) {
+	tree := &view.Tree{}
 	w := &soloWorld{g: g, pos: start, deg: g.Degree(start), entry: -1}
-	tree = viewWalk(w, depth, budget)
+	viewWalk(w, depth, budget, tree)
 	return tree, w.clock
 }
 
@@ -44,8 +44,13 @@ func TestViewWalkMatchesOracle(t *testing.T) {
 				if !view.Equal(got, want) {
 					t.Fatalf("%s node %d depth %d: agent view differs from oracle", g, v, depth)
 				}
-				if !bytes.Equal(view.Encode(got), view.Encode(want)) {
+				if !bytes.Equal(got.Encode(), want.Encode()) {
 					t.Fatalf("%s node %d depth %d: encodings differ", g, v, depth)
+				}
+				// The physical walk must also match the pointer-based
+				// reference implementation, not just the flat oracle.
+				if !view.RefEqual(got.Ref(), view.RefTruncated(g, v, depth)) {
+					t.Fatalf("%s node %d depth %d: agent view differs from reference", g, v, depth)
 				}
 				// Round accounting: two rounds per path of length <= depth.
 				paths := countPaths(g, v, depth)
@@ -97,7 +102,7 @@ func TestViewWalkBudgetCap(t *testing.T) {
 	}
 	// Budget 0: no moves at all, the tree is just the root.
 	tree, used := soloViewWalk(g, 0, 5, 0)
-	if used != 0 || tree.Deg != 2 {
+	if used != 0 || tree.At(0).Deg != 2 {
 		t.Fatalf("zero-budget walk moved: used=%d", used)
 	}
 }
@@ -111,7 +116,7 @@ func TestNorrisDepthSufficiencyViaLabels(t *testing.T) {
 			for v := u + 1; v < g.N(); v++ {
 				tu, _ := soloViewWalk(g, u, g.N()-1, RoundCap)
 				tv, _ := soloViewWalk(g, v, g.N()-1, RoundCap)
-				same := bytes.Equal(view.Encode(tu), view.Encode(tv))
+				same := bytes.Equal(tu.Encode(), tv.Encode())
 				if same != (c[u] == c[v]) {
 					t.Fatalf("%s (%d,%d): label equality %v but class equality %v", g, u, v, same, c[u] == c[v])
 				}

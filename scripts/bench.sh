@@ -2,26 +2,40 @@
 # bench.sh — run the benchmark suite and emit a JSON perf record
 # (ns/op, B/op, allocs/op per benchmark) for the PR perf trajectory.
 #
-# Usage: scripts/bench.sh [output.json]   (default: BENCH_PR1.json)
+# Usage: scripts/bench.sh [output.json]   (default: BENCH_PR2.json)
 #
 # The emitted file contains a "baseline" section (the seed engine's
 # numbers, recorded in scripts/seed-baseline.json) and a "current" section
-# measured by this run: the root experiment suite plus the sim, view and
-# uxs microbenchmarks that the engine rework targets.
+# measured by this run: the root experiment suite plus the sim, view,
+# rendezvous and uxs microbenchmarks that the engine rework targets. Every
+# benchmark is sampled -count times and the per-benchmark MINIMUM ns/op is
+# recorded: single 1x samples on a shared box swing by 2x and would defeat
+# the benchdiff regression gate; the minimum is the standard noise floor.
+#
+# Compare two records with: go run ./cmd/benchdiff old.json new.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_PR1.json}"
+out="${1:-BENCH_PR2.json}"
+count="${BENCH_COUNT:-5}"
+# go test appends "-$GOMAXPROCS" to benchmark names — but only when
+# GOMAXPROCS > 1. Resolve the actual value so the name extraction below
+# strips exactly that suffix and nothing else (PR 1's record was mangled
+# here: on a GOMAXPROCS=1 box there is no suffix, and an unconditional
+# strip ate the sub-benchmark size instead — BenchmarkClasses/ring-8,
+# /ring-32 and /ring-128 all collapsed to "BenchmarkClasses/ring").
+procs="${GOMAXPROCS:-$(nproc)}"
 
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
-echo "== root experiment suite" >&2
-go test -run '^$' -bench . -benchtime 1x -benchmem . | tee -a "$tmp"
+echo "== root experiment suite (count=$count)" >&2
+go test -run '^$' -bench . -benchtime 1x -count "$count" -benchmem . | tee -a "$tmp"
 echo "== sim engine microbenchmarks" >&2
-go test -run '^$' -bench 'BenchmarkScriptedWalk|BenchmarkPerMoveWalk|BenchmarkRoundThroughput|BenchmarkFastForward' -benchmem ./sim/ | tee -a "$tmp"
-echo "== view + uxs microbenchmarks" >&2
-go test -run '^$' -bench 'BenchmarkClasses' -benchmem ./view/ | tee -a "$tmp"
-go test -run '^$' -bench 'BenchmarkGenerate' -benchmem ./uxs/ | tee -a "$tmp"
+go test -run '^$' -bench 'BenchmarkScriptedWalk|BenchmarkPerMoveWalk|BenchmarkRoundThroughput|BenchmarkFastForward' -count 3 -benchmem ./sim/ | tee -a "$tmp"
+echo "== view + rendezvous + uxs microbenchmarks" >&2
+go test -run '^$' -bench 'BenchmarkClasses' -count 3 -benchmem ./view/ | tee -a "$tmp"
+go test -run '^$' -bench 'BenchmarkViewWalk' -count 3 -benchmem ./rendezvous/ | tee -a "$tmp"
+go test -run '^$' -bench 'BenchmarkGenerate' -count 3 -benchmem ./uxs/ | tee -a "$tmp"
 
 {
   printf '{\n'
@@ -29,10 +43,17 @@ go test -run '^$' -bench 'BenchmarkGenerate' -benchmem ./uxs/ | tee -a "$tmp"
   printf '  "baseline": '
   sed 's/^/  /' scripts/seed-baseline.json | sed '1s/^  //'
   printf '  ,\n  "current": [\n'
-  awk '
+  awk -v procs="$procs" '
     /^Benchmark/ {
+      # Strip exactly one trailing "-<GOMAXPROCS>" (present only when
+      # GOMAXPROCS > 1), keeping sub-benchmark size suffixes intact.
       name = $1
-      sub(/-[0-9]+$/, "", name)
+      if (procs + 0 > 1) {
+        suffix = "-" procs
+        if (length(name) > length(suffix) && substr(name, length(name) - length(suffix) + 1) == suffix) {
+          name = substr(name, 1, length(name) - length(suffix))
+        }
+      }
       ns = ""; bytes = "null"; allocs = "null"
       for (i = 2; i <= NF; i++) {
         if ($i == "ns/op") ns = $(i-1)
@@ -40,11 +61,22 @@ go test -run '^$' -bench 'BenchmarkGenerate' -benchmem ./uxs/ | tee -a "$tmp"
         if ($i == "allocs/op") allocs = $(i-1)
       }
       if (ns != "") {
-        if (!first) first = 1; else printf ",\n"
-        printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, ns, bytes, allocs
+        if (!(name in minNs)) {
+          order[++n] = name
+          minNs[name] = ns + 0; minBytes[name] = bytes; minAllocs[name] = allocs
+        } else if (ns + 0 < minNs[name]) {
+          minNs[name] = ns + 0; minBytes[name] = bytes; minAllocs[name] = allocs
+        }
       }
     }
-    END { printf "\n" }
+    END {
+      for (i = 1; i <= n; i++) {
+        name = order[i]
+        if (i > 1) printf ",\n"
+        printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, minNs[name], minBytes[name], minAllocs[name]
+      }
+      printf "\n"
+    }
   ' "$tmp"
   printf '  ]\n}\n'
 } > "$out"

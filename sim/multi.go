@@ -87,28 +87,43 @@ func RunMany(g *graph.Graph, agents []MultiAgent, cfg MultiConfig) MultiResult {
 			}
 		}
 
-		// Detect meetings and gathering at round t.
-		byNode := map[int][]int{}
+		// Detect meetings and gathering at round t: allocation-free O(k^2)
+		// pairwise position compare, in deterministic (i, j) order. (A
+		// per-round map of co-located groups here used to dominate the
+		// multi-agent allocation profile — one map plus its slices per
+		// simulated round.)
 		presentCount := 0
 		for i := range agents {
 			if present[i] {
 				presentCount++
-				byNode[runners[i].pos] = append(byNode[runners[i].pos], i)
 			}
 		}
-		for node, group := range byNode {
-			for x := 0; x < len(group); x++ {
-				for y := x + 1; y < len(group); y++ {
-					key := [2]int{group[x], group[y]}
-					if !met[key] {
-						met[key] = true
-						res.Meetings = append(res.Meetings, Meeting{A: group[x], B: group[y], Node: node, Round: t})
-					}
+		for i := 0; i < len(agents); i++ {
+			if !present[i] {
+				continue
+			}
+			for j := i + 1; j < len(agents); j++ {
+				if !present[j] || runners[i].pos != runners[j].pos {
+					continue
+				}
+				key := [2]int{i, j}
+				if !met[key] {
+					met[key] = true
+					res.Meetings = append(res.Meetings, Meeting{A: i, B: j, Node: runners[i].pos, Round: t})
 				}
 			}
-			if presentCount == len(agents) && len(group) == len(agents) && !res.Gathered {
+		}
+		if presentCount == len(agents) && !res.Gathered {
+			gathered := true
+			for i := 1; i < len(agents); i++ {
+				if runners[i].pos != runners[0].pos {
+					gathered = false
+					break
+				}
+			}
+			if gathered {
 				res.Gathered = true
-				res.GatherNode = node
+				res.GatherNode = runners[0].pos
 				res.GatherRound = t
 			}
 		}

@@ -2,48 +2,163 @@ package sim
 
 import (
 	"runtime"
+	"sort"
 	"sync"
 )
 
-// ParallelMap applies f to every item using a bounded worker pool and
-// returns the results in input order. Individual simulator runs are
-// single-threaded and deterministic, so parameter sweeps (the experiment
-// harness runs thousands of STICs) parallelize across runs, not within
-// them; results are position-stable regardless of scheduling.
+// This file is the sweep scheduler: the experiment harness runs thousands
+// of independent, deterministic, single-threaded simulator runs, and the
+// scheduler's job is to spread them over workers without giving up
+// position-stable results. Sweep shards the case list by a caller-chosen
+// key — typically the (graph, parameter block) a case belongs to — so that
+// all cases of one shard run sequentially on one worker (warm per-worker
+// scratch, no cross-worker cache bouncing for one graph's data), while
+// distinct shards run concurrently, dealt largest-first so the long shards
+// start early. ParallelMap is the degenerate one-case-per-shard form.
+
+// Scratch is the reusable per-worker arena handed to every Sweep callback.
+// Exactly one goroutine owns a Scratch at any time, so callbacks may use
+// it freely without locking; nothing in it is ever shared across workers
+// (pinned by the -race tests). Buffers are recycled between calls — a
+// callback must not retain them past its return.
+type Scratch struct {
+	worker int
+	ints   []int
+	bytes  []byte
+	stash  any
+}
+
+// Worker returns the index of the worker that owns this scratch
+// (0 <= Worker < workers).
+func (s *Scratch) Worker() int { return s.worker }
+
+// Ints returns a length-n scratch slice with undefined contents, reusing
+// the arena's backing array whenever it is large enough.
+func (s *Scratch) Ints(n int) []int {
+	if cap(s.ints) < n {
+		s.ints = make([]int, n)
+	}
+	s.ints = s.ints[:n]
+	return s.ints
+}
+
+// Bytes returns a length-n scratch slice with undefined contents, reusing
+// the arena's backing array whenever it is large enough.
+func (s *Scratch) Bytes(n int) []byte {
+	if cap(s.bytes) < n {
+		s.bytes = make([]byte, n)
+	}
+	s.bytes = s.bytes[:n]
+	return s.bytes
+}
+
+// Stash returns this worker's caller-defined scratch value, building it
+// with init on first use. Typical use: a per-worker view.Refiner or result
+// accumulator that would be racy as a shared package variable.
+func (s *Scratch) Stash(init func() any) any {
+	if s.stash == nil && init != nil {
+		s.stash = init()
+	}
+	return s.stash
+}
+
+// Sweep applies f to every item and returns the results in input order.
 //
-// workers <= 0 selects GOMAXPROCS.
-func ParallelMap[T, R any](items []T, workers int, f func(T) R) []R {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(items) {
-		workers = len(items)
-	}
+// key partitions the items into shards: items with equal keys (any
+// comparable value — the natural choice is the case's *graph.Graph, or a
+// parameter-block index) form one shard and are processed sequentially, in
+// input order, by a single worker. A nil key puts every item in its own
+// shard (maximum parallelism, no locality). Shards are dealt to workers
+// largest-first; each worker owns one Scratch for its whole lifetime, so
+// state stashed there is warm across every shard that worker drains.
+// Results are aggregated per shard into disjoint regions of the output
+// (shards partition the index space), so no synchronization is needed
+// beyond the shard queue and results are position-stable regardless of
+// scheduling.
+//
+// workers <= 0 selects GOMAXPROCS. Individual runs are single-threaded
+// and deterministic, so sweeps parallelize across runs, not within them.
+func Sweep[T, R any](items []T, workers int, key func(T) any, f func(*Scratch, T) R) []R {
 	out := make([]R, len(items))
 	if len(items) == 0 {
 		return out
 	}
-	if workers <= 1 {
+
+	// Shard the index space by key, first-occurrence order.
+	var shards [][]int
+	if key == nil {
+		idx := make([]int, len(items))
+		shards = make([][]int, len(items))
+		for i := range items {
+			idx[i] = i
+			shards[i] = idx[i : i+1 : i+1]
+		}
+	} else {
+		byKey := make(map[any]int, len(items))
 		for i, it := range items {
-			out[i] = f(it)
+			k := key(it)
+			si, ok := byKey[k]
+			if !ok {
+				si = len(shards)
+				shards = append(shards, nil)
+				byKey[k] = si
+			}
+			shards[si] = append(shards[si], i)
+		}
+	}
+
+	// Largest-first deal order (stable: ties keep first-occurrence order).
+	order := make([]int, len(shards))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return len(shards[order[a]]) > len(shards[order[b]])
+	})
+
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(shards) {
+		workers = len(shards)
+	}
+	if workers <= 1 {
+		s := &Scratch{}
+		for _, si := range order {
+			for _, i := range shards[si] {
+				out[i] = f(s, items[i])
+			}
 		}
 		return out
 	}
-	var wg sync.WaitGroup
+
 	next := make(chan int)
-	for w := 0; w < workers; w++ {
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
 		wg.Add(1)
-		go func() {
+		go func(id int) {
 			defer wg.Done()
-			for i := range next {
-				out[i] = f(items[i])
+			s := &Scratch{worker: id}
+			for si := range next {
+				for _, i := range shards[si] {
+					out[i] = f(s, items[i])
+				}
 			}
-		}()
+		}(wk)
 	}
-	for i := range items {
-		next <- i
+	for _, si := range order {
+		next <- si
 	}
 	close(next)
 	wg.Wait()
 	return out
+}
+
+// ParallelMap applies f to every item using a bounded worker pool and
+// returns the results in input order — Sweep with one item per shard and
+// the scratch unused. Kept for callers without locality structure.
+//
+// workers <= 0 selects GOMAXPROCS.
+func ParallelMap[T, R any](items []T, workers int, f func(T) R) []R {
+	return Sweep(items, workers, nil, func(_ *Scratch, it T) R { return f(it) })
 }

@@ -26,7 +26,9 @@ type Quotient struct {
 	Size []int
 }
 
-// NewQuotient computes the quotient of g from its view classes.
+// NewQuotient computes the quotient of g from its view classes (via the
+// flat Refiner; the transition tables are carved from two shared slabs
+// rather than allocated per class).
 func NewQuotient(g *graph.Graph) *Quotient {
 	class := Classes(g)
 	k := 0
@@ -42,20 +44,29 @@ func NewQuotient(g *graph.Graph) *Quotient {
 		EntryPort: make([][]int, k),
 		Size:      make([]int, k),
 	}
+	rep := make([]int, k) // representative node per class
+	total := 0
 	seen := make([]bool, k)
 	for v := 0; v < g.N(); v++ {
 		c := class[v]
 		q.Size[c]++
-		if seen[c] {
-			continue
+		if !seen[c] {
+			seen[c] = true
+			rep[c] = v
+			q.Degree[c] = g.Degree(v)
+			total += g.Degree(v)
 		}
-		seen[c] = true
-		d := g.Degree(v)
-		q.Degree[c] = d
-		q.Next[c] = make([]int, d)
-		q.EntryPort[c] = make([]int, d)
+	}
+	nextSlab := make([]int, total)
+	entrySlab := make([]int, total)
+	at := 0
+	for c := 0; c < k; c++ {
+		d := q.Degree[c]
+		q.Next[c] = nextSlab[at : at+d : at+d]
+		q.EntryPort[c] = entrySlab[at : at+d : at+d]
+		at += d
 		for p := 0; p < d; p++ {
-			to, ep := g.Succ(v, p)
+			to, ep := g.Succ(rep[c], p)
 			q.Next[c][p] = class[to]
 			q.EntryPort[c][p] = ep
 		}

@@ -1,0 +1,109 @@
+package view
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/graph"
+)
+
+// This file keeps the original pointer-based view tree as an executable
+// reference: RefTruncated/RefEncode define the canonical-equality
+// semantics the flat Tree and its binary encoder must agree with, and the
+// property tests check them against each other on random graphs. Nothing
+// on a hot path uses these; they allocate per node by design (that cost is
+// exactly why the flat representation replaced them).
+
+// RefNode is one vertex of a pointer-based truncated view tree. The root
+// has EntryPort -1; every other node records the port by which the path
+// enters it. Kids[p] is the subtree reached by taking outgoing port p, or
+// nil beyond the truncation depth.
+type RefNode struct {
+	Deg       int
+	EntryPort int
+	Kids      []*RefNode
+}
+
+// RefTruncated returns the view from v truncated to the given depth as a
+// pointer tree (depth 0 = just the root's degree).
+func RefTruncated(g *graph.Graph, v, depth int) *RefNode {
+	var rec func(node, entry, d int) *RefNode
+	rec = func(node, entry, d int) *RefNode {
+		nd := &RefNode{Deg: g.Degree(node), EntryPort: entry}
+		if d == 0 {
+			return nd
+		}
+		nd.Kids = make([]*RefNode, nd.Deg)
+		for p := 0; p < nd.Deg; p++ {
+			to, ep := g.Succ(node, p)
+			nd.Kids[p] = rec(to, ep, d-1)
+		}
+		return nd
+	}
+	return rec(v, -1, depth)
+}
+
+// RefEncode renders the legacy canonical text encoding of a pointer tree:
+// equal trees encode equally and different trees differ at some byte
+// within both encodings' common prefix range. Format:
+//
+//	node := '(' deg ',' entry { kid } ')'
+//
+// with decimal numbers; a nil kid (truncation frontier) encodes as '*'.
+func RefEncode(n *RefNode) []byte {
+	var b strings.Builder
+	var rec func(*RefNode)
+	rec = func(nd *RefNode) {
+		if nd == nil {
+			b.WriteByte('*')
+			return
+		}
+		fmt.Fprintf(&b, "(%d,%d", nd.Deg, nd.EntryPort)
+		for _, k := range nd.Kids {
+			rec(k)
+		}
+		b.WriteByte(')')
+	}
+	rec(n)
+	return []byte(b.String())
+}
+
+// RefEqual reports whether two pointer trees are identical.
+func RefEqual(a, b *RefNode) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Deg != b.Deg || a.EntryPort != b.EntryPort || len(a.Kids) != len(b.Kids) {
+		return false
+	}
+	for i := range a.Kids {
+		if !RefEqual(a.Kids[i], b.Kids[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Ref converts a flat tree into the equivalent pointer tree — the bridge
+// the differential tests use.
+func (t *Tree) Ref() *RefNode {
+	if t.Len() == 0 {
+		return nil
+	}
+	return t.refAt(0)
+}
+
+func (t *Tree) refAt(id int32) *RefNode {
+	nd := t.At(id)
+	out := &RefNode{Deg: int(nd.Deg), EntryPort: int(nd.EntryPort)}
+	if nd.Kids == NoKids {
+		return out
+	}
+	out.Kids = make([]*RefNode, nd.Deg)
+	for p, k := range t.KidsOf(id) {
+		if k != Frontier {
+			out.Kids[p] = t.refAt(k)
+		}
+	}
+	return out
+}

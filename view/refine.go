@@ -1,0 +1,171 @@
+package view
+
+import "repro/graph"
+
+// Refiner computes view-equivalence classes by port-aware integer
+// partition refinement, keeping every buffer — colors, the signature
+// arena, the open-addressed signature table and the result — for reuse, so
+// steady-state calls on same-shaped graphs allocate nothing. A Refiner is
+// not safe for concurrent use; give each worker its own (the sim.Sweep
+// scratch is the natural home).
+type Refiner struct {
+	color, next []int32
+	sig         []int32 // arena of this round's distinct class signatures
+	off         []int32 // off[id]..off[id+1] bound signature id in sig
+	table       []int32 // open-addressed: class id + 1, 0 = empty
+	out         []int
+}
+
+// Classes returns the view-equivalence classes of all nodes of g:
+// result[u] == result[v] iff V(u,G) = V(v,G), with classes numbered
+// 0..k-1 by first occurrence in node order — deterministic for a given
+// graph. The returned slice is owned by the Refiner and overwritten by the
+// next call; callers that keep it must copy (the package-level Classes
+// does).
+//
+// Refinement starts from the trivial all-equal coloring; each round hashes
+// the integer signature (own color, then per port the entry port and the
+// neighbor's color) into class ids and stops at the first round that fails
+// to split any class: signatures start with the node's current color, so a
+// round can only refine the partition, and an unchanged class count means
+// an unchanged partition. Degrees need no special round of their own —
+// signature lengths differ, so unequal degrees split immediately. By
+// Norris' theorem the stable partition is view equivalence.
+func (r *Refiner) Classes(g *graph.Graph) []int {
+	n := g.N()
+	if n == 0 {
+		return r.out[:0]
+	}
+	r.color = growInt32(r.color, n)
+	r.next = growInt32(r.next, n)
+	for i := range r.color {
+		r.color[i] = 0
+	}
+	// Table sized to a power of two >= 4n: load factor <= 1/4 with at most
+	// n distinct signatures per round.
+	tsize := 1
+	for tsize < 4*n {
+		tsize <<= 1
+	}
+	r.table = growInt32(r.table, tsize)
+	mask := int32(tsize - 1)
+
+	numClasses := 1
+	for {
+		r.sig = r.sig[:0]
+		r.off = append(r.off[:0], 0)
+		for i := range r.table {
+			r.table[i] = 0
+		}
+		classes := int32(0)
+		for v := 0; v < n; v++ {
+			base := len(r.sig)
+			d := g.Degree(v)
+			r.sig = append(r.sig, r.color[v])
+			for p := 0; p < d; p++ {
+				to, ep := g.Succ(v, p)
+				r.sig = append(r.sig, int32(ep), r.color[to])
+			}
+			cur := r.sig[base:]
+			// FNV-1a over the signature words, probed linearly.
+			h := uint64(14695981039346656037)
+			for _, x := range cur {
+				h ^= uint64(uint32(x))
+				h *= 1099511628211
+			}
+			slot := int32(h) & mask
+			id := int32(-1)
+			for {
+				e := r.table[slot]
+				if e == 0 {
+					break
+				}
+				cand := e - 1
+				if equalInt32(r.sig[r.off[cand]:r.off[cand+1]], cur) {
+					id = cand
+					break
+				}
+				slot = (slot + 1) & mask
+			}
+			if id < 0 {
+				id = classes
+				classes++
+				r.table[slot] = id + 1
+				r.off = append(r.off, int32(len(r.sig)))
+			} else {
+				r.sig = r.sig[:base] // duplicate signature: discard
+			}
+			r.next[v] = id
+		}
+		if int(classes) == numClasses {
+			// No class split: the partition is stable, renumbered by first
+			// occurrence in node order.
+			r.out = r.out[:0]
+			for v := 0; v < n; v++ {
+				r.out = append(r.out, int(r.next[v]))
+			}
+			return r.out
+		}
+		numClasses = int(classes)
+		r.color, r.next = r.next, r.color
+	}
+}
+
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int32, n)
+}
+
+func equalInt32(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Classes is the allocation-per-call convenience form: the returned slice
+// is fresh and the caller may keep it.
+func Classes(g *graph.Graph) []int {
+	var r Refiner
+	return append([]int(nil), r.Classes(g)...)
+}
+
+// Symmetric reports whether nodes u and v have equal views.
+func Symmetric(g *graph.Graph, u, v int) bool {
+	var r Refiner
+	c := r.Classes(g)
+	return c[u] == c[v]
+}
+
+// AllSymmetric reports whether every pair of nodes is symmetric (a single
+// view class), as the paper asserts for Q̂h and for oriented tori and rings.
+func AllSymmetric(g *graph.Graph) bool {
+	var r Refiner
+	c := r.Classes(g)
+	for _, x := range c {
+		if x != c[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// ClassCount returns the number of distinct views in the graph.
+func ClassCount(g *graph.Graph) int {
+	var r Refiner
+	c := r.Classes(g)
+	max := -1
+	for _, x := range c {
+		if x > max {
+			max = x
+		}
+	}
+	return max + 1
+}

@@ -1,0 +1,178 @@
+package view
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/graph"
+	"repro/internal/rng"
+)
+
+// randomTree builds a random flat tree (random degrees, entry ports,
+// truncation frontiers of both kinds) plus the equivalent pointer tree —
+// exercising shapes physical walks produce under wrong hypotheses, which
+// graph-derived trees never show.
+func randomTree(r *rng.RNG, t *Tree, maxDepth int) {
+	t.Reset()
+	var rec func(entry int32, d int) int32
+	rec = func(entry int32, d int) int32 {
+		deg := int32(1 + r.Intn(3))
+		id := t.NewNode(deg, entry)
+		if d == 0 || r.Intn(4) == 0 {
+			return id // unexpanded: depth frontier
+		}
+		t.Expand(id)
+		for p := int32(0); p < deg; p++ {
+			if r.Intn(5) == 0 {
+				continue // budget-cut frontier mark in this slot
+			}
+			t.SetKid(id, int(p), rec(p%deg, d-1))
+		}
+		return id
+	}
+	rec(-1, maxDepth)
+}
+
+// TestTreeEncodeDecodeRoundTrip: Decode(AppendEncode(t)) reproduces the
+// tree exactly, and re-encoding reproduces the bytes — on random trees
+// with both frontier kinds.
+func TestTreeEncodeDecodeRoundTrip(t *testing.T) {
+	var tr, back Tree
+	var enc, enc2 []byte
+	for seed := uint64(1); seed <= 400; seed++ {
+		r := rng.New(seed)
+		randomTree(r, &tr, 4)
+		enc = tr.AppendEncode(enc[:0])
+		if err := back.Decode(enc); err != nil {
+			t.Fatalf("seed %d: decode failed: %v", seed, err)
+		}
+		if !Equal(&tr, &back) {
+			t.Fatalf("seed %d: round-trip tree differs", seed)
+		}
+		enc2 = back.AppendEncode(enc2[:0])
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("seed %d: re-encoding differs", seed)
+		}
+	}
+}
+
+// TestTreeEncodeAgreesWithReference: on random trees, the binary encoder's
+// equality semantics coincide byte-for-byte with the legacy text encoder —
+// two trees get equal binary encodings iff they get equal RefEncode
+// encodings (and both iff they are structurally equal).
+func TestTreeEncodeAgreesWithReference(t *testing.T) {
+	const trees = 60
+	flats := make([]Tree, trees)
+	encs := make([][]byte, trees)
+	refs := make([][]byte, trees)
+	for i := range flats {
+		r := rng.New(uint64(1000 + i))
+		randomTree(r, &flats[i], 3)
+		encs[i] = flats[i].Encode()
+		refs[i] = RefEncode(flats[i].Ref())
+	}
+	for i := 0; i < trees; i++ {
+		for j := 0; j < trees; j++ {
+			newEq := bytes.Equal(encs[i], encs[j])
+			oldEq := bytes.Equal(refs[i], refs[j])
+			if newEq != oldEq {
+				t.Fatalf("trees %d,%d: binary equality %v but reference equality %v", i, j, newEq, oldEq)
+			}
+			if structEq := Equal(&flats[i], &flats[j]); structEq != newEq {
+				t.Fatalf("trees %d,%d: structural equality %v but binary equality %v", i, j, structEq, newEq)
+			}
+		}
+	}
+}
+
+// TestTruncatedAgreesWithReference: on random graphs, the flat Build
+// produces exactly the tree the pointer-based reference builds.
+func TestTruncatedAgreesWithReference(t *testing.T) {
+	f := func(seed uint64, nRaw, extraRaw uint8) bool {
+		n := 2 + int(nRaw%7)
+		maxExtra := n*(n-1)/2 - (n - 1)
+		extra := 0
+		if maxExtra > 0 {
+			extra = int(extraRaw) % (maxExtra + 1)
+		}
+		g := graph.RandomConnected(n, extra, seed)
+		for v := 0; v < n; v++ {
+			for depth := 0; depth <= 3; depth++ {
+				flat := Truncated(g, v, depth)
+				if !RefEqual(flat.Ref(), RefTruncated(g, v, depth)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTreeReuse: Reset keeps capacity; rebuilding into a warm tree yields
+// identical encodings regardless of what was built before.
+func TestTreeReuse(t *testing.T) {
+	g1 := graph.Petersen()
+	g2 := graph.Path(3)
+	want1 := Truncated(g1, 0, 3).Encode()
+	want2 := Truncated(g2, 1, 2).Encode()
+	var tr Tree
+	var enc []byte
+	for i := 0; i < 5; i++ {
+		tr.Build(g1, 0, 3)
+		enc = tr.AppendEncode(enc[:0])
+		if !bytes.Equal(enc, want1) {
+			t.Fatalf("iteration %d: warm rebuild differs", i)
+		}
+		tr.Build(g2, 1, 2)
+		enc = tr.AppendEncode(enc[:0])
+		if !bytes.Equal(enc, want2) {
+			t.Fatalf("iteration %d: warm rebuild (small) differs", i)
+		}
+	}
+}
+
+// TestDecodeRejectsCorrupt: truncated and trailing inputs error out
+// instead of panicking or silently succeeding.
+func TestDecodeRejectsCorrupt(t *testing.T) {
+	enc := Truncated(graph.Cycle(5), 0, 3).Encode()
+	var back Tree
+	for cut := 0; cut < len(enc); cut++ {
+		if err := back.Decode(enc[:cut]); err == nil {
+			t.Fatalf("decode of %d-byte prefix succeeded", cut)
+		}
+	}
+	if err := back.Decode(append(append([]byte(nil), enc...), 0)); err == nil {
+		t.Fatal("decode with trailing byte succeeded")
+	}
+	if err := back.Decode(enc); err != nil {
+		t.Fatalf("decode of intact encoding failed: %v", err)
+	}
+}
+
+// TestRefinerReuse: a warm Refiner returns the same partition as a cold
+// one across graphs of different shapes and sizes.
+func TestRefinerReuse(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.Cycle(12), graph.Path(5), graph.Star(6),
+		graph.Petersen(), graph.TwoNode(), graph.Hypercube(3),
+	}
+	var r Refiner
+	for round := 0; round < 3; round++ {
+		for _, g := range graphs {
+			got := r.Classes(g)
+			want := Classes(g)
+			if len(got) != len(want) {
+				t.Fatalf("%s: length %d vs %d", g, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s: warm refiner diverges at node %d", g, i)
+				}
+			}
+		}
+	}
+}

@@ -1,97 +1,11 @@
-// Package view implements the views of Yamashita & Kameda used throughout
-// the paper's preliminaries: the view V(v,G) from a node v is the infinite
-// tree of all paths starting at v, coded as sequences of port numbers.
-//
-// Two nodes are symmetric when their views are equal. By Norris' theorem,
-// views of two nodes of an n-node graph are equal iff they are equal when
-// truncated to depth n-1, so symmetry is decidable; the package decides it
-// in polynomial time with port-aware partition refinement and also provides
-// explicit truncated view trees with a canonical encoding (shared by the
-// simulated agents in package rendezvous, which build the same trees by
-// physically exploring).
 package view
 
-import (
-	"fmt"
-	"strings"
-
-	"repro/graph"
-)
-
-// Node is one vertex of a truncated view tree. The root has EntryPort -1;
-// every other node records the port by which the path enters it (what an
-// agent walking the path would perceive). Kids[p] is the subtree reached by
-// taking outgoing port p, or nil beyond the truncation depth.
-type Node struct {
-	Deg       int
-	EntryPort int
-	Kids      []*Node
-}
-
-// Truncated returns the view from v truncated to the given depth
-// (depth 0 = just the root's degree).
-func Truncated(g *graph.Graph, v, depth int) *Node {
-	var rec func(node, entry, d int) *Node
-	rec = func(node, entry, d int) *Node {
-		nd := &Node{Deg: g.Degree(node), EntryPort: entry}
-		if d == 0 {
-			return nd
-		}
-		nd.Kids = make([]*Node, nd.Deg)
-		for p := 0; p < nd.Deg; p++ {
-			to, ep := g.Succ(node, p)
-			nd.Kids[p] = rec(to, ep, d-1)
-		}
-		return nd
-	}
-	return rec(v, -1, depth)
-}
-
-// Encode renders a canonical, self-delimiting byte encoding of a view tree:
-// equal trees encode equally and different trees differ at some byte within
-// both encodings' common prefix range (the encoding is prefix-free among
-// trees of the same truncation depth). Format:
-//
-//	node := '(' deg ',' entry { kid } ')'
-//
-// with decimal numbers; a nil kid (truncation frontier) encodes as '*'.
-func Encode(n *Node) []byte {
-	var b strings.Builder
-	var rec func(*Node)
-	rec = func(nd *Node) {
-		if nd == nil {
-			b.WriteByte('*')
-			return
-		}
-		fmt.Fprintf(&b, "(%d,%d", nd.Deg, nd.EntryPort)
-		for _, k := range nd.Kids {
-			rec(k)
-		}
-		b.WriteByte(')')
-	}
-	rec(n)
-	return []byte(b.String())
-}
-
-// Equal reports whether two view trees are identical.
-func Equal(a, b *Node) bool {
-	if a == nil || b == nil {
-		return a == b
-	}
-	if a.Deg != b.Deg || a.EntryPort != b.EntryPort || len(a.Kids) != len(b.Kids) {
-		return false
-	}
-	for i := range a.Kids {
-		if !Equal(a.Kids[i], b.Kids[i]) {
-			return false
-		}
-	}
-	return true
-}
+import "repro/graph"
 
 // EqualToDepth reports whether the views from u and v agree when truncated
 // to the given depth. It runs in O(n^2 * depth) time via memoized pairwise
-// comparison rather than materializing the (exponential) trees.
+// comparison rather than materializing the (exponential) trees. It is the
+// independent oracle the refinement and encoding tests check against.
 func EqualToDepth(g *graph.Graph, u, v, depth int) bool {
 	type key struct{ a, b, d int }
 	memo := make(map[key]bool)
@@ -120,127 +34,4 @@ func EqualToDepth(g *graph.Graph, u, v, depth int) bool {
 		return res
 	}
 	return rec(u, v, depth)
-}
-
-// Classes returns the view-equivalence classes of all nodes: class[u] ==
-// class[v] iff V(u,G) = V(v,G). Classes are numbered 0..k-1 by first
-// occurrence in node order, so the result is deterministic for a given
-// graph. The computation is port-aware integer partition refinement run to
-// stabilization, which coincides with view equivalence by Norris' theorem.
-//
-// Each round hashes the integer signature (own color, then per port the
-// entry port and the neighbor's color) into class ids directly — no string
-// building, no sorting — and stops when a round fails to split any class:
-// signatures start with the node's current color, so a round can only
-// refine the partition, and an unchanged class count means an unchanged
-// partition.
-func Classes(g *graph.Graph) []int {
-	n := g.N()
-	color := make([]int, n)
-	next := make([]int, n)
-
-	// Round 0: color by degree, ids by first occurrence.
-	degID := make(map[int]int)
-	for v := 0; v < n; v++ {
-		id, ok := degID[g.Degree(v)]
-		if !ok {
-			id = len(degID)
-			degID[g.Degree(v)] = id
-		}
-		color[v] = id
-	}
-	numClasses := len(degID)
-
-	var (
-		buf  []int            // reusable signature buffer
-		sigs [][]int          // signature of each class id this round
-		tab  map[uint64][]int // FNV hash -> class ids, collision-checked
-	)
-	for round := 0; round < n; round++ {
-		sigs = sigs[:0]
-		tab = make(map[uint64][]int, 2*numClasses)
-		for v := 0; v < n; v++ {
-			d := g.Degree(v)
-			buf = buf[:0]
-			buf = append(buf, color[v])
-			for p := 0; p < d; p++ {
-				to, ep := g.Succ(v, p)
-				buf = append(buf, ep, color[to])
-			}
-			h := hashInts(buf)
-			id := -1
-			for _, cand := range tab[h] {
-				if equalInts(sigs[cand], buf) {
-					id = cand
-					break
-				}
-			}
-			if id < 0 {
-				id = len(sigs)
-				sigs = append(sigs, append([]int(nil), buf...))
-				tab[h] = append(tab[h], id)
-			}
-			next[v] = id
-		}
-		if len(sigs) == numClasses {
-			// No class split: the partition is stable. next equals the
-			// same partition as color, renumbered by first occurrence.
-			return next
-		}
-		numClasses = len(sigs)
-		color, next = next, color
-	}
-	return color
-}
-
-// hashInts is FNV-1a over the signature words.
-func hashInts(xs []int) uint64 {
-	h := uint64(14695981039346656037)
-	for _, x := range xs {
-		h ^= uint64(x)
-		h *= 1099511628211
-	}
-	return h
-}
-
-func equalInts(a, b []int) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
-}
-
-// Symmetric reports whether nodes u and v have equal views.
-func Symmetric(g *graph.Graph, u, v int) bool {
-	c := Classes(g)
-	return c[u] == c[v]
-}
-
-// AllSymmetric reports whether every pair of nodes is symmetric (a single
-// view class), as the paper asserts for Q̂h and for oriented tori and rings.
-func AllSymmetric(g *graph.Graph) bool {
-	c := Classes(g)
-	for _, x := range c {
-		if x != c[0] {
-			return false
-		}
-	}
-	return true
-}
-
-// ClassCount returns the number of distinct views in the graph.
-func ClassCount(g *graph.Graph) int {
-	c := Classes(g)
-	max := -1
-	for _, x := range c {
-		if x > max {
-			max = x
-		}
-	}
-	return max + 1
 }

@@ -120,33 +120,37 @@ func TestRefinementMatchesDepthOracle(t *testing.T) {
 
 func TestTruncatedViewShape(t *testing.T) {
 	g := graph.Cycle(4)
-	v := Truncated(g, 0, 2)
-	if v.Deg != 2 || v.EntryPort != -1 {
-		t.Fatalf("root wrong: %+v", v)
+	tr := Truncated(g, 0, 2)
+	root := tr.At(0)
+	if root.Deg != 2 || root.EntryPort != -1 {
+		t.Fatalf("root wrong: %+v", root)
 	}
-	if len(v.Kids) != 2 {
-		t.Fatalf("root kids %d", len(v.Kids))
+	rootKids := tr.KidsOf(0)
+	if len(rootKids) != 2 {
+		t.Fatalf("root kids %d", len(rootKids))
 	}
 	// Taking port 0 on the oriented ring enters the next node by port 1.
-	if v.Kids[0].EntryPort != 1 || v.Kids[0].Deg != 2 {
-		t.Fatalf("kid wrong: %+v", v.Kids[0])
+	kid := tr.At(rootKids[0])
+	if kid.EntryPort != 1 || kid.Deg != 2 {
+		t.Fatalf("kid wrong: %+v", kid)
 	}
-	// Depth-2 truncation: grandchildren have nil kids.
-	if v.Kids[0].Kids[0].Kids != nil {
+	// Depth-2 truncation: grandchildren were never expanded.
+	grand := tr.At(tr.KidsOf(rootKids[0])[0])
+	if grand.Kids != NoKids {
 		t.Fatal("truncation depth not respected")
 	}
 }
 
 func TestEncodeCanonical(t *testing.T) {
 	g := graph.Cycle(6)
-	a := Encode(Truncated(g, 0, 3))
-	b := Encode(Truncated(g, 2, 3))
+	a := Truncated(g, 0, 3).Encode()
+	b := Truncated(g, 2, 3).Encode()
 	if !bytes.Equal(a, b) {
 		t.Fatal("symmetric nodes encoded differently")
 	}
 	p := graph.Path(4)
-	x := Encode(Truncated(p, 0, 3))
-	y := Encode(Truncated(p, 1, 3))
+	x := Truncated(p, 0, 3).Encode()
+	y := Truncated(p, 1, 3).Encode()
 	if bytes.Equal(x, y) {
 		t.Fatal("nonsymmetric nodes encoded equally")
 	}
@@ -159,7 +163,7 @@ func TestEncodeMatchesEqual(t *testing.T) {
 		for u := 0; u < n; u++ {
 			for v := 0; v < n; v++ {
 				tu, tv := Truncated(g, u, 3), Truncated(g, v, 3)
-				if Equal(tu, tv) != bytes.Equal(Encode(tu), Encode(tv)) {
+				if Equal(tu, tv) != bytes.Equal(tu.Encode(), tv.Encode()) {
 					return false
 				}
 			}
@@ -171,12 +175,12 @@ func TestEncodeMatchesEqual(t *testing.T) {
 	}
 }
 
-func TestEqualNilHandling(t *testing.T) {
-	if !Equal(nil, nil) {
-		t.Fatal("nil views should be equal")
+func TestEqualEmptyHandling(t *testing.T) {
+	if !Equal(&Tree{}, &Tree{}) {
+		t.Fatal("empty trees should be equal")
 	}
-	if Equal(nil, &Node{Deg: 1}) {
-		t.Fatal("nil vs non-nil should differ")
+	if Equal(&Tree{}, Truncated(graph.TwoNode(), 0, 1)) {
+		t.Fatal("empty vs non-empty should differ")
 	}
 }
 
