@@ -30,7 +30,10 @@
 // input-independent number of rounds, or UniversalRV's phase synchrony
 // breaks) can therefore batch freely: batching changes only how the rounds
 // are driven, never how many rounds elapse or where the agent is at each
-// of them.
+// of them. The same action alphabet (ScriptWait runs included) drives the
+// k-agent scheduler: sim.RunMany fast-forwards all k agents over scripted
+// stretches with the identical per-round semantics, so a program batches
+// once and runs at full speed in both the two-agent and gathering models.
 package agent
 
 import "fmt"
@@ -114,18 +117,33 @@ func Rel(offset int) int { return -2 - offset }
 // port: absolute actions (>= 0) are applied modulo degree, Rel-encoded
 // actions relative to entry (with entry < 0 treated as 0). Every int is a
 // valid action; degree must be positive (guaranteed on connected graphs
-// of size >= 2).
+// of size >= 2). This is the single source of truth for the action
+// alphabet — the simulator's scripted step and the direct single-agent
+// executors all resolve through it. Almost every real action is already
+// in range (or just past it, for small entry-relative offsets), so the
+// reduction is a compare-and-subtract before it falls back to the
+// division — this sits on the hottest instruction of every scripted
+// round.
 func ActionPort(action, entry, degree int) (port int, wait bool) {
 	if action == ScriptWait {
 		return 0, true
 	}
 	if action >= 0 {
-		return action % degree, false
+		port = action
+	} else {
+		if entry < 0 {
+			entry = 0
+		}
+		port = entry + (-2 - action)
 	}
-	if entry < 0 {
-		entry = 0
+	if port >= degree {
+		if port < degree<<1 {
+			port -= degree
+		} else {
+			port %= degree
+		}
 	}
-	return (entry + (-2 - action)) % degree, false
+	return port, false
 }
 
 // RunScript executes a script one action at a time against w — the

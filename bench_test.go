@@ -14,9 +14,13 @@
 package repro
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/experiments"
+	"repro/graph"
+	"repro/rendezvous"
+	"repro/sim"
 )
 
 func benchExperiment(b *testing.B, run func() *experiments.Table) {
@@ -101,6 +105,36 @@ func BenchmarkE16OptimalityGap(b *testing.B) { benchExperiment(b, experiments.E1
 // rendezvous among k agents running UniversalRV.
 func BenchmarkE17MultiAgent(b *testing.B) {
 	benchExperiment(b, func() *experiments.Table { return experiments.E17(false) })
+}
+
+// BenchmarkE17Multiagent measures the k-agent scheduler itself at
+// k = 2, 4, 8: k UniversalRV agents on a ring with staggered appearance
+// rounds, driven through one pooled session (the E17 workload shape
+// without the table harness). Distinct from BenchmarkE17MultiAgent
+// above, which regenerates the full E17 experiment and carries the
+// cross-PR perf trajectory; this one's per-k sub-benchmarks are tracked
+// separately by benchdiff ("…Multiagent/k=N" vs "…MultiAgent").
+func BenchmarkE17Multiagent(b *testing.B) {
+	prog := rendezvous.UniversalRV()
+	for _, k := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			g := graph.Cycle(2 * k)
+			agents := make([]sim.MultiAgent, k)
+			for i := range agents {
+				agents[i] = sim.MultiAgent{Program: prog, Start: 2 * i, Appear: uint64(i)}
+			}
+			sess := sim.NewSession()
+			defer sess.Close()
+			cfg := sim.MultiConfig{Budget: 500_000}
+			b.ReportAllocs()
+			var rounds uint64
+			for i := 0; i < b.N; i++ {
+				res := sess.RunMany(g, agents, cfg)
+				rounds += res.Rounds
+			}
+			b.ReportMetric(float64(rounds)/b.Elapsed().Seconds(), "rounds/s")
+		})
+	}
 }
 
 // BenchmarkE18UXSLength regenerates E18: the UXS-length coverage ablation

@@ -57,14 +57,14 @@ func E4() *Table {
 		Columns:  []string{"graph", "pair", "d=Shrink", "δ", "met", "time from later", "T(n,d,δ)", "moves/agent"},
 	}
 	cases := symmCases()
-	results := sim.Sweep(cases, 0, func(c symmCase) any { return c.g }, func(_ *sim.Scratch, c symmCase) sim.Result {
+	results := sim.Sweep(cases, 0, func(c symmCase) any { return c.g }, func(sc *sim.Scratch, c symmCase) sim.Result {
 		n := uint64(c.g.N())
 		prog, err := rendezvous.NewSymmRV(n, c.d, c.dlt)
 		if err != nil {
 			panic(err)
 		}
 		bound := rendezvous.SymmRVTime(n, c.d, c.dlt)
-		return sim.Run(c.g, prog, c.u, c.v, c.dlt, sim.Config{Budget: c.dlt + 2*bound})
+		return sc.Session().Run(c.g, prog, c.u, c.v, c.dlt, sim.Config{Budget: c.dlt + 2*bound})
 	})
 	for i, c := range cases {
 		n := uint64(c.g.N())

@@ -52,13 +52,13 @@ func E6() *Table {
 		}
 	}
 
-	results := sim.Sweep(cases, 0, func(c caze) any { return c.g }, func(_ *sim.Scratch, c caze) sim.Result {
+	results := sim.Sweep(cases, 0, func(c caze) any { return c.g }, func(sc *sim.Scratch, c caze) sim.Result {
 		n := uint64(c.g.N())
 		prog, err := rendezvous.NewAsymmRV(n, c.delta)
 		if err != nil {
 			panic(err)
 		}
-		return sim.Run(c.g, prog, c.u, c.v, c.delta,
+		return sc.Session().Run(c.g, prog, c.u, c.v, c.delta,
 			sim.Config{Budget: c.delta + 2*rendezvous.AsymmRVTime(n, c.delta)})
 	})
 	for i, c := range cases {

@@ -54,18 +54,20 @@ func E7(full bool) *Table {
 		)
 	}
 
-	// Classify each STIC once, up front; the classification feeds both the
-	// budget choice inside the sweep and the feasibility checks below.
+	// Classify each STIC once, up front, through one warm Classifier; the
+	// classification feeds both the budget choice inside the sweep and
+	// the feasibility checks below.
+	var cl stic.Classifier
 	reps := make([]stic.Report, len(cases))
 	idxs := make([]int, len(cases))
 	for i, c := range cases {
-		reps[i] = stic.Classify(stic.STIC{G: c.g, U: c.u, V: c.v, Delay: c.delta})
+		reps[i] = cl.Classify(stic.STIC{G: c.g, U: c.u, V: c.v, Delay: c.delta})
 		idxs[i] = i
 	}
-	results := sim.Sweep(idxs, 0, func(i int) any { return cases[i].g }, func(_ *sim.Scratch, i int) sim.Result {
+	results := sim.Sweep(idxs, 0, func(i int) any { return cases[i].g }, func(sc *sim.Scratch, i int) sim.Result {
 		c := cases[i]
 		budget := universalBudget(c.g, reps[i], c.delta)
-		return sim.Run(c.g, rendezvous.UniversalRV(), c.u, c.v, c.delta, sim.Config{Budget: budget})
+		return sc.Session().Run(c.g, rendezvous.UniversalRV(), c.u, c.v, c.delta, sim.Config{Budget: budget})
 	})
 	for i, c := range cases {
 		rep := reps[i]

@@ -33,10 +33,10 @@ func E11() *Table {
 		{graph.Star(4), 0, 1, 1},
 		{graph.Tree(graph.ChainShape(3)), 0, 3, 0},
 	}
-	results := sim.Sweep(cases, 0, func(c caze) any { return c.g }, func(_ *sim.Scratch, c caze) sim.Result {
+	results := sim.Sweep(cases, 0, func(c caze) any { return c.g }, func(sc *sim.Scratch, c caze) sim.Result {
 		n := uint64(c.g.N())
 		budget := c.delta + 4*rendezvous.UniversalRVTimeBound(n, 1, c.delta)
-		return sim.Run(c.g, rendezvous.AsymmOnlyUniversalRV(), c.u, c.v, c.delta, sim.Config{Budget: budget})
+		return sc.Session().Run(c.g, rendezvous.AsymmOnlyUniversalRV(), c.u, c.v, c.delta, sim.Config{Budget: budget})
 	})
 	for i, c := range cases {
 		n := uint64(c.g.N())

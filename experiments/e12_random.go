@@ -50,11 +50,11 @@ func E12() *Table {
 			jobs = append(jobs, job{caseIdx: ci, seedA: uint64(1000 + 2*i), seedB: uint64(1001 + 2*i)})
 		}
 	}
-	times := sim.Sweep(jobs, 0, func(j job) any { return j.caseIdx }, func(_ *sim.Scratch, j job) uint64 {
+	times := sim.Sweep(jobs, 0, func(j job) any { return j.caseIdx }, func(sc *sim.Scratch, j job) uint64 {
 		c := cases[j.caseIdx]
 		a := rendezvous.NewLazyRandomWalk(j.seedA)
 		b := rendezvous.NewLazyRandomWalk(j.seedB)
-		res := sim.RunPrograms(c.g, a, b, c.u, c.v, c.delta, sim.Config{Budget: 1 << 22})
+		res := sc.Session().RunPrograms(c.g, a, b, c.u, c.v, c.delta, sim.Config{Budget: 1 << 22})
 		if res.Outcome != sim.Met {
 			return 1 << 22 // censored at budget
 		}

@@ -36,25 +36,28 @@ func E14() *Table {
 		{graph.Path(3), universal, 0, 2, 0},
 		{graph.Cycle(6), universal, 0, 3, 3},
 	}
-	for _, c := range cases {
+	// Each case's whole pipeline — traced rendezvous run, election from
+	// the trajectories, wait-for-Mommy re-meet — executes on the sweep
+	// scheduler, with both simulator runs on the worker's pooled session.
+	type outcome struct {
+		res, again sim.Result
+		p          election.Pairing
+		electErr   error
+	}
+	outcomes := sim.Sweep(cases, 0, func(c caze) any { return c.g }, func(sc *sim.Scratch, c caze) outcome {
+		var o outcome
 		var ta, tb agent.Trace
-		res := sim.RunPrograms(c.g, agent.Traced(c.prog, &ta), agent.Traced(c.prog, &tb),
+		o.res = sc.Session().RunPrograms(c.g, agent.Traced(c.prog, &ta), agent.Traced(c.prog, &tb),
 			c.u, c.v, c.delta, sim.Config{Budget: 1 << 44})
-		t.Check(res.Outcome == sim.Met, "%s δ=%d: no meeting (%v)", c.g, c.delta, res.Outcome)
-		if res.Outcome != sim.Met {
-			continue
+		if o.res.Outcome != sim.Met {
+			return o
 		}
 		p, err := election.Decide(&ta, &tb)
 		if err != nil {
-			t.Check(false, "%s δ=%d: election failed: %v", c.g, c.delta, err)
-			continue
+			o.electErr = err
+			return o
 		}
-		t.Check(p.RoleA != p.RoleB, "%s: both agents share a role", c.g)
-		// With a positive delay the earlier agent must win by time.
-		if c.delta > 0 {
-			t.Check(p.DecidedBy == "time" && p.RoleA == election.Leader,
-				"%s δ=%d: expected the earlier agent to lead by time, got %v/%s", c.g, c.delta, p.RoleA, p.DecidedBy)
-		}
+		o.p = p
 
 		// Close the loop: run wait-for-Mommy with the elected roles from
 		// fresh positions.
@@ -63,16 +66,35 @@ func E14() *Table {
 		if p.RoleA != election.Leader {
 			progA, progB = nonLeader, leader
 		}
-		again := sim.RunPrograms(c.g, progA, progB, c.u, c.v, 0,
+		o.again = sc.Session().RunPrograms(c.g, progA, progB, c.u, c.v, 0,
 			sim.Config{Budget: 4 * rendezvous.UXSRoundTrip(uint64(c.g.N()))})
-		t.Check(again.Outcome == sim.Met, "%s: wait-for-Mommy re-meet failed (%v)", c.g, again.Outcome)
+		return o
+	})
+	for i, c := range cases {
+		o := outcomes[i]
+		t.Check(o.res.Outcome == sim.Met, "%s δ=%d: no meeting (%v)", c.g, c.delta, o.res.Outcome)
+		if o.res.Outcome != sim.Met {
+			continue
+		}
+		if o.electErr != nil {
+			t.Check(false, "%s δ=%d: election failed: %v", c.g, c.delta, o.electErr)
+			continue
+		}
+		p := o.p
+		t.Check(p.RoleA != p.RoleB, "%s: both agents share a role", c.g)
+		// With a positive delay the earlier agent must win by time.
+		if c.delta > 0 {
+			t.Check(p.DecidedBy == "time" && p.RoleA == election.Leader,
+				"%s δ=%d: expected the earlier agent to lead by time, got %v/%s", c.g, c.delta, p.RoleA, p.DecidedBy)
+		}
+		t.Check(o.again.Outcome == sim.Met, "%s: wait-for-Mommy re-meet failed (%v)", c.g, o.again.Outcome)
 
 		leaderCell := "A (earlier)"
 		if p.RoleA != election.Leader {
 			leaderCell = "B (later)"
 		}
 		t.AddRow(c.g.String(), fmt.Sprintf("(%d,%d)", c.u, c.v), c.delta,
-			true, p.DecidedBy, leaderCell, again.Outcome == sim.Met)
+			true, p.DecidedBy, leaderCell, o.again.Outcome == sim.Met)
 	}
 	t.Notes = append(t.Notes,
 		"'decided by time' = the trajectories have different lengths (the earlier agent ran longer before the meeting); 'ports' = simultaneous start, settled by the paper's last-differing-entry-port rule.",

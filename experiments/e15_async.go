@@ -7,6 +7,7 @@ import (
 	"repro/async"
 	"repro/graph"
 	"repro/rendezvous"
+	"repro/sim"
 )
 
 // E15 measures the paper's concluding remark: asynchrony hands the delay
@@ -45,35 +46,57 @@ func E15() *Table {
 		{"move-always", agent.MoveEveryRound},
 		{"script", agent.Script([]int{0, 1, agent.ScriptWait, 0, 0, 1})},
 	}
-	for _, c := range cases {
+	// Action extraction and both adversary runs are independent per
+	// (case, program) job; they fan out over the sweep scheduler, keyed
+	// by graph so each worker keeps one graph's data warm.
+	type job struct {
+		ci, pi int
+	}
+	type outcome struct {
+		asyncRes async.Result
+		lagRes   async.Result
+		ranLag   bool
+	}
+	var jobs []job
+	for ci := range cases {
+		for pi := range progs {
+			jobs = append(jobs, job{ci, pi})
+		}
+	}
+	outcomes := sim.Sweep(jobs, 0, func(j job) any { return cases[j.ci].g }, func(_ *sim.Scratch, j job) outcome {
+		c, p := cases[j.ci], progs[j.pi]
+		a := async.ExtractActions(c.g, p.prog, c.u, steps)
+		b := async.ExtractActions(c.g, p.prog, c.v, steps)
+		var o outcome
+		o.asyncRes = async.Run(c.g, a, b, c.u, c.v, async.Synchronizing{})
+		if c.symm && p.name == "universal" {
+			// The synchronous run with δ = Shrink meets (Theorem 3.1);
+			// the async adversary kills the very same program.
+			o.lagRes = async.Run(c.g, a, b, c.u, c.v, async.Lag{Delay: int(c.delta)})
+			o.ranLag = true
+		}
+		return o
+	})
+	for ji, j := range jobs {
+		c, p, o := cases[j.ci], progs[j.pi], outcomes[ji]
 		class := "nonsymmetric"
 		if c.symm {
 			class = "symmetric"
 		}
-		for _, p := range progs {
-			a := async.ExtractActions(c.g, p.prog, c.u, steps)
-			b := async.ExtractActions(c.g, p.prog, c.v, steps)
-			asyncRes := async.Run(c.g, a, b, c.u, c.v, async.Synchronizing{})
-
-			syncCell := "-"
-			if c.symm && p.name == "universal" {
-				// The synchronous run with δ = Shrink meets (Theorem 3.1);
-				// the async adversary kills the very same program.
-				lag := async.Lag{Delay: int(c.delta)}
-				lagRes := async.Run(c.g, a, b, c.u, c.v, lag)
-				syncCell = fmt.Sprintf("met=%v (lag adversary)", lagRes.Met)
-				t.Check(lagRes.Met, "%s: lag-δ adversary should allow the meeting", c.g)
-			}
-			asyncCell := "no meet"
-			if asyncRes.Met {
-				asyncCell = fmt.Sprintf("met at %d", asyncRes.Node)
-			}
-			t.AddRow(c.g.String(), fmt.Sprintf("(%d,%d)", c.u, c.v), class, p.name, syncCell, asyncCell)
-			if c.symm {
-				t.Check(!asyncRes.Met, "%s %s: synchronizing adversary allowed a meeting", c.g, p.name)
-			} else if p.name == "universal" {
-				t.Check(asyncRes.Met, "%s universal: asymmetric pair should still meet under lock-step", c.g)
-			}
+		syncCell := "-"
+		if o.ranLag {
+			syncCell = fmt.Sprintf("met=%v (lag adversary)", o.lagRes.Met)
+			t.Check(o.lagRes.Met, "%s: lag-δ adversary should allow the meeting", c.g)
+		}
+		asyncCell := "no meet"
+		if o.asyncRes.Met {
+			asyncCell = fmt.Sprintf("met at %d", o.asyncRes.Node)
+		}
+		t.AddRow(c.g.String(), fmt.Sprintf("(%d,%d)", c.u, c.v), class, p.name, syncCell, asyncCell)
+		if c.symm {
+			t.Check(!o.asyncRes.Met, "%s %s: synchronizing adversary allowed a meeting", c.g, p.name)
+		} else if p.name == "universal" {
+			t.Check(o.asyncRes.Met, "%s universal: asymmetric pair should still meet under lock-step", c.g)
 		}
 	}
 	t.Notes = append(t.Notes,

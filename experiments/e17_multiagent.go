@@ -47,12 +47,20 @@ func E17(full bool) *Table {
 		})
 	}
 	prog := rendezvous.UniversalRV()
-	for _, c := range cases {
+	// The k-agent runs go through the sweep scheduler: each case executes
+	// on a worker whose Scratch carries a pooled runner session, so the
+	// agent goroutines, channels and script buffers are reused across the
+	// cases of a shard.
+	results := sim.Sweep(cases, 0, func(c caze) any { return c.g }, func(sc *sim.Scratch, c caze) sim.MultiResult {
 		agents := make([]sim.MultiAgent, len(c.starts))
 		for i := range agents {
 			agents[i] = sim.MultiAgent{Program: prog, Start: c.starts[i], Appear: c.appear[i]}
 		}
-		res := sim.RunMany(c.g, agents, sim.MultiConfig{Budget: c.budget})
+		return sc.Session().RunMany(c.g, agents, sim.MultiConfig{Budget: c.budget})
+	})
+	var cl stic.Classifier
+	for ci, c := range cases {
+		res := results[ci]
 		if err := sim.GatherCheck(res); err != nil {
 			t.Check(false, "%s: %v", c.g, err)
 			continue
@@ -67,7 +75,7 @@ func E17(full bool) *Table {
 		for i := 0; i < len(c.starts); i++ {
 			for j := i + 1; j < len(c.starts); j++ {
 				pd := c.appear[j] - c.appear[i] // appear is non-decreasing in our cases
-				rep := stic.Classify(stic.STIC{G: c.g, U: c.starts[i], V: c.starts[j], Delay: pd})
+				rep := cl.Classify(stic.STIC{G: c.g, U: c.starts[i], V: c.starts[j], Delay: pd})
 				key := [2]int{i, j}
 				roundCell := "-"
 				if wasMet[key] {

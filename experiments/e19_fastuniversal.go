@@ -47,21 +47,21 @@ func E19() *Table {
 	for _, c := range cases {
 		jobs = append(jobs, job{c, false}, job{c, true})
 	}
-	results := sim.Sweep(jobs, 0, func(j job) any { return j.c.g }, func(_ *sim.Scratch, j job) sim.Result {
+	results := sim.Sweep(jobs, 0, func(j job) any { return j.c.g }, func(sc *sim.Scratch, j job) sim.Result {
 		n := uint64(j.c.g.N())
 		if j.fast {
 			prog, err := rendezvous.NewAsymmRVID(n, j.c.delta)
 			if err != nil {
 				panic(err)
 			}
-			return sim.Run(j.c.g, prog, j.c.u, j.c.v, j.c.delta,
+			return sc.Session().Run(j.c.g, prog, j.c.u, j.c.v, j.c.delta,
 				sim.Config{Budget: j.c.delta + 2*rendezvous.AsymmRVIDTime(n, j.c.delta)})
 		}
 		prog, err := rendezvous.NewAsymmRV(n, j.c.delta)
 		if err != nil {
 			panic(err)
 		}
-		return sim.Run(j.c.g, prog, j.c.u, j.c.v, j.c.delta,
+		return sc.Session().Run(j.c.g, prog, j.c.u, j.c.v, j.c.delta,
 			sim.Config{Budget: j.c.delta + 2*rendezvous.AsymmRVTime(n, j.c.delta)})
 	})
 	totalMovesPaper, totalMovesFast := uint64(0), uint64(0)

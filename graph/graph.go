@@ -140,6 +140,12 @@ func (g *Graph) Succ(v, p int) (to, entryPort int) {
 // Half returns the half-edge record for port p at node v.
 func (g *Graph) Half(v, p int) Half { return g.adj[v][p] }
 
+// Adj returns node v's half-edge row: Adj(v)[p] is the half-edge behind
+// Succ(v, p), and len(Adj(v)) is the degree. The slice aliases the
+// graph's internal storage and must not be modified; hot loops use it to
+// resolve degree and successor with a single row lookup.
+func (g *Graph) Adj(v int) []Half { return g.adj[v] }
+
 // Apply follows the sequence of outgoing port numbers ports starting at x
 // and returns the final node (the paper's α(x) for α = ports). It returns
 // an error if a port is out of range at any step.

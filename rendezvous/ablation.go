@@ -28,16 +28,20 @@ func NewUnpaddedSymmRV(n, d, delta uint64) (agent.Program, error) {
 
 func unpaddedSymmRV(w agent.World, n, d, delta uint64) {
 	y := uxs.Generate(int(n))
-	unpaddedExplore(w, d, delta)
+	// One scratch for the whole walk: the enumeration (and its batched
+	// d=1 script) is rebuilt at every node, and a per-node scratch would
+	// reallocate those buffers each time.
+	var s rvScratch
+	unpaddedExploreWith(w, d, delta, &s)
 	entry := w.Move(0)
 	entries := make([]int, 1, len(y)+1)
 	entries[0] = entry
-	unpaddedExplore(w, d, delta)
+	unpaddedExploreWith(w, d, delta, &s)
 	for _, a := range y {
 		p := (entry + a) % w.Degree()
 		entry = w.Move(p)
 		entries = append(entries, entry)
-		unpaddedExplore(w, d, delta)
+		unpaddedExploreWith(w, d, delta, &s)
 	}
 	for i, j := 0, len(entries)-1; i < j; i, j = i+1, j-1 {
 		entries[i], entries[j] = entries[j], entries[i]
@@ -50,5 +54,9 @@ func unpaddedSymmRV(w agent.World, n, d, delta uint64) {
 // nothing else (no top-up to the PathBudget iteration count).
 func unpaddedExplore(w agent.World, d, delta uint64) {
 	var s rvScratch
-	exploreEnumerate(w, d, delta, ^uint64(0), &s)
+	unpaddedExploreWith(w, d, delta, &s)
+}
+
+func unpaddedExploreWith(w agent.World, d, delta uint64, s *rvScratch) {
+	exploreEnumerate(w, d, delta, ^uint64(0), s)
 }

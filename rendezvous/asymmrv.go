@@ -56,18 +56,38 @@ type rvScratch struct {
 	enc  []byte
 	// rev is the reverse-path buffer shared by every UXS walk this agent
 	// plays (the forward scripts are immutable and shared globally; only
-	// the reverse path is per-agent state).
-	rev []int
+	// the reverse path is per-agent state); trip backs the merged
+	// round-trip chunk scripts.
+	rev, trip []int
 	// explore's per-iteration buffers (all of length d).
 	expSeq, expDegs, expEntries, expRev []int
+	// explore's merged-script buffer (reverse path + inter-iteration pad
+	// + next prefix, or the whole batched d=1 enumeration).
+	expScript []int
 	// symmRV's reverse-path buffer (length M+1).
 	symEntries []int
+	// viewWalk's deferred-move buffer (backtrack chains between first
+	// visits).
+	walkPending []int
+	// tripCache memoizes, per size hypothesis, the home cycle's period
+	// for roundTrips (see uxsWalk.cache).
+	tripCache map[uint64][]int
+	// symCache memoizes, per size hypothesis, the degrees and entry
+	// ports along SymmRV's walk R(u) from home (see symmWalk); symDegs
+	// is the learning pass's recording buffer and symStream the replay's
+	// chunk buffer.
+	symCache  map[uint64]symmWalk
+	symDegs   []int
+	symStream []int
 }
 
 // uxsWalkFor returns this agent's UXS walk for size hypothesis n: the
 // globally cached forward script plus the scratch's reverse buffer.
 func (s *rvScratch) uxsWalkFor(n uint64) uxsWalk {
-	return uxsWalk{fwd: uxsFwdFor(n), rev: &s.rev}
+	if s.tripCache == nil {
+		s.tripCache = map[uint64][]int{}
+	}
+	return uxsWalk{fwd: uxsFwdFor(n), rev: &s.rev, chunk: &s.trip, n: n, cache: s.tripCache}
 }
 
 // scratchInts returns a length-n view of *buf, reallocating only when the
@@ -96,7 +116,7 @@ func asymmRVWith(w agent.World, n, delta uint64, s *rvScratch) {
 	// synchrony requires; under a correct hypothesis the cap never binds.
 	budget := ViewWalkTime(n)
 	start := w.Clock()
-	viewWalk(w, int(n)-1, budget, &s.tree)
+	viewWalkWith(w, int(n)-1, budget, &s.tree, &s.walkPending)
 	used := w.Clock() - start
 	w.Wait(budget - used)
 
@@ -115,19 +135,66 @@ func asymmRVWith(w agent.World, n, delta uint64, s *rvScratch) {
 // rounds, never more than maxRounds, and ends where it started. The
 // root's entry port is canonicalized to -1 so that the encoding depends
 // only on the view, not on how the agent arrived at its current node.
+//
+// The move sequence is the textbook DFS, but it reaches the simulator
+// batched: the only percept the walk needs is each first-visited node's
+// degree, so every stretch between first visits — the backtrack chain up
+// from the previous subtree plus the forward move into the new node — is
+// submitted as one script (buffered in vw.pending), and the scheduler
+// wakes the agent once per tree node instead of twice per edge.
 func viewWalk(w agent.World, depth int, maxRounds uint64, t *view.Tree) {
+	var buf []int
+	viewWalkWith(w, depth, maxRounds, t, &buf)
+}
+
+// viewWalkWith is viewWalk with a caller-owned pending-move buffer, so
+// the per-phase walks inside AsymmRV reuse one scratch buffer instead of
+// growing a fresh one per walk.
+func viewWalkWith(w agent.World, depth int, maxRounds uint64, t *view.Tree, buf *[]int) {
 	t.Reset()
-	vw := viewWalker{w: w, t: t, remaining: maxRounds}
+	vw := viewWalker{w: w, t: t, remaining: maxRounds, pending: (*buf)[:0]}
 	root := t.NewNode(int32(w.Degree()), -1)
 	vw.explore(root, depth)
+	vw.flushTail() // play the deferred backtracks up to the root
+	*buf = vw.pending[:0]
 }
 
 // viewWalker carries the DFS state as a named receiver (not a closure), so
-// recursion into a warm tree performs no allocations.
+// recursion into a warm tree performs no allocations (pending grows once
+// and is kept across phases via the scratch's walkPending swap).
 type viewWalker struct {
 	w         agent.World
 	t         *view.Tree
 	remaining uint64
+	pending   []int // deferred moves since the last degree percept
+}
+
+// stepToNewNode plays the deferred backtracks plus the forward move
+// through port p as one script and returns the entry port into, and the
+// degree of, the newly visited node. The no-backtracks case (descending
+// to a node's first child) is a plain Move: one scheduler interaction
+// either way, but without the script machinery — which keeps the direct
+// single-agent worlds (soloWorld, the async extractor) fast too.
+func (vw *viewWalker) stepToNewNode(p int) (ep, deg int) {
+	if len(vw.pending) == 0 {
+		ep = vw.w.Move(p)
+		return ep, vw.w.Degree()
+	}
+	vw.pending = append(vw.pending, p)
+	entries := vw.w.MoveSeq(vw.pending)
+	ep = entries[len(entries)-1]
+	vw.pending = vw.pending[:0]
+	return ep, vw.w.Degree()
+}
+
+// flushTail plays any deferred trailing backtracks (they need no percept,
+// but the walk must physically end at its start node before the caller
+// measures its clock or moves on).
+func (vw *viewWalker) flushTail() {
+	if len(vw.pending) > 0 {
+		vw.w.MoveSeq(vw.pending)
+		vw.pending = vw.pending[:0]
+	}
 }
 
 func (vw *viewWalker) explore(id int32, d int) {
@@ -143,11 +210,11 @@ func (vw *viewWalker) explore(id int32, d int) {
 			return
 		}
 		vw.remaining -= 2
-		ep := vw.w.Move(p)
-		kid := vw.t.NewNode(int32(vw.w.Degree()), int32(ep))
+		ep, kdeg := vw.stepToNewNode(p)
+		kid := vw.t.NewNode(int32(kdeg), int32(ep))
 		vw.t.SetKid(id, p, kid)
 		vw.explore(kid, d-1)
-		vw.w.Move(ep) // backtrack along the reverse edge
+		vw.pending = append(vw.pending, ep) // deferred backtrack
 	}
 }
 
@@ -160,6 +227,16 @@ func (vw *viewWalker) explore(id int32, d int) {
 type uxsWalk struct {
 	fwd []int
 	rev *[]int
+	// chunk backs the percept-free merged-trip scripts of roundTrips
+	// (distinct from rev, which holds the period being repeated).
+	chunk *[]int
+	// n and cache, when set, memoize the home cycle's period (reverse
+	// path + forward application) per size hypothesis: every roundTrips
+	// call of one program starts at the agent's home node, so the cycle's
+	// entry ports never change for a given n and later calls skip the
+	// learning trip entirely.
+	n     uint64
+	cache map[uint64][]int
 }
 
 // buildUXSFwd renders the batched forward script of one UXS application.
@@ -194,7 +271,7 @@ func uxsFwdFor(n uint64) []int {
 // newUXSWalk builds a standalone walk owning its reverse buffer — the
 // form the baselines (one walk per program) and tests use.
 func newUXSWalk(y uxs.Sequence) uxsWalk {
-	return uxsWalk{fwd: buildUXSFwd(y), rev: new([]int)}
+	return uxsWalk{fwd: buildUXSFwd(y), rev: new([]int), chunk: new([]int), cache: map[uint64][]int{}}
 }
 
 // roundTrip performs one application of the UXS from the current node
@@ -208,4 +285,106 @@ func (u uxsWalk) roundTrip(w agent.World) {
 		rev[i] = entries[j]
 	}
 	w.MoveSeq(rev)
+}
+
+// maxTripScript caps the merged round-trip script length (the buffer
+// persists in the walk's reverse-path scratch).
+const maxTripScript = 4096
+
+// roundTrips performs count consecutive round trips as merged scripts.
+// The first forward application learns the cycle's entry ports; every
+// later trip retraces the exact same closed walk (same start node, same
+// script, deterministic graph), so the whole remainder — reverse path,
+// next application, reverse path, ... — is known in advance and is
+// submitted in percept-free scripts of up to maxTripScript actions. The
+// scheduler wakes the agent O(count·len/maxTripScript) times instead of
+// 2·count; the move sequence (and hence every per-round position) is
+// identical to count calls of roundTrip.
+func (u uxsWalk) roundTrips(w agent.World, count uint64) {
+	if count == 0 {
+		return
+	}
+	l := len(u.fwd)
+	if u.cache != nil && 2*l <= maxTripScript {
+		if period, ok := u.cache[u.n]; ok {
+			// The whole walk is known in advance: fwd, then (count-1)
+			// periods of [rev fwd], then the final rev — all chunked.
+			u.playKnown(w, period, count)
+			return
+		}
+	}
+	entries := w.MoveSeq(u.fwd)
+	if count == 1 || 2*l > maxTripScript {
+		// Degenerate sizes: per-trip submission, reverse then forward.
+		for i := uint64(1); i < count; i++ {
+			script := scratchInts(u.rev, 2*l)
+			for a, b := 0, l-1; b >= 0; a, b = a+1, b-1 {
+				script[a] = entries[b]
+			}
+			copy(script[l:], u.fwd)
+			entries = w.MoveSeq(script)[l:]
+		}
+		rev := scratchInts(u.rev, l)
+		for a, b := 0, l-1; b >= 0; a, b = a+1, b-1 {
+			rev[a] = entries[b]
+		}
+		w.MoveSeq(rev)
+		return
+	}
+	// One period of the cycle beyond the first application: the reverse
+	// path home followed by the next forward application. The remainder
+	// of the walk is (count-1) periods plus one final reverse path.
+	period := scratchInts(u.rev, 2*l)
+	for a, b := 0, l-1; b >= 0; a, b = a+1, b-1 {
+		period[a] = entries[b]
+	}
+	copy(period[l:], u.fwd)
+	if u.cache != nil {
+		u.cache[u.n] = append(make([]int, 0, 2*l), period...)
+	}
+	u.playPeriods(w, period, count-1, true)
+}
+
+// playKnown plays a full count-trip walk whose home-cycle period is
+// already cached, with no percepts at all: fwd ++ [rev fwd]^(count-1) ++
+// rev is count repetitions of [fwd rev], which is the period rotated by
+// half — built once and chunked.
+func (u uxsWalk) playKnown(w agent.World, period []int, count uint64) {
+	l := len(u.fwd)
+	rot := scratchInts(u.rev, 2*l)
+	copy(rot, period[l:])
+	copy(rot[l:], period[:l])
+	u.playPeriods(w, rot, count, false)
+}
+
+// playPeriods plays reps repetitions of the given period as chunked
+// percept-free scripts of up to maxTripScript actions; withTail appends
+// the period's first half once more at the very end (the final reverse
+// path of an unrotated walk).
+func (u uxsWalk) playPeriods(w agent.World, period []int, reps uint64, withTail bool) {
+	l2 := len(period)
+	perChunk := uint64(maxTripScript / l2) // whole periods per script
+	if perChunk == 0 {
+		perChunk = 1
+	}
+	for reps > 0 {
+		c := reps
+		if c > perChunk {
+			c = perChunk
+		}
+		n := int(c) * l2
+		if c == reps && withTail {
+			n += l2 / 2 // fold the final reverse path into the last chunk
+		}
+		script := scratchInts(u.chunk, n)
+		for off := 0; off < n; off += l2 {
+			m := l2
+			if n-off < m {
+				m = n - off
+			}
+			copy(script[off:], period[:m])
+		}
+		w.MoveSeq(script)
+		reps -= c
+	}
 }

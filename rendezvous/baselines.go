@@ -54,7 +54,9 @@ func WaitForMommy(n uint64) (leader, nonLeader agent.Program) {
 	leader = func(w agent.World) {
 		walk := newUXSWalk(y)
 		for {
-			walk.roundTrip(w)
+			// Large merged blocks: one scheduler wakeup per trip instead
+			// of two (the block boundary is unobservable).
+			walk.roundTrips(w, 1<<20)
 		}
 	}
 	return leader, agent.Sit
@@ -88,9 +90,7 @@ func NewDoublingRV(n, label uint64) (agent.Program, error) {
 		walk := newUXSWalk(y)
 		trt := UXSRoundTrip(n)
 		for {
-			for i := uint64(0); i < runLen; i++ {
-				walk.roundTrip(w)
-			}
+			walk.roundTrips(w, runLen)
 			w.Wait(satMul(runLen, trt))
 		}
 	}, nil

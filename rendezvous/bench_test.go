@@ -8,22 +8,28 @@ import (
 	"repro/view"
 )
 
-// BenchmarkViewWalk: the AsymmRV hot path — physical view reconstruction
-// into a warm flat tree plus label encoding. Steady state is 0 allocs/op:
-// the tree slab, kid arena and encoding buffer all live in the per-agent
-// scratch and are reused across walks.
-func BenchmarkViewWalk(b *testing.B) {
+// BenchmarkViewWalkBatched: the AsymmRV hot path — physical view
+// reconstruction into a warm flat tree plus label encoding. Steady state
+// is 0 allocs/op: the tree slab, kid arena, encoding and pending-move
+// buffers all live in the per-agent scratch and are reused across walks.
+// (Successor of PR 2's BenchmarkViewWalk, renamed because the walk is now
+// the script-batched DFS: against this benchmark's direct in-process
+// world the script plumbing costs ~60% over raw per-move calls, the
+// price of cutting the real engine's scheduler wakeups per walk in half
+// — see BENCH_PR3.json's E7/E17 rows for the system-level effect.)
+func BenchmarkViewWalkBatched(b *testing.B) {
 	g := graph.Petersen()
 	var tree view.Tree
 	var enc []byte
 	w := &soloWorld{g: g, pos: 0, deg: g.Degree(0), entry: -1}
-	viewWalk(w, 3, RoundCap, &tree)
+	var pending []int // the production path reuses rvScratch.walkPending
+	viewWalkWith(w, 3, RoundCap, &tree, &pending)
 	enc = tree.AppendEncode(enc[:0])
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		w.pos, w.deg, w.entry = 0, g.Degree(0), -1
-		viewWalk(w, 3, RoundCap, &tree)
+		viewWalkWith(w, 3, RoundCap, &tree, &pending)
 		enc = tree.AppendEncode(enc[:0])
 	}
 	_ = enc

@@ -92,7 +92,7 @@ func asymmRVIDWith(w agent.World, n, delta uint64, s *rvScratch) {
 		// tree and label buffer are reused across sub-phases and phases.
 		budget := ViewWalkTimeDepth(n, d)
 		start := w.Clock()
-		viewWalk(w, int(d), budget, &s.tree)
+		viewWalkWith(w, int(d), budget, &s.tree, &s.walkPending)
 		used := w.Clock() - start
 		w.Wait(budget - used)
 
@@ -124,9 +124,7 @@ func playSchedule(w agent.World, enc []byte, slots, repeats, slotLen uint64, wal
 			w.Wait(satMul(pendingPassive, slotLen))
 			pendingPassive = 0
 		}
-		for r := uint64(0); r < repeats; r++ {
-			walk.roundTrip(w)
-		}
+		walk.roundTrips(w, repeats)
 	}
 	if pendingPassive > 0 {
 		w.Wait(satMul(pendingPassive, slotLen))

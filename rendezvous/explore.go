@@ -36,6 +36,76 @@ func exploreWith(w agent.World, n, d, delta uint64, s *rvScratch) {
 	}
 }
 
+// appendExplore1Iters appends the enumeration part of Explore(·, 1, δ)
+// at a node of the given degree to buf: per enumerated port, the
+// out-and-back pair [p, Rel(0)] followed by the δ-1 inter-iteration pad.
+// It returns the buffer and the number of iterations emitted. This is
+// THE canonical d = 1 round structure; every emitter — the batched
+// enumeration, the fused walk step, and the cached-phase replay
+// (replaySymmRV1, which streams so long pads stay un-materialized) —
+// goes through it or must match it action for action.
+func appendExplore1Iters(buf []int, deg int, maxIter, delta uint64) ([]int, uint64) {
+	pad := delta - 1
+	iters := uint64(deg)
+	if maxIter < iters {
+		iters = maxIter
+	}
+	for p := uint64(0); p < iters; p++ {
+		buf = append(buf, int(p), agent.Rel(0))
+		for q := uint64(0); q < pad; q++ {
+			buf = append(buf, agent.ScriptWait)
+		}
+	}
+	return buf, iters
+}
+
+// appendExplore1 appends the full action stream of Explore(·, 1, δ):
+// the enumeration plus the duration-padding trailer that rounds the
+// procedure up to exactly PathBudget(n, 1)·(1+δ) rounds.
+func appendExplore1(buf []int, deg int, budget, delta uint64) []int {
+	buf, iters := appendExplore1Iters(buf, deg, budget, delta)
+	trail := satMul(budget-iters, satAdd(1, delta))
+	for q := uint64(0); q < trail; q++ {
+		buf = append(buf, agent.ScriptWait)
+	}
+	return buf
+}
+
+// explore1ScriptLen returns the length appendExplore1 would emit, so
+// callers can budget-check before materializing (saturating arithmetic:
+// huge pads fail the maxExploreScript comparison rather than overflow).
+func explore1ScriptLen(deg int, budget, delta uint64) uint64 {
+	iters := uint64(deg)
+	if budget < iters {
+		iters = budget
+	}
+	perIter := satAdd(1, delta)
+	return satAdd(satMul(iters, perIter), satMul(budget-iters, perIter))
+}
+
+// exploreThenMove performs Explore(u, d, δ) followed by one move through
+// the given outgoing port (applied modulo the degree of u) and returns
+// the entry port into the new node. SymmRV executes exactly this pair at
+// every node of its UXS walk, and the port is known before the Explore
+// starts, so for the batchable d = 1 form the enumeration, its duration
+// padding AND the walk step fuse into a single script — one scheduler
+// wakeup per walk node. The fallback is the split submission with
+// identical per-round behavior.
+func exploreThenMove(w agent.World, n, d, delta uint64, s *rvScratch, port int) int {
+	if d == 1 && delta >= 1 {
+		budget := PathBudget(n, 1)
+		if explore1ScriptLen(w.Degree(), budget, delta) < maxExploreScript {
+			script := appendExplore1(s.expScript[:0], w.Degree(), budget, delta)
+			script = append(script, port)
+			s.expScript = script
+			entries := w.MoveSeq(script)
+			return entries[len(entries)-1]
+		}
+	}
+	exploreWith(w, n, d, delta, s)
+	return w.Move(port)
+}
+
 // exploreEnumerate is the enumeration core shared by the padded explore
 // and the paper-literal unpaddedExplore: all port sequences of length d in
 // lexicographic order, each traversed forward, backtracked along the
@@ -43,20 +113,45 @@ func exploreWith(w agent.World, n, d, delta uint64, s *rvScratch) {
 // It returns the number of iterations performed (d+δ rounds each). The
 // enumeration buffers live in the scratch: SymmRV calls this at every
 // node of its UXS walk, so per-call allocation would dominate the phase.
+
+// maxExploreScript caps the length of a fully batched explore script
+// (the buffer persists in the agent's scratch); enumerations whose
+// batched form would exceed it fall back to per-iteration submission,
+// where the scheduler's wait fast-forward does the heavy lifting.
+const maxExploreScript = 4096
+
 func exploreEnumerate(w agent.World, d, delta, maxIter uint64, s *rvScratch) uint64 {
 	count := uint64(0)
+	pad := delta - d
 	if d == 1 {
-		// Depth-1 paths batch whole iterations: one script moves out
-		// through port p and straight back through the entry port —
-		// which is exactly Rel(0). The script lives in the scratch: a
-		// local array would escape through the MoveSeq interface call,
-		// one heap allocation per Explore.
+		// Depth-1 paths need no percepts at all beyond the start node's
+		// degree, already known: iteration p moves out through port p and
+		// straight back through the entry port — which is exactly Rel(0) —
+		// then pads with δ-d waits. The whole enumeration therefore
+		// batches into ONE script (moves and in-script wait runs alike;
+		// the trailer, when any, is exploreWith's wait), built in the
+		// scratch; the scheduler wakes the agent once per Explore instead
+		// of once per path.
+		iters := uint64(w.Degree())
+		if maxIter < iters {
+			iters = maxIter
+		}
+		per := 2 + pad
+		if per <= maxExploreScript && iters*per <= maxExploreScript {
+			script, emitted := appendExplore1Iters(s.expScript[:0], w.Degree(), maxIter, delta)
+			s.expScript = script
+			w.MoveSeq(script)
+			return emitted
+		}
+		// Padding too long to materialize: per-iteration submission (the
+		// world merges each pad into the next iteration's script when it
+		// is short enough, and fast-forwards it otherwise).
 		step := scratchInts(&s.expSeq, 2)
 		step[0], step[1] = 0, agent.Rel(0)
 		for {
 			deg := w.Degree()
 			w.MoveSeq(step)
-			w.Wait(delta - d)
+			w.Wait(pad)
 			count++
 			if count == maxIter || step[0]+1 >= deg {
 				return count
@@ -84,9 +179,10 @@ func exploreEnumerate(w agent.World, d, delta, maxIter uint64, s *rvScratch) uin
 	// script; only the suffix beyond the bump (new nodes, unknown degrees)
 	// is walked per-move. In the common case (bump at the deepest
 	// position) the entire forward walk is one script.
-	known := 0 // leading depths whose degs[] entries are valid
+	known := 0          // leading depths whose degs[] entries are valid
+	prefixDone := false // the seq[:known] moves were already played merged
 	for {
-		if known > 0 {
+		if known > 0 && !prefixDone {
 			scripted := w.MoveSeq(seq[:known])
 			copy(entries, scripted)
 		}
@@ -94,29 +190,53 @@ func exploreEnumerate(w agent.World, d, delta, maxIter uint64, s *rvScratch) uin
 			degs[i] = w.Degree()
 			entries[i] = w.Move(seq[i])
 		}
-		// Traverse the reverse path back to u, as one batched script.
+		// The reverse path back to u, played batched below.
 		for i, j := 0, dd-1; j >= 0; i, j = i+1, j-1 {
 			rev[i] = entries[j]
 		}
-		w.MoveSeq(rev)
-		w.Wait(delta - d)
 		count++
-		if count == maxIter {
-			return count
+		last := count == maxIter
+		j := -1
+		if !last {
+			// Lexicographic successor: bump the deepest position that
+			// has a next port; deeper positions reset to port 0, which is
+			// valid at every node regardless of the (yet unknown) degrees
+			// there.
+			j = dd - 1
+			for j >= 0 && seq[j]+1 >= degs[j] {
+				seq[j] = 0
+				j--
+			}
+			last = j < 0
 		}
-
-		// Lexicographic successor: bump the deepest position that has a
-		// next port; deeper positions reset to port 0, which is valid at
-		// every node regardless of the (yet unknown) degrees there.
-		j := dd - 1
-		for j >= 0 && seq[j]+1 >= degs[j] {
-			seq[j] = 0
-			j--
-		}
-		if j < 0 {
+		if last {
+			w.MoveSeq(rev)
+			w.Wait(delta - d)
 			return count
 		}
 		seq[j]++
 		known = j + 1 // nodes at depths 0..j are revisited next iteration
+
+		// Merge this iteration's backtrack, the inter-iteration pad and
+		// the next iteration's known prefix into one script — the moves
+		// and their per-round timing are exactly those of the split
+		// submission, but the scheduler wakes the agent once instead of
+		// three times. Long pads are not materialized; they go through
+		// the wait fast-forward instead.
+		if total := uint64(dd) + pad + uint64(known); total <= maxExploreScript {
+			script := scratchInts(&s.expScript, int(total))
+			copy(script, rev)
+			for q := 0; q < int(pad); q++ {
+				script[dd+q] = agent.ScriptWait
+			}
+			copy(script[dd+int(pad):], seq[:known])
+			got := w.MoveSeq(script)
+			copy(entries[:known], got[dd+int(pad):])
+			prefixDone = true
+		} else {
+			w.MoveSeq(rev)
+			w.Wait(pad)
+			prefixDone = false
+		}
 	}
 }

@@ -86,7 +86,10 @@ func (w *soloWorld) Move(port int) int {
 func (w *soloWorld) Wait(rounds uint64) { w.clock += rounds }
 
 // MoveSeq steps a batched script directly against the graph — the native
-// equivalent of agent.RunScript without per-move interface dispatch. The
+// equivalent of agent.RunScript without per-move interface dispatch, with
+// agent.ActionPort's resolution fused into a single adjacency-row access
+// per move (the same fusion as the engine's scriptStep; the batched
+// rendezvous procedures put every action through this loop). The
 // returned slice is the world's reusable buffer, per the World contract.
 func (w *soloWorld) MoveSeq(actions []int) []int {
 	if len(actions) == 0 {
@@ -98,9 +101,12 @@ func (w *soloWorld) MoveSeq(actions []int) []int {
 		w.entries = make([]int, len(actions))
 	}
 	for i, a := range actions {
-		if p, wait := agent.ActionPort(a, w.entry, w.deg); !wait {
-			to, ep := w.g.Succ(w.pos, p)
-			w.pos, w.entry, w.deg = to, ep, w.g.Degree(to)
+		if a != agent.ScriptWait {
+			adj := w.g.Adj(w.pos)
+			p, _ := agent.ActionPort(a, w.entry, len(adj))
+			h := adj[p]
+			w.pos, w.entry = h.To, h.ToPort
+			w.deg = len(w.g.Adj(h.To))
 		}
 		w.clock++
 		w.entries[i] = w.entry

@@ -7,6 +7,8 @@
 // and the wait-for-Mommy oracle.
 package rendezvous
 
+import "sync"
+
 // The paper's pairing bijections (Section 3.2):
 //
 //	f(x, y) = x + (x+y-1)(x+y-2)/2         N x N -> N
@@ -71,10 +73,36 @@ func Triple(x, y, z uint64) uint64 { return Pair(Pair(x, y), z) }
 // paper's reading is (n, d, δ) = g^{-1}(P) with δ shifted down by one so
 // that delay 0 is representable: the bijection ranges over positive
 // integers, so we decode δ as z-1.
+//
+// Low phase numbers are memoized: every agent of every run decodes the
+// same P = 1, 2, ... prefix (two binary-searched Unpairs per phase). The
+// table is built once and read lock-free afterwards — agents across all
+// sweep workers hit it every phase, so a per-read mutex would be a
+// cross-worker contention point.
 func Untriple(p uint64) (n, d, delta uint64) {
+	if p >= 1 && p <= maxUntripleMemo {
+		untripleOnce.Do(buildUntripleMemo)
+		t := untripleMemo[p-1]
+		return t[0], t[1], t[2]
+	}
 	w, z := Unpair(p)
 	x, y := Unpair(w)
 	return x, y, z - 1
+}
+
+const maxUntripleMemo = 1 << 13
+
+var (
+	untripleOnce sync.Once
+	untripleMemo [maxUntripleMemo][3]uint64
+)
+
+func buildUntripleMemo() {
+	for q := uint64(1); q <= maxUntripleMemo; q++ {
+		w, z := Unpair(q)
+		x, y := Unpair(w)
+		untripleMemo[q-1] = [3]uint64{x, y, z - 1}
+	}
 }
 
 // PhaseFor returns the phase number P whose hypothesis triple is

@@ -46,21 +46,50 @@ func symmRV(w agent.World, n, d, delta uint64) {
 func symmRVWith(w agent.World, n, d, delta uint64, s *rvScratch) {
 	y := uxs.Generate(int(n))
 
-	// Explore at u0, then step to u1 = succ(u0, 0). The walk steps stay
-	// per-move (an Explore interleaves at every node of R(u)); the final
-	// backtrack batches into one script.
-	exploreWith(w, n, d, delta, s)
-	entry := w.Move(0)
-	entries := append(scratchInts(&s.symEntries, len(y)+1)[:0], entry)
-	exploreWith(w, n, d, delta, s)
+	// The walk R(u) is deterministic from the agent's home node, and
+	// UniversalRV always enters SymmRV at home (every procedure returns
+	// there), so the degree and entry-port sequences along the walk are
+	// identical every time size hypothesis n recurs. Once learned they
+	// make the whole d = 1 procedure percept-free — enumeration at a
+	// node of known degree needs no new observations — and it replays as
+	// chunked scripts: a handful of scheduler wakeups instead of one per
+	// walk node.
+	if d == 1 {
+		if walk, ok := s.symCache[n]; ok {
+			replaySymmRV1(w, y, n, delta, walk, s)
+			return
+		}
+	}
 
-	// Follow the UXS: from u_i entered by port q, leave by (q + a_i) mod d(u_i).
+	// Explore at u0, then step to u1 = succ(u0, 0); then, following the
+	// UXS from u_i entered by port q, explore and leave by
+	// (q + a_i) mod d(u_i). Each Explore and the walk step after it fuse
+	// into one script where possible (exploreThenMove); the final
+	// backtrack batches into one script. The degrees observed along the
+	// walk are recorded for the replay cache.
+	degs := append(scratchInts(&s.symDegs, len(y)+2)[:0], w.Degree())
+	entry := exploreThenMove(w, n, d, delta, s, 0)
+	entries := append(scratchInts(&s.symEntries, len(y)+1)[:0], entry)
+	degs = append(degs, w.Degree())
+
 	for _, a := range y {
 		p := (entry + a) % w.Degree()
-		entry = w.Move(p)
+		entry = exploreThenMove(w, n, d, delta, s, p)
 		entries = append(entries, entry)
-		exploreWith(w, n, d, delta, s)
+		degs = append(degs, w.Degree())
 	}
+	exploreWith(w, n, d, delta, s) // the walk's last node gets its Explore too
+
+	if _, seen := s.symCache[n]; !seen {
+		if s.symCache == nil {
+			s.symCache = map[uint64]symmWalk{}
+		}
+		s.symCache[n] = symmWalk{
+			degs:    append([]int(nil), degs...),
+			entries: append([]int(nil), entries...),
+		}
+	}
+	s.symDegs = degs
 
 	// Go back to u0 along the reverse of R(u), as one batched script.
 	for i, j := 0, len(entries)-1; i < j; i, j = i+1, j-1 {
@@ -68,4 +97,95 @@ func symmRVWith(w agent.World, n, d, delta uint64, s *rvScratch) {
 	}
 	w.MoveSeq(entries)
 	s.symEntries = entries // keep the grown buffer for the next phase
+}
+
+// symmWalk caches what one SymmRV learned about the walk R(u) from the
+// agent's home node at size hypothesis n: degs[i] is the degree of walk
+// node u_i (0 <= i <= M+1) and entries[i-1] the port by which the walk
+// enters u_i. Valid for every later SymmRV at the same n because the
+// walk is deterministic and always starts at home.
+type symmWalk struct {
+	degs    []int
+	entries []int
+}
+
+// replaySymmRV1 plays SymmRV(n, 1, δ) as a percept-free action stream
+// against a cached walk: per node, the Explore(·, 1, δ) enumeration
+// ports with their padding, then the walk step; finally the reverse
+// path home. Identical rounds and positions to the learning pass —
+// only the script boundaries differ (chunked, with long pads left to
+// the scheduler's wait fast-forward).
+func replaySymmRV1(w agent.World, y uxs.Sequence, n, delta uint64, walk symmWalk, s *rvScratch) {
+	budget := PathBudget(n, 1)
+	pad := delta - 1
+	perIteration := satAdd(1, delta)
+	st := scriptStream{w: w, buf: s.symStream[:0]}
+	for i, deg := range walk.degs {
+		// Explore(u_i, 1, δ): out port p and straight back, pad after
+		// each iteration, then the duration-padding trailer — the
+		// appendExplore1 shape, emitted through the stream so long pads
+		// stay waits instead of materialized ScriptWait runs.
+		iters := uint64(deg)
+		if budget < iters {
+			iters = budget
+		}
+		for p := uint64(0); p < iters; p++ {
+			st.act(int(p))
+			st.act(agent.Rel(0))
+			st.wait(pad)
+		}
+		st.wait(satMul(budget-iters, perIteration))
+		// The walk step: port 0 out of u_0, the UXS rule afterwards.
+		if i == 0 {
+			st.act(0)
+		} else if i-1 < len(y) {
+			st.act((walk.entries[i-1] + y[i-1]) % walk.degs[i])
+		}
+	}
+	// Reverse path home.
+	for j := len(walk.entries) - 1; j >= 0; j-- {
+		st.act(walk.entries[j])
+	}
+	st.flush()
+	s.symStream = st.buf[:0]
+}
+
+// scriptStream accumulates a percept-free action stream and submits it
+// in bounded script chunks; long waits bypass the buffer so the
+// scheduler's O(1) fast-forward (and the world's deferred-wait merging)
+// does the work instead of materialized ScriptWait runs.
+type scriptStream struct {
+	w   agent.World
+	buf []int
+}
+
+func (st *scriptStream) act(a int) {
+	st.buf = append(st.buf, a)
+	if len(st.buf) >= maxExploreScript {
+		st.flush()
+	}
+}
+
+func (st *scriptStream) wait(rounds uint64) {
+	if rounds == 0 {
+		return
+	}
+	if rounds <= 64 {
+		for i := uint64(0); i < rounds; i++ {
+			st.buf = append(st.buf, agent.ScriptWait)
+		}
+		if len(st.buf) >= maxExploreScript {
+			st.flush()
+		}
+		return
+	}
+	st.flush()
+	st.w.Wait(rounds)
+}
+
+func (st *scriptStream) flush() {
+	if len(st.buf) > 0 {
+		st.w.MoveSeq(st.buf)
+		st.buf = st.buf[:0]
+	}
 }

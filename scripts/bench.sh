@@ -2,7 +2,7 @@
 # bench.sh — run the benchmark suite and emit a JSON perf record
 # (ns/op, B/op, allocs/op per benchmark) for the PR perf trajectory.
 #
-# Usage: scripts/bench.sh [output.json]   (default: BENCH_PR2.json)
+# Usage: scripts/bench.sh [output.json]   (default: BENCH_PR3.json)
 #
 # The emitted file contains a "baseline" section (the seed engine's
 # numbers, recorded in scripts/seed-baseline.json) and a "current" section
@@ -15,7 +15,7 @@
 # Compare two records with: go run ./cmd/benchdiff old.json new.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_PR2.json}"
+out="${1:-BENCH_PR3.json}"
 count="${BENCH_COUNT:-5}"
 # go test appends "-$GOMAXPROCS" to benchmark names — but only when
 # GOMAXPROCS > 1. Resolve the actual value so the name extraction below
@@ -30,11 +30,11 @@ trap 'rm -f "$tmp"' EXIT
 
 echo "== root experiment suite (count=$count)" >&2
 go test -run '^$' -bench . -benchtime 1x -count "$count" -benchmem . | tee -a "$tmp"
-echo "== sim engine microbenchmarks" >&2
-go test -run '^$' -bench 'BenchmarkScriptedWalk|BenchmarkPerMoveWalk|BenchmarkRoundThroughput|BenchmarkFastForward' -count 3 -benchmem ./sim/ | tee -a "$tmp"
+echo "== sim engine microbenchmarks (incl. k-agent scheduler)" >&2
+go test -run '^$' -bench 'BenchmarkScriptedWalk|BenchmarkPerMoveWalk|BenchmarkRoundThroughput|BenchmarkFastForward|BenchmarkMultiScriptedWalk' -count 3 -benchmem ./sim/ | tee -a "$tmp"
 echo "== view + rendezvous + uxs microbenchmarks" >&2
 go test -run '^$' -bench 'BenchmarkClasses' -count 3 -benchmem ./view/ | tee -a "$tmp"
-go test -run '^$' -bench 'BenchmarkViewWalk' -count 3 -benchmem ./rendezvous/ | tee -a "$tmp"
+go test -run '^$' -bench 'BenchmarkViewWalkBatched' -count 3 -benchmem ./rendezvous/ | tee -a "$tmp"
 go test -run '^$' -bench 'BenchmarkGenerate' -count 3 -benchmem ./uxs/ | tee -a "$tmp"
 
 {

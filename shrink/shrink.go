@@ -124,6 +124,107 @@ func shrinkBFS(g *graph.Graph, u, v int, dist [][]int32) Result {
 	return best
 }
 
+// Workspace holds the reusable buffers of repeated Shrink-value queries:
+// the flat all-pairs distance matrix, the BFS queue and the epoch-stamped
+// visited marks of the pair-product search. Sweeps that classify many
+// STICs keep one Workspace per worker (stic.Classifier embeds one), so
+// steady-state queries on same-sized graphs allocate nothing. Not safe
+// for concurrent use.
+type Workspace struct {
+	dist  []int32      // flat n*n all-pairs distances
+	distG *graph.Graph // the graph dist is valid for (graphs are immutable)
+	queue []int32
+	seen  []int32 // pair-product visited marks, epoch-stamped
+	epoch int32
+}
+
+// Value computes Shrink(u,v) for a symmetric pair of g without
+// constructing a witness sequence, reusing the workspace's buffers. Like
+// ShrinkWithDist it does not re-check symmetry; callers must pass a
+// symmetric pair.
+func (ws *Workspace) Value(g *graph.Graph, u, v int) int {
+	n := g.N()
+	ws.allPairs(g)
+	if cap(ws.seen) < n*n {
+		ws.seen = make([]int32, n*n)
+		ws.epoch = 0
+	}
+	ws.seen = ws.seen[:n*n]
+	ws.epoch++
+	if ws.epoch == 0 { // wrapped: re-zero once and restart epochs
+		for i := range ws.seen {
+			ws.seen[i] = 0
+		}
+		ws.epoch = 1
+	}
+	start := u*n + v
+	ws.seen[start] = ws.epoch
+	ws.queue = append(ws.queue[:0], int32(start))
+	best := int(ws.dist[start])
+	for qi := 0; qi < len(ws.queue) && best > 0; qi++ {
+		s := int(ws.queue[qi])
+		a, b := s/n, s%n
+		if g.Degree(a) != g.Degree(b) {
+			// Unreachable for symmetric pairs; guard against misuse.
+			panic(fmt.Sprintf("shrink: degree mismatch at pair (%d,%d); input pair not symmetric", a, b))
+		}
+		for p := 0; p < g.Degree(a); p++ {
+			ta, _ := g.Succ(a, p)
+			tb, _ := g.Succ(b, p)
+			ns := ta*n + tb
+			if ws.seen[ns] == ws.epoch {
+				continue
+			}
+			ws.seen[ns] = ws.epoch
+			if d := int(ws.dist[ns]); d >= 0 && d < best {
+				best = d
+				if best == 0 {
+					break
+				}
+			}
+			ws.queue = append(ws.queue, int32(ns))
+		}
+	}
+	return best
+}
+
+// allPairs fills ws.dist with the n x n distance matrix by one BFS per
+// node into the reused flat buffer. Graphs are immutable, so the matrix
+// is cached by graph identity: classifying many pairs of one graph (the
+// k-agent experiments check every agent pair) pays for the BFS sweep
+// once.
+func (ws *Workspace) allPairs(g *graph.Graph) {
+	if ws.distG == g {
+		return
+	}
+	ws.distG = nil // invalid while rebuilding
+	n := g.N()
+	if cap(ws.dist) < n*n {
+		ws.dist = make([]int32, n*n)
+	}
+	ws.dist = ws.dist[:n*n]
+	for i := range ws.dist {
+		ws.dist[i] = -1
+	}
+	for v := 0; v < n; v++ {
+		row := ws.dist[v*n : (v+1)*n]
+		row[v] = 0
+		ws.queue = append(ws.queue[:0], int32(v))
+		for qi := 0; qi < len(ws.queue); qi++ {
+			x := int(ws.queue[qi])
+			dx := row[x]
+			for p := 0; p < g.Degree(x); p++ {
+				to, _ := g.Succ(x, p)
+				if row[to] < 0 {
+					row[to] = dx + 1
+					ws.queue = append(ws.queue, int32(to))
+				}
+			}
+		}
+	}
+	ws.distG = g
+}
+
 // PairOrbit returns all pairs (a, b) reachable from (u, v) in the
 // pair-product graph. For a symmetric start this is the set of joint
 // positions two identical agents can ever occupy when executing the same

@@ -1,0 +1,49 @@
+package shrink
+
+import (
+	"testing"
+
+	"repro/graph"
+	"repro/view"
+)
+
+// TestWorkspaceValueMatchesShrink pins the witness-free Workspace.Value
+// against the witness-building Shrink on every symmetric pair of a mixed
+// graph family set, reusing one workspace throughout (the scratch-
+// threaded usage pattern of stic.Classifier).
+func TestWorkspaceValueMatchesShrink(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.TwoNode(),
+		graph.Cycle(4),
+		graph.Cycle(7),
+		graph.Path(5),
+		graph.Star(4),
+		graph.OrientedTorus(3, 3),
+		graph.SymmetricTree(graph.ChainShape(2)),
+		graph.RandomConnected(8, 3, 7),
+	}
+	var ws Workspace
+	var ref view.Refiner
+	pairs := 0
+	for _, g := range graphs {
+		classes := ref.Classes(g)
+		for u := 0; u < g.N(); u++ {
+			for v := u + 1; v < g.N(); v++ {
+				if classes[u] != classes[v] {
+					continue
+				}
+				want, err := Shrink(g, u, v)
+				if err != nil {
+					t.Fatalf("%s (%d,%d): %v", g, u, v, err)
+				}
+				if got := ws.Value(g, u, v); got != want.Value {
+					t.Errorf("%s (%d,%d): Workspace.Value=%d, Shrink=%d", g, u, v, got, want.Value)
+				}
+				pairs++
+			}
+		}
+	}
+	if pairs < 20 {
+		t.Fatalf("suite too small: only %d symmetric pairs", pairs)
+	}
+}

@@ -77,6 +77,41 @@ func benchWalk(b *testing.B, unbatched bool) {
 	b.ReportMetric(100_000*float64(b.N)/b.Elapsed().Seconds(), "rounds/s")
 }
 
+// BenchmarkMultiScriptedWalk measures the k-agent direct-execution
+// scheduler's raw round throughput with every agent looping a long
+// script — the k-agent analogue of BenchmarkScriptedWalk, and the
+// number to compare against it (the engine rework targets multi-agent
+// sweeps within an order of magnitude of two-agent scripted speed; the
+// gap is the O(k²) per-round meeting scan).
+func BenchmarkMultiScriptedWalk(b *testing.B) {
+	for _, k := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			g := graph.Cycle(64)
+			script := uxsStyleScript(4096, 64)
+			prog := func(w agent.World) {
+				for {
+					w.MoveSeq(script)
+				}
+			}
+			agents := make([]MultiAgent, k)
+			for i := range agents {
+				agents[i] = MultiAgent{Program: prog, Start: (i * 64) / k}
+			}
+			sess := NewSession()
+			defer sess.Close()
+			cfg := MultiConfig{Budget: 100_000}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res := sess.RunMany(g, agents, cfg)
+				if res.Rounds != 100_000 {
+					b.Fatalf("unexpected early stop at %d", res.Rounds)
+				}
+			}
+			b.ReportMetric(100_000*float64(b.N)/b.Elapsed().Seconds(), "rounds/s")
+		})
+	}
+}
+
 // BenchmarkFastForward measures the wait fast-path: two agents trading
 // astronomical waits must finish in microseconds regardless of the
 // simulated round count.

@@ -1,0 +1,81 @@
+// Package sim executes the paper's execution model: anonymous agents on
+// a port-labeled graph, moving in synchronous rounds, started by the
+// adversary with given delays, meeting when they occupy the same node in
+// the same round (crossings inside an edge do not count). Run/RunPrograms
+// drive the two-agent rendezvous model; RunMany generalizes to k agents
+// (the gathering setting of the paper's related work [25]).
+//
+// The scheduler is strictly deterministic: agent programs run as
+// goroutines but are advanced in lock-step, and the programs share no
+// state. Long mutual waits are fast-forwarded in O(1), which is what
+// makes the paper's padding-heavy algorithms (whose round counts are
+// exponential) simulable: simulated time is decoupled from physical work.
+//
+// # Batched execution
+//
+// A per-move interaction costs a request/grant channel round trip and two
+// goroutine wakeups. Programs that know a stretch of actions in advance
+// submit it as one agent.World.MoveSeq script: the scheduler then steps
+// the scripted positions itself, round by round, in a tight in-process
+// loop — waking the agent goroutine once per script instead of once per
+// edge traversal — while preserving exact per-round meeting detection,
+// budget accounting and observer semantics. Runs of ScriptWait actions
+// inside a script coalesce into the same O(1) fast-forward path as Wait,
+// and the world layer defers and merges adjacent Wait calls (folding
+// short ones into the next script) — all invisible to the program, since
+// waiting changes no percept and no position. Batched and unbatched
+// execution of the same program are behavior-identical (same Result
+// field by field); the engine-equivalence tests pin this down across the
+// STIC suite.
+//
+// # Pooled runner sessions
+//
+// A runner — the goroutine, channel pair and per-agent buffers behind
+// one simulated agent — is reusable: a Session keeps released runners
+// parked on an assignment channel and hands them to subsequent runs, so
+// a sweep shard's thousands of runs create no goroutines and no channels
+// after warmup. The request and grant channels form a one-deep pipeline
+// in each direction; aborted runs are signaled in-band by a poison
+// grant, and every message carries its run's generation so a stale
+// deposit from an aborted run is discarded by the next run rather than
+// misread. Sweep threads one Session per worker through Scratch.Session
+// and closes it when the worker retires.
+//
+// # K-agent fast-forward invariants
+//
+// RunMany advances all k agents together between event boundaries. The
+// correctness of its fast-forward rests on four invariants:
+//
+//  1. Event horizon. From a boundary at round t, every agent can be
+//     driven horizon = min(budget-t, next appearance - t, min over
+//     present runners of runway()) rounds with no goroutine interaction,
+//     where runway is the remaining script length, the remaining wait,
+//     1 for a pending single move, and unbounded for a terminated
+//     program. No runner reaches the request-pulling state before the
+//     horizon's final round, so fetch — the only blocking interaction —
+//     happens only at boundaries.
+//
+//  2. Quiet skips. Rounds in which no present agent moves cannot create
+//     a meeting or a gathering: positions are static and every
+//     co-located pair was already recorded at the previous detection
+//     round (detection runs at round 0, after every moving round, and
+//     after every appearance). Such stretches — bounded by each agent's
+//     roundsUntilMove — are skipped in bulk without detection.
+//
+//  3. Moving rounds. A round in which at least one agent moves advances
+//     every present agent by exactly one round and then runs the O(k²)
+//     allocation-free pairwise scan, in (i, j) order — so the Meetings
+//     slice is ordered by round, then lexicographically, identically to
+//     the round-by-round reference engine.
+//
+//  4. Appearance boundaries. When a horizon ends exactly at an
+//     appearance round, that round's detection is deferred past the
+//     boundary so the new agents participate in the scan — the reference
+//     engine processes appearances before detection, and meeting order
+//     within the round must match it exactly.
+//
+// RunManyReference retains the one-iteration-per-round engine as the
+// executable spec; the differential engine-equivalence suite pins
+// RunMany to it, full MultiResult equality included, across randomized
+// populations of scripts, walkers, waiters and UniversalRV agents.
+package sim

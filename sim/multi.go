@@ -25,12 +25,17 @@ type Meeting struct {
 
 // MultiResult reports a finished multi-agent run.
 type MultiResult struct {
-	// Gathered is true when all agents occupied one node simultaneously.
+	// Gathered is true when all agents occupied one node simultaneously
+	// at some round of the run; GatherNode and GatherRound record the
+	// first such round.
 	Gathered    bool
 	GatherNode  int
 	GatherRound uint64
-	// Meetings lists the first meeting of every pair that met, in the
-	// order detected.
+	// Meetings lists the first meeting of every pair that met. The order
+	// is fully deterministic: ascending by meeting round, and within one
+	// round by (A, B) lexicographically — the order of the scheduler's
+	// pairwise scan. Both engines (RunMany and RunManyReference) produce
+	// byte-identical Meetings slices; the differential tests pin this.
 	Meetings []Meeting
 	Rounds   uint64
 	Moves    []uint64 // per-agent edge traversals
@@ -40,20 +45,335 @@ type MultiResult struct {
 type MultiConfig struct {
 	// Budget is the maximum absolute round count (0 = DefaultBudget).
 	Budget uint64
-	// StopOnGather stops as soon as all agents co-locate (default
-	// behaviour); when false the run continues to the budget collecting
-	// meetings.
+	// StopOnGather, when true, stops the run as soon as all agents
+	// co-locate. The zero value keeps going: the run continues to the
+	// budget collecting first meetings per pair (Gathered still records
+	// whether and where gathering was first observed).
 	StopOnGather bool
 	// StopOnFirstMeeting stops at the first pairwise meeting.
 	StopOnFirstMeeting bool
 }
 
-// RunMany executes k agents in lock-step on g. Pairwise meetings are
-// recorded (first meeting per pair); the run ends on gathering (all
-// agents at one node), on the budget, or — when every program has
-// terminated at scattered nodes — on proof that nothing further can
-// happen.
+// RunMany executes k agents in lock-step on g through the
+// direct-execution scheduler: it advances all agents together to the
+// next event horizon — the earliest script boundary, wait end, agent
+// appearance or budget edge — and inside a horizon steps scripted moves
+// in a tight channel-free loop, skipping mutual-wait stretches in O(1).
+// Pairwise meetings are recorded (first meeting per pair, see
+// MultiResult.Meetings for the order); the run ends on gathering (when
+// StopOnGather is set), on the first meeting (when StopOnFirstMeeting is
+// set), on the budget, or — when every program has terminated at
+// scattered nodes — on proof that nothing further can happen.
+//
+// RunManyReference is the retained round-by-round reference spec; the
+// engine-equivalence suite pins RunMany to it on randomized cases.
 func RunMany(g *graph.Graph, agents []MultiAgent, cfg MultiConfig) MultiResult {
+	var s Session
+	defer s.Close()
+	return s.RunMany(g, agents, cfg)
+}
+
+// RunMany is the session-pooled form of the package-level RunMany.
+func (s *Session) RunMany(g *graph.Graph, agents []MultiAgent, cfg MultiConfig) MultiResult {
+	k := len(agents)
+	if k == 0 {
+		return MultiResult{}
+	}
+	budget := cfg.Budget
+	if budget == 0 {
+		budget = DefaultBudget
+	}
+
+	// Per-session scheduler state, reused across runs: the runner set,
+	// presence flags and the met matrix (met[i*k+j] records that pair
+	// (i, j) already has its first meeting) — nothing here allocates in
+	// steady state except the result's own Meetings/Moves.
+	if cap(s.mrunners) < k {
+		s.mrunners = make([]*runner, k)
+		s.mpresent = make([]bool, k)
+	}
+	runners := s.mrunners[:k]
+	present := s.mpresent[:k]
+	for i := range runners {
+		runners[i] = nil
+		present[i] = false
+	}
+	if cap(s.mmet) < k*k {
+		s.mmet = make([]bool, k*k)
+	}
+	met := s.mmet[:k*k]
+	for i := range met {
+		met[i] = false
+	}
+	// Compact active set, rebuilt at each boundary (presence only changes
+	// there) so the per-round loops run branch-free over present agents.
+	if cap(s.mactive) < k {
+		s.mactive = make([]*runner, k)
+		s.mactiveIdx = make([]int, k)
+	}
+	active := s.mactive[:0]
+	activeIdx := s.mactiveIdx[:0]
+	if cap(s.mmoved) < k {
+		s.mmoved = make([]bool, k)
+	}
+	movedBuf := s.mmoved[:k]
+	defer func() {
+		for i, r := range runners {
+			if r != nil {
+				s.release(r)
+				runners[i] = nil
+			}
+		}
+	}()
+
+	var res MultiResult
+	res.Moves = make([]uint64, k)
+	finalize := func(t uint64) MultiResult {
+		res.Rounds = t
+		for i, r := range runners {
+			if r != nil {
+				res.Moves[i] = r.moves
+			}
+		}
+		return res
+	}
+
+	// detect records the first meeting of every co-located pair at round
+	// t and the first gathering round, in deterministic (i, j) scan
+	// order over the active set (which is index-sorted by construction);
+	// it reports whether a stop condition fired. moved, when non-nil,
+	// restricts the scan to pairs with at least one member that moved
+	// this round — a pair of stationary agents cannot newly co-locate,
+	// and gathering can only begin on a round somebody moved (or at a
+	// boundary, which passes nil for a full scan). It is idempotent at a
+	// fixed round, so the boundary re-check after an in-horizon
+	// detection is harmless.
+	presentCount := 0
+	detect := func(t uint64, moved []bool) bool {
+		coloc := false
+		for a := 0; a < len(active); a++ {
+			pi := active[a].pos
+			i := activeIdx[a]
+			aMoved := moved == nil || moved[a]
+			for b := a + 1; b < len(active); b++ {
+				if !aMoved && !moved[b] {
+					continue
+				}
+				if active[b].pos != pi {
+					continue
+				}
+				coloc = true
+				if met[i*k+activeIdx[b]] {
+					continue
+				}
+				met[i*k+activeIdx[b]] = true
+				res.Meetings = append(res.Meetings, Meeting{A: i, B: activeIdx[b], Node: pi, Round: t})
+			}
+		}
+		if (coloc || k == 1) && presentCount == k && !res.Gathered {
+			gathered := true
+			for i := 1; i < k; i++ {
+				if runners[i].pos != runners[0].pos {
+					gathered = false
+					break
+				}
+			}
+			if gathered {
+				res.Gathered = true
+				res.GatherNode = runners[0].pos
+				res.GatherRound = t
+			}
+		}
+		return (res.Gathered && cfg.StopOnGather) ||
+			(cfg.StopOnFirstMeeting && len(res.Meetings) > 0)
+	}
+
+	t := uint64(0)
+	first := true
+	for {
+		// Event boundary: start newly-appearing agents and pull the next
+		// request from every agent that finished its previous action.
+		// States can only change here — inside a horizon no runner ever
+		// reaches stNeedReq before the horizon's final round.
+		appeared := false
+		for i := range agents {
+			if !present[i] && t >= agents[i].Appear {
+				runners[i] = s.acquire(g, agents[i].Program, agents[i].Start)
+				present[i] = true
+				presentCount++
+				appeared = true
+			}
+			if present[i] {
+				runners[i].fetch()
+			}
+		}
+		if appeared {
+			active = active[:0]
+			activeIdx = activeIdx[:0]
+			for i := 0; i < k; i++ {
+				if present[i] {
+					active = append(active, runners[i])
+					activeIdx = append(activeIdx, i)
+				}
+			}
+		}
+
+		// Positions only change in the horizon's moving rounds, each of
+		// which re-detects; a boundary needs its own detection pass only
+		// when a new agent materialized (or on round 0).
+		if (appeared || first) && detect(t, nil) {
+			return finalize(t)
+		}
+		first = false
+		if t >= budget {
+			return finalize(t)
+		}
+		// All programs done and scattered: nothing can change.
+		allDone := presentCount == k
+		for i := 0; allDone && i < k; i++ {
+			if runners[i].state != stDone {
+				allDone = false
+			}
+		}
+		if allDone {
+			return finalize(t)
+		}
+
+		// Event horizon: how far every agent can be driven without any
+		// goroutine interaction — bounded by the budget, the next
+		// appearance, and each runner's channel-free runway.
+		horizon := budget - t
+		for i := range agents {
+			if !present[i] {
+				if d := agents[i].Appear - t; d < horizon {
+					horizon = d
+				}
+				continue
+			}
+			if rw := runners[i].runway(); rw < horizon {
+				horizon = rw
+			}
+		}
+		// When the horizon ends exactly at an appearance round, the
+		// detection for that round belongs to the boundary (after the
+		// new agents materialize): the reference engine processes
+		// appearances before scanning pairs, and the scan order of a
+		// round's meetings must match it exactly.
+		appearBound := false
+		for i := range agents {
+			if !present[i] && agents[i].Appear == t+horizon {
+				appearBound = true
+				break
+			}
+		}
+
+		// Drive the horizon: skip stretches where nobody moves in bulk,
+		// step rounds with movement one by one with exact per-round
+		// meeting detection.
+		for horizon > 0 {
+			// One classification pass over the active set: how long until
+			// anyone moves (quiet), and whether EVERY next round is a
+			// scripted move (the burst case).
+			quiet := horizon
+			allScript := len(active) > 0
+			anyMover := false
+			for _, r := range active {
+				if r.scriptMoveReady() {
+					anyMover = true
+					continue
+				}
+				allScript = false
+				q := r.roundsUntilMove()
+				if q == 0 {
+					anyMover = true
+				} else if q < quiet {
+					quiet = q
+				}
+			}
+			if allScript {
+				// Burst: while every active agent's next round is a
+				// scripted move there is nothing else to scan for — step
+				// them all directly (the k-agent analogue of the
+				// two-agent engine's tight lock-step loop), with an
+				// inline co-location pre-check so the full detect
+				// (closure, met matrix, gather logic) only runs when two
+				// positions actually coincide.
+				for ai := range active {
+					movedBuf[ai] = true
+				}
+				for {
+					for _, r := range active {
+						r.scriptStep()
+					}
+					t++
+					horizon--
+					if horizon == 0 && appearBound {
+						break
+					}
+					hit := false
+					for a := 0; a < len(active) && !hit; a++ {
+						pi := active[a].pos
+						for b := a + 1; b < len(active); b++ {
+							if active[b].pos == pi {
+								hit = true
+								break
+							}
+						}
+					}
+					if hit && detect(t, movedBuf) {
+						return finalize(t)
+					}
+					if horizon == 0 {
+						break
+					}
+					still := true
+					for _, r := range active {
+						if !r.scriptMoveReady() {
+							still = false
+							break
+						}
+					}
+					if !still {
+						break
+					}
+				}
+				continue
+			}
+			if !anyMover {
+				// Nobody moves for quiet rounds: positions are static and
+				// every co-located pair was already recorded at round t,
+				// so no meeting or gathering can newly occur inside.
+				for _, r := range active {
+					r.advance(quiet)
+				}
+				t += quiet
+				horizon -= quiet
+				continue
+			}
+			// Mixed round, at least one mover: advance every present
+			// agent exactly one round, then re-detect the moved pairs.
+			for ai, r := range active {
+				movedBuf[ai] = r.stepOne()
+			}
+			t++
+			horizon--
+			if horizon == 0 && appearBound {
+				break // detection at t runs at the boundary, post-appearance
+			}
+			if detect(t, movedBuf) {
+				return finalize(t)
+			}
+		}
+	}
+}
+
+// RunManyReference is the retained round-by-round k-agent engine: one
+// scheduler iteration per simulated round (plus the mutual-wait
+// fast-forward), with meeting bookkeeping in a map. It is the reference
+// spec the differential engine-equivalence tests pin RunMany against —
+// behavior-identical, field by field, including the Meetings order — and
+// is not meant for production use (RunMany is strictly faster).
+func RunManyReference(g *graph.Graph, agents []MultiAgent, cfg MultiConfig) MultiResult {
 	if len(agents) == 0 {
 		return MultiResult{}
 	}
@@ -61,12 +381,14 @@ func RunMany(g *graph.Graph, agents []MultiAgent, cfg MultiConfig) MultiResult {
 	if budget == 0 {
 		budget = DefaultBudget
 	}
+	var sess Session
+	defer sess.Close()
 	runners := make([]*runner, len(agents))
 	present := make([]bool, len(agents))
 	defer func() {
 		for _, r := range runners {
 			if r != nil {
-				r.shutdown()
+				sess.release(r)
 			}
 		}
 	}()
@@ -79,7 +401,7 @@ func RunMany(g *graph.Graph, agents []MultiAgent, cfg MultiConfig) MultiResult {
 	for {
 		for i, a := range agents {
 			if !present[i] && t >= a.Appear {
-				runners[i] = newRunner(g, a.Program, a.Start)
+				runners[i] = sess.acquire(g, a.Program, a.Start)
 				present[i] = true
 			}
 			if present[i] {
@@ -88,10 +410,7 @@ func RunMany(g *graph.Graph, agents []MultiAgent, cfg MultiConfig) MultiResult {
 		}
 
 		// Detect meetings and gathering at round t: allocation-free O(k^2)
-		// pairwise position compare, in deterministic (i, j) order. (A
-		// per-round map of co-located groups here used to dominate the
-		// multi-agent allocation profile — one map plus its slices per
-		// simulated round.)
+		// pairwise position compare, in deterministic (i, j) order.
 		presentCount := 0
 		for i := range agents {
 			if present[i] {
@@ -183,8 +502,10 @@ func RunMany(g *graph.Graph, agents []MultiAgent, cfg MultiConfig) MultiResult {
 	}
 }
 
-// GatherCheck validates a MultiResult invariant used by tests: meetings
-// are pairwise-unique and rounds are within budget.
+// GatherCheck validates MultiResult invariants: every meeting has A < B,
+// each pair appears at most once, and no meeting is recorded after the
+// run's final round (res.Rounds). The experiment harness and the
+// differential tests run it over every multi-agent result.
 func GatherCheck(res MultiResult) error {
 	seen := map[[2]int]bool{}
 	for _, m := range res.Meetings {

@@ -1,0 +1,187 @@
+package sim_test
+
+// Differential engine-equivalence suite for the k-agent scheduler: the
+// direct-execution RunMany (event-horizon fast-forward, pooled runners,
+// per-round meeting detection only on moving rounds) must produce a
+// MultiResult identical field by field — including the order of the
+// Meetings slice and the per-agent Moves — to RunManyReference, the
+// retained round-by-round engine, on hundreds of randomized cases mixing
+// graph families, agent counts, appearance rounds, budgets, stop modes
+// and program shapes (scripts with wait runs, per-move walkers, waiters,
+// terminating programs, and the real UniversalRV).
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/agent"
+	"repro/graph"
+	"repro/rendezvous"
+	"repro/sim"
+)
+
+// randProgram picks a deterministic program shape. The shapes are chosen
+// to exercise every scheduler path: batched scripts (with and without
+// in-script wait runs), unbatched per-move interaction, long waits (the
+// O(1) fast-forward), early termination (NeverMeet/allDone detection),
+// and the full phase pipeline of UniversalRV.
+func randProgram(r *rand.Rand) (agent.Program, string) {
+	switch r.Intn(8) {
+	case 0: // oblivious script of absolute ports
+		n := 1 + r.Intn(24)
+		actions := make([]int, n)
+		for i := range actions {
+			actions[i] = r.Intn(4)
+		}
+		return agent.Script(actions), fmt.Sprintf("script%v", actions)
+	case 1: // script mixing waits, absolute and entry-relative moves
+		n := 1 + r.Intn(32)
+		actions := make([]int, n)
+		for i := range actions {
+			switch r.Intn(3) {
+			case 0:
+				actions[i] = agent.ScriptWait
+			case 1:
+				actions[i] = r.Intn(4)
+			default:
+				actions[i] = agent.Rel(r.Intn(3))
+			}
+		}
+		return agent.Script(actions), fmt.Sprintf("mixed%v", actions)
+	case 2: // unbatched per-move walker that terminates
+		steps := 1 + r.Intn(20)
+		port := r.Intn(2)
+		return func(w agent.World) {
+			for i := 0; i < steps; i++ {
+				w.Move(port % w.Degree())
+			}
+		}, fmt.Sprintf("walk-%d-p%d", steps, port)
+	case 3: // move forever
+		return agent.MoveEveryRound, "move-every-round"
+	case 4: // sit forever (wait fast-forward)
+		return agent.Sit, "sit"
+	case 5: // terminate immediately (allDone detection)
+		return func(agent.World) {}, "halt"
+	case 6: // looping script + long waits
+		wait := uint64(1 + r.Intn(1000))
+		return func(w agent.World) {
+			for {
+				w.MoveSeq([]int{0, agent.Rel(0)})
+				w.Wait(wait)
+			}
+		}, fmt.Sprintf("bounce-wait-%d", wait)
+	default: // the real thing
+		return rendezvous.UniversalRV(), "universal"
+	}
+}
+
+func randGraph(r *rand.Rand) *graph.Graph {
+	switch r.Intn(6) {
+	case 0:
+		return graph.Cycle(3 + r.Intn(6))
+	case 1:
+		return graph.Path(2 + r.Intn(5))
+	case 2:
+		return graph.Star(3 + r.Intn(4))
+	case 3:
+		return graph.OrientedTorus(3, 3)
+	case 4:
+		return graph.Tree(graph.ChainShape(2 + r.Intn(3)))
+	default:
+		return graph.RandomConnected(4+r.Intn(5), 3, uint64(r.Intn(1000)))
+	}
+}
+
+func TestEngineEquivalenceRunManyRandomized(t *testing.T) {
+	const cases = 300
+	r := rand.New(rand.NewSource(0xC0FFEE))
+	for ci := 0; ci < cases; ci++ {
+		g := randGraph(r)
+		k := 2 + r.Intn(4)
+		agents := make([]sim.MultiAgent, k)
+		var names []string
+		for i := range agents {
+			prog, name := randProgram(r)
+			appear := uint64(0)
+			if r.Intn(2) == 1 {
+				appear = uint64(r.Intn(40))
+			}
+			agents[i] = sim.MultiAgent{Program: prog, Start: r.Intn(g.N()), Appear: appear}
+			names = append(names, fmt.Sprintf("%s@%d+%d", name, agents[i].Start, appear))
+		}
+		cfg := sim.MultiConfig{
+			Budget:             uint64(1 + r.Intn(3000)),
+			StopOnGather:       r.Intn(2) == 1,
+			StopOnFirstMeeting: r.Intn(3) == 0,
+		}
+		got := sim.RunMany(g, agents, cfg)
+		want := sim.RunManyReference(g, agents, cfg)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("case %d: engines disagree\n  graph:  %s\n  agents: %v\n  cfg:    %+v\n  direct:    %+v\n  reference: %+v",
+				ci, g, names, cfg, got, want)
+		}
+		if err := sim.GatherCheck(got); err != nil {
+			t.Fatalf("case %d: %v (%+v)", ci, err, got)
+		}
+	}
+}
+
+// TestEngineEquivalenceRunManyUniversal pins the heavyweight end-to-end
+// case: k UniversalRV agents with mixed appearance rounds must produce
+// identical results (meeting order included) through both engines.
+func TestEngineEquivalenceRunManyUniversal(t *testing.T) {
+	prog := rendezvous.UniversalRV()
+	cases := []struct {
+		g      *graph.Graph
+		starts []int
+		appear []uint64
+		budget uint64
+	}{
+		{graph.Path(3), []int{0, 1, 2}, []uint64{0, 0, 1}, 200_000},
+		{graph.Cycle(4), []int{0, 1, 3}, []uint64{0, 1, 3}, 150_000},
+		{graph.Cycle(6), []int{0, 2, 4}, []uint64{0, 0, 0}, 100_000},
+	}
+	for _, c := range cases {
+		agents := make([]sim.MultiAgent, len(c.starts))
+		for i := range agents {
+			agents[i] = sim.MultiAgent{Program: prog, Start: c.starts[i], Appear: c.appear[i]}
+		}
+		cfg := sim.MultiConfig{Budget: c.budget}
+		got := sim.RunMany(c.g, agents, cfg)
+		want := sim.RunManyReference(c.g, agents, cfg)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: engines disagree\n  direct:    %+v\n  reference: %+v", c.g, got, want)
+		}
+	}
+}
+
+// TestEngineEquivalenceRunManyBatchedVsUnbatched re-pins MoveSeq
+// semantics on the k-agent path: a mixed batched/unbatched population
+// must behave identically through the direct engine.
+func TestEngineEquivalenceRunManyBatchedVsUnbatched(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for ci := 0; ci < 60; ci++ {
+		g := randGraph(r)
+		k := 2 + r.Intn(3)
+		mk := func(unbatch bool) []sim.MultiAgent {
+			rr := rand.New(rand.NewSource(int64(ci)))
+			agents := make([]sim.MultiAgent, k)
+			for i := range agents {
+				prog, _ := randProgram(rr)
+				if unbatch {
+					prog = agent.Unbatched(prog)
+				}
+				agents[i] = sim.MultiAgent{Program: prog, Start: rr.Intn(g.N()), Appear: uint64(rr.Intn(10))}
+			}
+			return agents
+		}
+		cfg := sim.MultiConfig{Budget: uint64(1 + r.Intn(1500)), StopOnGather: r.Intn(2) == 1}
+		a := sim.RunMany(g, mk(false), cfg)
+		b := sim.RunMany(g, mk(true), cfg)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("case %d on %s: batched vs unbatched disagree\n  batched:   %+v\n  unbatched: %+v", ci, g, a, b)
+		}
+	}
+}

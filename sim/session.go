@@ -1,0 +1,664 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/agent"
+	"repro/graph"
+)
+
+// Session owns a pool of runners — the goroutine, the request/grant
+// channel pair and the per-agent scratch buffers behind one simulated
+// agent — and reuses them across runs. Creating those per run is the
+// simulator's last steady-state allocator (ROADMAP: "the simulator
+// session itself"), so the experiment sweeps thread a Session through
+// each worker's Scratch and run every case of a shard on warm runners.
+//
+// A Session is NOT safe for concurrent use: exactly one run may be active
+// on it at a time (sweeps use one Session per worker). Close releases the
+// pooled goroutines; a Session used via Scratch.Session is closed by
+// Sweep itself when the worker retires.
+type Session struct {
+	free []*runner
+	wg   sync.WaitGroup
+
+	// Reusable k-agent scheduler state (see multi.go).
+	mrunners   []*runner
+	mpresent   []bool
+	mmet       []bool
+	mactive    []*runner
+	mactiveIdx []int
+	mmoved     []bool
+}
+
+// NewSession returns an empty session; runners are created on demand.
+func NewSession() *Session { return &Session{} }
+
+// acquire hands out a warm runner (or spawns one) and assigns it the
+// given program. The runner's worker goroutine starts executing prog
+// immediately; the scheduler picks up its first request at fetch.
+func (s *Session) acquire(g *graph.Graph, prog agent.Program, start int) *runner {
+	var r *runner
+	if n := len(s.free); n > 0 {
+		r, s.free = s.free[n-1], s.free[:n-1]
+	} else {
+		r = &runner{
+			req:    make(chan request, 1),
+			grant:  make(chan grantMsg, 1),
+			assign: make(chan runAssign),
+			idle:   make(chan struct{}),
+		}
+		s.wg.Add(1)
+		go r.work(&s.wg)
+	}
+	r.g = g
+	r.gen++
+	r.pos = start
+	r.entry = -1
+	r.state = stNeedReq
+	r.moves = 0
+	r.waitLeft = 0
+	r.script = nil
+	r.scriptAt = 0
+	r.scriptWaitRun = 0
+	r.assign <- runAssign{g: g, prog: prog, start: start, gen: r.gen}
+	return r
+}
+
+// release returns a runner to the pool after waiting for its program to
+// quiesce — the pooled equivalent of the old per-run shutdown()'s
+// close(stop) + wg.Wait(). If the program is still running (the
+// scheduler ended the run first), a poison grant is sent; the send
+// blocks behind any real grant already in the buffer, so the agent
+// always processes every grant it earned (its observable side effects,
+// e.g. agent.Traced trajectories, stay deterministic), then unwinds via
+// stopSentinel at its next interaction. The idle handshake then
+// guarantees the goroutine has fully unwound before release returns:
+// callers may read state the program wrote (traces) with no data race
+// the moment Run*/RunMany return.
+func (s *Session) release(r *runner) {
+	if r.state != stDone {
+		r.grant <- grantMsg{degree: poisonDegree, gen: r.gen}
+	}
+	<-r.idle
+	r.script = nil
+	s.free = append(s.free, r)
+}
+
+// Close shuts down every pooled runner goroutine and waits for them to
+// exit. All runs on the session must have finished first.
+func (s *Session) Close() {
+	for _, r := range s.free {
+		close(r.assign)
+	}
+	s.free = nil
+	s.wg.Wait()
+}
+
+// Run is the session-pooled form of the package-level Run.
+func (s *Session) Run(g *graph.Graph, prog agent.Program, u, v int, delay uint64, cfg Config) Result {
+	return s.RunPrograms(g, prog, prog, u, v, delay, cfg)
+}
+
+type agentState int
+
+const (
+	stNeedReq agentState = iota
+	stMovePending
+	stWaiting
+	stScript
+	stDone
+)
+
+type reqKind int
+
+const (
+	reqMove reqKind = iota
+	reqWait
+	reqScript
+	reqDone
+	reqPanic
+)
+
+type request struct {
+	kind   reqKind
+	port   int
+	rounds uint64
+	script []int
+	val    any    // panic value for reqPanic
+	gen    uint64 // run generation; stale deposits are discarded by fetch
+}
+
+type grantMsg struct {
+	degree  int
+	entry   int
+	entries []int  // per-action entry ports, for reqScript grants
+	gen     uint64 // run generation; stale grants are discarded by recv
+}
+
+// runAssign starts one run on a pooled worker goroutine.
+type runAssign struct {
+	g     *graph.Graph
+	prog  agent.Program
+	start int
+	gen   uint64
+}
+
+// stopSentinel unwinds an agent program when its run is aborted.
+type stopSentinel struct{}
+
+// poisonDegree marks the abort grant deposited by Session.release: no
+// real grant carries a negative degree.
+const poisonDegree = -1
+
+type runner struct {
+	g *graph.Graph
+	// req and grant are buffered (capacity 1) — a one-deep pipeline in
+	// each direction. The agent deposits its next request without
+	// parking and the scheduler's fetch usually finds it ready; the
+	// scheduler deposits grants without parking whatever the agent
+	// goroutine is doing. The World protocol (one request, then block
+	// for its grant) guarantees at most one message in flight per
+	// direction — which is also why both sides use plain channel
+	// operations, never selects: a send always finds buffer space (or
+	// rendezvouses with the fetch that discards a stale deposit), and an
+	// aborted run is signaled in-band by a poison grant.
+	req   chan request
+	grant chan grantMsg
+	// assign carries run assignments and is closed by Session.Close to
+	// retire the worker; idle signals, once per assignment, that the
+	// program has fully unwound (release blocks on it, restoring the old
+	// per-run shutdown's quiescence guarantee).
+	assign chan runAssign
+	idle   chan struct{}
+	// gen counts assignments. An aborted run can leave one stale message
+	// in either buffer (a request the scheduler never fetched, or a
+	// grant/poison the program never picked up); instead of draining —
+	// which would race the next run's legitimate traffic for the same
+	// channel — every message carries its run's generation and the
+	// receiving side discards mismatches.
+	gen uint64
+
+	state    agentState
+	pos      int
+	entry    int
+	movePort int
+	waitLeft uint64
+	moves    uint64
+
+	// Script execution state (stScript): the pending action list, the
+	// cursor, the entry-port results accumulated so far, and the cached
+	// length of the run of consecutive ScriptWait actions at the cursor
+	// (0 = not computed or cursor on a move).
+	script        []int
+	scriptAt      int
+	scriptEntries []int
+	scriptWaitRun uint64
+}
+
+// work is the pooled worker goroutine: it executes one assigned program
+// after another until the assign channel is closed. The world value is
+// reused across assignments — it lives entirely in this goroutine.
+func (r *runner) work(wg *sync.WaitGroup) {
+	defer wg.Done()
+	w := &world{r: r}
+	for asg := range r.assign {
+		w.gen = asg.gen
+		w.deg = asg.g.Degree(asg.start)
+		w.entry = -1
+		w.clock = 0
+		w.pendingWait = 0
+		runProg(r, w, asg.prog)
+		// The program has unwound: hand quiescence back to release.
+		r.idle <- struct{}{}
+	}
+}
+
+// runProg executes one program to completion, abort or panic, reporting
+// the terminal condition to the scheduler (unless the run was aborted, in
+// which case the scheduler is gone and the token is simply consumed).
+func runProg(r *runner, w *world, prog agent.Program) {
+	defer func() {
+		rec := recover()
+		if rec != nil {
+			if _, ok := rec.(stopSentinel); ok {
+				return
+			}
+		}
+		// A deferred wait precedes the terminal condition in program
+		// order, so it must reach the scheduler first; if the run was
+		// aborted mid-flush there is nobody left to report to.
+		if !w.flushWaitQuiet() {
+			return
+		}
+		rq := request{kind: reqDone, gen: w.gen}
+		if rec != nil {
+			rq = request{kind: reqPanic, val: rec, gen: w.gen}
+		}
+		// By the one-in-flight protocol the request buffer has space
+		// (the previous request was consumed before its grant), so the
+		// deposit never blocks even when the scheduler is gone.
+		r.req <- rq
+	}()
+	prog(w)
+}
+
+// fetch pulls the agent's next action if the scheduler needs one. It
+// yields a couple of times before parking: the agent goroutine usually
+// deposits its next request within a few hundred nanoseconds of its
+// grant, and a yield that lets it run is cheaper than a full park/unpark
+// round trip for every script boundary (longer spins measured worse —
+// every yield pays the runtime's timer check).
+func (r *runner) fetch() {
+	if r.state != stNeedReq {
+		return
+	}
+	var rq request
+recv:
+	select {
+	case rq = <-r.req:
+	default:
+		for i := 0; ; i++ {
+			runtime.Gosched()
+			select {
+			case rq = <-r.req:
+			default:
+				if i < 2 {
+					continue
+				}
+				rq = <-r.req
+			}
+			break
+		}
+	}
+	if rq.gen != r.gen {
+		// Stale deposit from an aborted previous run on this pooled
+		// runner: discard and wait for the current program's request.
+		goto recv
+	}
+	switch rq.kind {
+	case reqMove:
+		r.state = stMovePending
+		r.movePort = rq.port
+	case reqWait:
+		r.state = stWaiting
+		r.waitLeft = rq.rounds
+	case reqScript:
+		r.state = stScript
+		r.script = rq.script
+		r.scriptAt = 0
+		// Reuse the per-runner entries buffer (the World.MoveSeq contract
+		// makes the previous grant's slice invalid once the agent issues a
+		// new action), so scripted hot loops allocate nothing.
+		if cap(r.scriptEntries) >= len(rq.script) {
+			r.scriptEntries = r.scriptEntries[:len(rq.script)]
+		} else {
+			r.scriptEntries = make([]int, len(rq.script))
+		}
+		r.scriptWaitRun = 0
+	case reqDone:
+		r.state = stDone
+	case reqPanic:
+		// The agent goroutine has unwound and is parked for reassignment;
+		// mark it terminal so release knows no abort token is needed, then
+		// surface the program's panic to the caller.
+		r.state = stDone
+		panic(rq.val)
+	}
+}
+
+// maxSkip returns how many rounds this agent can absorb without any state
+// change the scheduler would need to observe.
+func (r *runner) maxSkip() uint64 {
+	switch r.state {
+	case stMovePending:
+		return 1
+	case stWaiting:
+		return r.waitLeft
+	case stScript:
+		if r.script[r.scriptAt] != agent.ScriptWait {
+			return 1
+		}
+		return r.waitRun()
+	case stDone:
+		return ^uint64(0)
+	}
+	return 1
+}
+
+// waitRun returns the cached length of the ScriptWait run at the script
+// cursor, computing it on first use so repeated queries stay O(1)
+// amortized. Only valid when the cursor is on a ScriptWait.
+func (r *runner) waitRun() uint64 {
+	if r.scriptWaitRun == 0 {
+		i := r.scriptAt
+		for i < len(r.script) && r.script[i] == agent.ScriptWait {
+			i++
+		}
+		r.scriptWaitRun = uint64(i - r.scriptAt)
+	}
+	return r.scriptWaitRun
+}
+
+// runway returns how many rounds this agent can be advanced before the
+// scheduler must interact with its goroutine again (fetch a new request):
+// the remaining script length, the remaining wait, one round for a
+// pending single move, forever once the program terminated. This is the
+// per-agent contribution to the k-agent scheduler's event horizon.
+func (r *runner) runway() uint64 {
+	switch r.state {
+	case stMovePending:
+		return 1
+	case stWaiting:
+		return r.waitLeft
+	case stScript:
+		return uint64(len(r.script) - r.scriptAt)
+	case stDone:
+		return ^uint64(0)
+	}
+	return 1
+}
+
+// roundsUntilMove returns for how many rounds this agent is guaranteed to
+// stay at its current node: 0 when its next round is a move, the wait-run
+// length when it is waiting, forever once terminated. Rounds in which
+// every agent's count is positive cannot produce a new meeting.
+func (r *runner) roundsUntilMove() uint64 {
+	switch r.state {
+	case stMovePending:
+		return 0
+	case stWaiting:
+		return r.waitLeft
+	case stScript:
+		if r.script[r.scriptAt] != agent.ScriptWait {
+			return 0
+		}
+		return r.waitRun()
+	case stDone:
+		return ^uint64(0)
+	}
+	return 0
+}
+
+// scriptMoveReady reports whether the runner's next round is a scripted
+// move — the state the scheduler's tight lock-step loop handles.
+func (r *runner) scriptMoveReady() bool {
+	return r.state == stScript && r.script[r.scriptAt] != agent.ScriptWait
+}
+
+// scriptStep executes exactly one scripted move. The caller must have
+// checked scriptMoveReady. The port resolution is agent.ActionPort,
+// fused with the successor lookup into a single adjacency-row access —
+// this is the innermost statement of every scripted round.
+func (r *runner) scriptStep() {
+	adj := r.g.Adj(r.pos)
+	p, _ := agent.ActionPort(r.script[r.scriptAt], r.entry, len(adj))
+	h := adj[p]
+	r.pos, r.entry = h.To, h.ToPort
+	r.moves++
+	r.scriptEntries[r.scriptAt] = h.ToPort
+	r.scriptAt++
+	if r.scriptAt == len(r.script) {
+		r.finishScript()
+	}
+}
+
+// stepOne advances the runner by exactly one round, whatever its pending
+// action — the k-agent scheduler's per-round step inside an event
+// horizon. Unlike advance it never needs a prior maxSkip call. It
+// reports whether the agent's position changed this round, which is what
+// bounds the scheduler's meeting re-scan.
+func (r *runner) stepOne() (moved bool) {
+	switch r.state {
+	case stMovePending:
+		r.advance(1)
+		return true
+	case stWaiting:
+		r.waitLeft--
+		if r.waitLeft == 0 {
+			r.grant <- grantMsg{degree: r.g.Degree(r.pos), entry: r.entry, gen: r.gen}
+			r.state = stNeedReq
+		}
+	case stScript:
+		if r.script[r.scriptAt] == agent.ScriptWait {
+			r.scriptEntries[r.scriptAt] = r.entry
+			r.scriptAt++
+			if r.scriptWaitRun > 0 {
+				r.scriptWaitRun--
+			}
+			if r.scriptAt == len(r.script) {
+				r.finishScript()
+			}
+		} else {
+			r.scriptStep()
+			return true
+		}
+	case stDone:
+	}
+	return false
+}
+
+// finishScript hands the accumulated entry ports back to the agent
+// goroutine and returns the runner to the request-pulling state. The
+// entries buffer stays owned by the runner for reuse; the agent may read
+// it only until its next request (the MoveSeq contract), which is
+// sequenced after this grant by the req channel.
+func (r *runner) finishScript() {
+	r.grant <- grantMsg{degree: r.g.Degree(r.pos), entry: r.entry, entries: r.scriptEntries, gen: r.gen}
+	r.state = stNeedReq
+	r.script = nil
+}
+
+// advance applies k rounds of this agent's pending action. k must respect
+// maxSkip.
+func (r *runner) advance(k uint64) {
+	switch r.state {
+	case stMovePending:
+		to, ep := r.g.Succ(r.pos, r.movePort)
+		r.pos, r.entry = to, ep
+		r.moves++
+		r.grant <- grantMsg{degree: r.g.Degree(to), entry: ep, gen: r.gen}
+		r.state = stNeedReq
+	case stWaiting:
+		r.waitLeft -= k
+		if r.waitLeft == 0 {
+			r.grant <- grantMsg{degree: r.g.Degree(r.pos), entry: r.entry, gen: r.gen}
+			r.state = stNeedReq
+		}
+	case stScript:
+		if r.script[r.scriptAt] == agent.ScriptWait {
+			// k rounds of a (cached) wait run: positions are static, the
+			// entry percept is unchanged.
+			for i := uint64(0); i < k; i++ {
+				r.scriptEntries[r.scriptAt] = r.entry
+				r.scriptAt++
+			}
+			r.scriptWaitRun -= k
+			if r.scriptAt == len(r.script) {
+				r.finishScript()
+			}
+		} else {
+			r.scriptStep()
+		}
+	case stDone:
+		// nothing to do
+	}
+}
+
+// world implements agent.World on top of a runner's channels. It lives in
+// the agent goroutine; deg/entry/clock mirror the agent's own knowledge.
+//
+// Waits are deferred: Wait only accumulates rounds locally, and the
+// accumulated stretch reaches the scheduler merged with the agent's next
+// action — prepended to the next script as a ScriptWait run when short,
+// flushed as a single wait request otherwise. Waiting changes no percept
+// and no position, so merging consecutive waits (and folding them into
+// scripts) is invisible to the program and to the other agents: the
+// scheduler still advances the exact same number of rounds with the
+// agent parked at the same node. It just hears about them in one
+// handshake instead of many — the dominant cost of padding-heavy
+// programs, whose phase bookkeeping emits long runs of adjacent waits.
+type world struct {
+	r     *runner
+	deg   int
+	entry int
+	clock uint64
+	// gen is the current assignment's generation, stamped on every
+	// request so a later run on the same pooled runner can recognize and
+	// discard a deposit this run never got fetched.
+	gen uint64
+	// pendingWait is the deferred-wait accumulator; scriptBuf backs
+	// scripts that inline a pending wait ahead of the caller's actions.
+	pendingWait uint64
+	scriptBuf   []int
+}
+
+// flushWaitEvery bounds the deferred-wait accumulator: once the pending
+// stretch reaches this many rounds it is flushed immediately, so programs
+// that wait forever in bounded increments (agent.Sit) still reach the
+// scheduler regularly rather than accumulating unboundedly without ever
+// sending a request.
+const flushWaitEvery = 1 << 22
+
+// inlineWaitMax is the longest pending wait folded into the next script
+// as a ScriptWait run (one action per round) rather than flushed as its
+// own request; longer waits stay requests so script memory stays bounded
+// and the scheduler's O(1) wait fast-forward does the work.
+const inlineWaitMax = 256
+
+func (w *world) Degree() int    { return w.deg }
+func (w *world) EntryPort() int { return w.entry }
+func (w *world) Clock() uint64  { return w.clock }
+
+func (w *world) Move(port int) int {
+	if port < 0 || port >= w.deg {
+		panic(agent.ErrBadPort{Port: port, Degree: w.deg})
+	}
+	if p := w.pendingWait; p > 0 && p <= inlineWaitMax {
+		// Fold the pending wait and the move into one script.
+		buf := w.script(int(p) + 1)
+		for i := range buf {
+			buf[i] = agent.ScriptWait
+		}
+		buf[p] = port
+		w.pendingWait = 0
+		w.send(request{kind: reqScript, script: buf})
+		g := w.recv()
+		w.deg, w.entry = g.degree, g.entry
+		w.clock++
+		return w.entry
+	}
+	w.flushWait()
+	w.send(request{kind: reqMove, port: port})
+	g := w.recv()
+	w.deg, w.entry = g.degree, g.entry
+	w.clock++
+	return w.entry
+}
+
+func (w *world) Wait(rounds uint64) {
+	if rounds == 0 {
+		return
+	}
+	w.clock += rounds
+	if w.pendingWait > ^uint64(0)-rounds {
+		w.flushWait() // keep the accumulator exact across overflow
+	}
+	w.pendingWait += rounds
+	if w.pendingWait >= flushWaitEvery {
+		w.flushWait()
+	}
+}
+
+func (w *world) MoveSeq(actions []int) []int {
+	if len(actions) == 0 {
+		return nil
+	}
+	if p := w.pendingWait; p > 0 && p <= inlineWaitMax {
+		// Fold the pending wait into the script as a leading ScriptWait
+		// run; the grant's entries for those rounds are sliced off so the
+		// caller sees exactly its own actions' entries.
+		buf := w.script(int(p) + len(actions))
+		for i := 0; i < int(p); i++ {
+			buf[i] = agent.ScriptWait
+		}
+		copy(buf[p:], actions)
+		w.pendingWait = 0
+		w.send(request{kind: reqScript, script: buf})
+		g := w.recv()
+		w.deg, w.entry = g.degree, g.entry
+		w.clock += uint64(len(actions))
+		return g.entries[p:]
+	}
+	w.flushWait()
+	w.send(request{kind: reqScript, script: actions})
+	g := w.recv()
+	w.deg, w.entry = g.degree, g.entry
+	w.clock += uint64(len(actions))
+	return g.entries
+}
+
+// script returns the world's reusable script-building buffer at length n.
+func (w *world) script(n int) []int {
+	if cap(w.scriptBuf) < n {
+		w.scriptBuf = make([]int, n)
+	}
+	w.scriptBuf = w.scriptBuf[:n]
+	return w.scriptBuf
+}
+
+// flushWait sends the accumulated deferred wait, if any, as one request.
+func (w *world) flushWait() {
+	if w.pendingWait == 0 {
+		return
+	}
+	rq := request{kind: reqWait, rounds: w.pendingWait}
+	w.pendingWait = 0
+	w.send(rq)
+	w.recv()
+}
+
+// flushWaitQuiet is flushWait for the termination path: instead of
+// panicking with stopSentinel when the run was aborted, it reports false.
+func (w *world) flushWaitQuiet() bool {
+	if w.pendingWait == 0 {
+		return true
+	}
+	rq := request{kind: reqWait, rounds: w.pendingWait, gen: w.gen}
+	w.pendingWait = 0
+	w.r.req <- rq
+	for {
+		g := <-w.r.grant
+		if g.gen != w.gen {
+			continue // stale grant for an earlier run: discard
+		}
+		return g.degree != poisonDegree
+	}
+}
+
+func (w *world) send(rq request) {
+	// By the one-in-flight protocol the buffer has space except when a
+	// stale deposit from an aborted earlier run still occupies it — and
+	// then the scheduler's next fetch discards that deposit, completing
+	// this send. If the current run was aborted, the deposit itself goes
+	// stale harmlessly: the next recv observes the poison grant.
+	rq.gen = w.gen
+	w.r.req <- rq
+}
+
+func (w *world) recv() grantMsg {
+	for {
+		g := <-w.r.grant
+		if g.gen != w.gen {
+			// Stale grant (or poison) addressed to an earlier run on
+			// this pooled runner: discard.
+			continue
+		}
+		if g.degree == poisonDegree {
+			// The scheduler ended the run: unwind back to the worker loop.
+			panic(stopSentinel{})
+		}
+		return g
+	}
+}

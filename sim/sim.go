@@ -1,33 +1,7 @@
-// Package sim executes the paper's execution model: two anonymous agents
-// on a port-labeled graph, moving in synchronous rounds, started by the
-// adversary with a given delay, meeting when they occupy the same node in
-// the same round (crossings inside an edge do not count).
-//
-// The scheduler is strictly deterministic: agent programs run as
-// goroutines but are advanced in lock-step, one action per round, and the
-// two programs share no state. Long mutual waits are fast-forwarded in
-// O(1), which is what makes the paper's padding-heavy algorithms (whose
-// round counts are exponential) simulable: simulated time is decoupled
-// from physical work.
-//
-// # Batched execution
-//
-// A per-move interaction costs two unbuffered-channel handshakes and a
-// goroutine wakeup. Programs that know a stretch of actions in advance
-// submit it as one agent.World.MoveSeq script: the scheduler then steps
-// the scripted positions itself, round by round, in a tight in-process
-// loop — waking the agent goroutine once per script instead of once per
-// edge traversal — while preserving exact per-round meeting detection,
-// budget accounting and observer semantics. Runs of ScriptWait actions
-// inside a script coalesce into the same O(1) fast-forward path as Wait.
-// Batched and unbatched execution of the same program are
-// behavior-identical (same Result field by field); the engine-equivalence
-// tests pin this down across the STIC suite.
 package sim
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/agent"
 	"repro/graph"
@@ -94,18 +68,28 @@ func Run(g *graph.Graph, prog agent.Program, u, v int, delay uint64, cfg Config)
 
 // RunPrograms executes possibly different programs for the two agents;
 // used by the oracle baselines (e.g. wait-for-Mommy, where leader election
-// is assumed already done).
+// is assumed already done). It creates and discards a one-shot runner
+// session; callers with many runs should reuse one Session (in sweeps,
+// via Scratch.Session).
 func RunPrograms(g *graph.Graph, progA, progB agent.Program, u, v int, delay uint64, cfg Config) Result {
+	var s Session
+	defer s.Close()
+	return s.RunPrograms(g, progA, progB, u, v, delay, cfg)
+}
+
+// RunPrograms is the session-pooled form of the package-level
+// RunPrograms.
+func (s *Session) RunPrograms(g *graph.Graph, progA, progB agent.Program, u, v int, delay uint64, cfg Config) Result {
 	budget := cfg.Budget
 	if budget == 0 {
 		budget = DefaultBudget
 	}
-	ra := newRunner(g, progA, u)
-	defer ra.shutdown()
+	ra := s.acquire(g, progA, u)
 	var rb *runner // started when the later agent appears
 	defer func() {
+		s.release(ra)
 		if rb != nil {
-			rb.shutdown()
+			s.release(rb)
 		}
 	}()
 
@@ -113,7 +97,7 @@ func RunPrograms(g *graph.Graph, progA, progB agent.Program, u, v int, delay uin
 	for {
 		ra.fetch()
 		if t >= delay && rb == nil {
-			rb = newRunner(g, progB, v)
+			rb = s.acquire(g, progB, v)
 		}
 		if rb != nil {
 			rb.fetch()
@@ -203,295 +187,5 @@ func RunPrograms(g *graph.Graph, progA, progB agent.Program, u, v int, delay uin
 			rb.advance(skip)
 		}
 		t += skip
-	}
-}
-
-type agentState int
-
-const (
-	stNeedReq agentState = iota
-	stMovePending
-	stWaiting
-	stScript
-	stDone
-)
-
-type reqKind int
-
-const (
-	reqMove reqKind = iota
-	reqWait
-	reqScript
-	reqDone
-	reqPanic
-)
-
-type request struct {
-	kind   reqKind
-	port   int
-	rounds uint64
-	script []int
-	val    any // panic value for reqPanic
-}
-
-type grantMsg struct {
-	degree  int
-	entry   int
-	entries []int // per-action entry ports, for reqScript grants
-}
-
-// stopSentinel unwinds an agent goroutine when the run finishes.
-type stopSentinel struct{}
-
-type runner struct {
-	g     *graph.Graph
-	req   chan request
-	grant chan grantMsg
-	stop  chan struct{}
-	wg    sync.WaitGroup
-
-	state    agentState
-	pos      int
-	entry    int
-	movePort int
-	waitLeft uint64
-	moves    uint64
-
-	// Script execution state (stScript): the pending action list, the
-	// cursor, the entry-port results accumulated so far, and the cached
-	// length of the run of consecutive ScriptWait actions at the cursor
-	// (0 = not computed or cursor on a move).
-	script        []int
-	scriptAt      int
-	scriptEntries []int
-	scriptWaitRun uint64
-}
-
-func newRunner(g *graph.Graph, prog agent.Program, start int) *runner {
-	r := &runner{
-		g:     g,
-		req:   make(chan request),
-		grant: make(chan grantMsg),
-		stop:  make(chan struct{}),
-		pos:   start,
-		entry: -1,
-	}
-	w := &world{r: r, deg: g.Degree(start), entry: -1}
-	r.wg.Add(1)
-	go func() {
-		defer r.wg.Done()
-		defer func() {
-			if rec := recover(); rec != nil {
-				if _, ok := rec.(stopSentinel); ok {
-					return
-				}
-				select {
-				case r.req <- request{kind: reqPanic, val: rec}:
-				case <-r.stop:
-				}
-				return
-			}
-			select {
-			case r.req <- request{kind: reqDone}:
-			case <-r.stop:
-			}
-		}()
-		prog(w)
-	}()
-	return r
-}
-
-// fetch pulls the agent's next action if the scheduler needs one.
-func (r *runner) fetch() {
-	if r.state != stNeedReq {
-		return
-	}
-	rq := <-r.req
-	switch rq.kind {
-	case reqMove:
-		r.state = stMovePending
-		r.movePort = rq.port
-	case reqWait:
-		r.state = stWaiting
-		r.waitLeft = rq.rounds
-	case reqScript:
-		r.state = stScript
-		r.script = rq.script
-		r.scriptAt = 0
-		// Reuse the per-runner entries buffer (the World.MoveSeq contract
-		// makes the previous grant's slice invalid once the agent issues a
-		// new action), so scripted hot loops allocate nothing.
-		if cap(r.scriptEntries) >= len(rq.script) {
-			r.scriptEntries = r.scriptEntries[:len(rq.script)]
-		} else {
-			r.scriptEntries = make([]int, len(rq.script))
-		}
-		r.scriptWaitRun = 0
-	case reqDone:
-		r.state = stDone
-	case reqPanic:
-		panic(rq.val)
-	}
-}
-
-// maxSkip returns how many rounds this agent can absorb without any state
-// change the scheduler would need to observe.
-func (r *runner) maxSkip() uint64 {
-	switch r.state {
-	case stMovePending:
-		return 1
-	case stWaiting:
-		return r.waitLeft
-	case stScript:
-		if r.script[r.scriptAt] != agent.ScriptWait {
-			return 1
-		}
-		if r.scriptWaitRun == 0 {
-			// Cache the length of the wait run at the cursor so repeated
-			// maxSkip calls (when the other agent limits the skip) stay
-			// O(1) amortized.
-			i := r.scriptAt
-			for i < len(r.script) && r.script[i] == agent.ScriptWait {
-				i++
-			}
-			r.scriptWaitRun = uint64(i - r.scriptAt)
-		}
-		return r.scriptWaitRun
-	case stDone:
-		return ^uint64(0)
-	}
-	return 1
-}
-
-// scriptMoveReady reports whether the runner's next round is a scripted
-// move — the state the scheduler's tight lock-step loop handles.
-func (r *runner) scriptMoveReady() bool {
-	return r.state == stScript && r.script[r.scriptAt] != agent.ScriptWait
-}
-
-// scriptStep executes exactly one scripted move. The caller must have
-// checked scriptMoveReady.
-func (r *runner) scriptStep() {
-	p, _ := agent.ActionPort(r.script[r.scriptAt], r.entry, r.g.Degree(r.pos))
-	to, ep := r.g.Succ(r.pos, p)
-	r.pos, r.entry = to, ep
-	r.moves++
-	r.scriptEntries[r.scriptAt] = ep
-	r.scriptAt++
-	if r.scriptAt == len(r.script) {
-		r.finishScript()
-	}
-}
-
-// finishScript hands the accumulated entry ports back to the agent
-// goroutine and returns the runner to the request-pulling state. The
-// entries buffer stays owned by the runner for reuse; the agent may read
-// it only until its next request (the MoveSeq contract), which is
-// sequenced after this grant by the req channel.
-func (r *runner) finishScript() {
-	r.grant <- grantMsg{degree: r.g.Degree(r.pos), entry: r.entry, entries: r.scriptEntries}
-	r.state = stNeedReq
-	r.script = nil
-}
-
-// advance applies k rounds of this agent's pending action. k must respect
-// maxSkip.
-func (r *runner) advance(k uint64) {
-	switch r.state {
-	case stMovePending:
-		to, ep := r.g.Succ(r.pos, r.movePort)
-		r.pos, r.entry = to, ep
-		r.moves++
-		r.grant <- grantMsg{degree: r.g.Degree(to), entry: ep}
-		r.state = stNeedReq
-	case stWaiting:
-		r.waitLeft -= k
-		if r.waitLeft == 0 {
-			r.grant <- grantMsg{degree: r.g.Degree(r.pos), entry: r.entry}
-			r.state = stNeedReq
-		}
-	case stScript:
-		if r.script[r.scriptAt] == agent.ScriptWait {
-			// k rounds of a (cached) wait run: positions are static, the
-			// entry percept is unchanged.
-			for i := uint64(0); i < k; i++ {
-				r.scriptEntries[r.scriptAt] = r.entry
-				r.scriptAt++
-			}
-			r.scriptWaitRun -= k
-			if r.scriptAt == len(r.script) {
-				r.finishScript()
-			}
-		} else {
-			r.scriptStep()
-		}
-	case stDone:
-		// nothing to do
-	}
-}
-
-func (r *runner) shutdown() {
-	close(r.stop)
-	r.wg.Wait()
-}
-
-// world implements agent.World on top of a runner's channels. It lives in
-// the agent goroutine; deg/entry/clock mirror the agent's own knowledge.
-type world struct {
-	r     *runner
-	deg   int
-	entry int
-	clock uint64
-}
-
-func (w *world) Degree() int    { return w.deg }
-func (w *world) EntryPort() int { return w.entry }
-func (w *world) Clock() uint64  { return w.clock }
-
-func (w *world) Move(port int) int {
-	if port < 0 || port >= w.deg {
-		panic(agent.ErrBadPort{Port: port, Degree: w.deg})
-	}
-	w.send(request{kind: reqMove, port: port})
-	g := w.recv()
-	w.deg, w.entry = g.degree, g.entry
-	w.clock++
-	return w.entry
-}
-
-func (w *world) Wait(rounds uint64) {
-	if rounds == 0 {
-		return
-	}
-	w.send(request{kind: reqWait, rounds: rounds})
-	w.recv()
-	w.clock += rounds
-}
-
-func (w *world) MoveSeq(actions []int) []int {
-	if len(actions) == 0 {
-		return nil
-	}
-	w.send(request{kind: reqScript, script: actions})
-	g := w.recv()
-	w.deg, w.entry = g.degree, g.entry
-	w.clock += uint64(len(actions))
-	return g.entries
-}
-
-func (w *world) send(rq request) {
-	select {
-	case w.r.req <- rq:
-	case <-w.r.stop:
-		panic(stopSentinel{})
-	}
-}
-
-func (w *world) recv() grantMsg {
-	select {
-	case g := <-w.r.grant:
-		return g
-	case <-w.r.stop:
-		panic(stopSentinel{})
 	}
 }

@@ -22,15 +22,37 @@ import (
 // (pinned by the -race tests). Buffers are recycled between calls — a
 // callback must not retain them past its return.
 type Scratch struct {
-	worker int
-	ints   []int
-	bytes  []byte
-	stash  any
+	worker  int
+	ints    []int
+	bytes   []byte
+	stash   any
+	session *Session
 }
 
 // Worker returns the index of the worker that owns this scratch
 // (0 <= Worker < workers).
 func (s *Scratch) Worker() int { return s.worker }
+
+// Session returns the worker's pooled simulator session, creating it on
+// first use. Runs issued through it (Session.Run, Session.RunPrograms,
+// Session.RunMany) reuse agent goroutines, channels and per-agent
+// buffers across all cases the worker drains — the warm-state analogue
+// of Ints/Bytes for whole simulator runs. Sweep closes the session when
+// the worker retires; callbacks must not retain it past their return.
+func (s *Scratch) Session() *Session {
+	if s.session == nil {
+		s.session = NewSession()
+	}
+	return s.session
+}
+
+// close retires the scratch's pooled resources at worker exit.
+func (s *Scratch) close() {
+	if s.session != nil {
+		s.session.Close()
+		s.session = nil
+	}
+}
 
 // Ints returns a length-n scratch slice with undefined contents, reusing
 // the arena's backing array whenever it is large enough.
@@ -124,6 +146,7 @@ func Sweep[T, R any](items []T, workers int, key func(T) any, f func(*Scratch, T
 	}
 	if workers <= 1 {
 		s := &Scratch{}
+		defer s.close()
 		for _, si := range order {
 			for _, i := range shards[si] {
 				out[i] = f(s, items[i])
@@ -139,6 +162,7 @@ func Sweep[T, R any](items []T, workers int, key func(T) any, f func(*Scratch, T
 		go func(id int) {
 			defer wg.Done()
 			s := &Scratch{worker: id}
+			defer s.close()
 			for si := range next {
 				for _, i := range shards[si] {
 					out[i] = f(s, items[i])

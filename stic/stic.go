@@ -15,6 +15,7 @@ package stic
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/graph"
 	"repro/shrink"
@@ -52,22 +53,50 @@ func (r Report) String() string {
 	}
 }
 
-// Classify decides feasibility of the STIC by Corollary 3.1.
-func Classify(s STIC) Report {
+// Classifier is the scratch-threaded classifier: it keeps the view
+// refiner and the shrink workspace warm, so classifying many STICs —
+// the experiment sweeps classify one per case or per agent pair —
+// allocates nothing in steady state. Not safe for concurrent use; give
+// each sweep worker its own (via sim's Scratch.Stash, or a local).
+type Classifier struct {
+	ref view.Refiner
+	ws  shrink.Workspace
+	// classes caches the view partition by graph identity (graphs are
+	// immutable), so classifying many pairs of one graph — the k-agent
+	// experiments check every agent pair — runs the refinement once.
+	classes  []int
+	classesG *graph.Graph
+}
+
+// Classify decides feasibility of the STIC by Corollary 3.1, reusing the
+// classifier's buffers.
+func (c *Classifier) Classify(s STIC) Report {
 	if s.U == s.V {
 		// Degenerate: the agents start co-located and meet at the later
 		// appearance; treat as feasible and symmetric with Shrink 0.
 		return Report{Symmetric: true, Shrink: 0, Feasible: true}
 	}
-	if !view.Symmetric(s.G, s.U, s.V) {
+	if c.classesG != s.G {
+		c.classes = c.ref.Classes(s.G)
+		c.classesG = s.G
+	}
+	if c.classes[s.U] != c.classes[s.V] {
 		return Report{Symmetric: false, Feasible: true}
 	}
-	r, err := shrink.Shrink(s.G, s.U, s.V)
-	if err != nil {
-		// Unreachable: Symmetric just returned true.
-		panic(fmt.Sprintf("stic: shrink after symmetry check failed: %v", err))
-	}
-	return Report{Symmetric: true, Shrink: r.Value, Feasible: s.Delay >= uint64(r.Value)}
+	v := c.ws.Value(s.G, s.U, s.V)
+	return Report{Symmetric: true, Shrink: v, Feasible: s.Delay >= uint64(v)}
+}
+
+// classifierPool recycles Classifiers behind the package-level Classify,
+// so even one-shot call sites stop allocating once the pool is warm.
+var classifierPool = sync.Pool{New: func() any { return new(Classifier) }}
+
+// Classify decides feasibility of the STIC by Corollary 3.1.
+func Classify(s STIC) Report {
+	c := classifierPool.Get().(*Classifier)
+	rep := c.Classify(s)
+	classifierPool.Put(c)
+	return rep
 }
 
 // PortHomogeneous reports whether the graph is regular with all views

@@ -1,0 +1,92 @@
+package view
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/graph"
+)
+
+// FuzzTreeDecode guards the binary view-tree decoder: arbitrary input —
+// corrupt headers, truncated varints, bad kid markers, giant claimed
+// degrees — must produce an error or a valid tree, never a panic or an
+// unbounded allocation. Accepted inputs must be stable under a
+// re-encode/re-decode round trip (the encoding of the decoded tree is a
+// fixed point; raw input bytes need not be, because Uvarint accepts
+// non-canonical padded varints that AppendEncode never emits).
+//
+// Under plain `go test` only the seed corpus runs; CI adds a short
+// `go test -fuzz=FuzzTreeDecode` smoke run.
+func FuzzTreeDecode(f *testing.F) {
+	// Valid encodings across the graph families and depths.
+	for _, seed := range []struct {
+		g    *graph.Graph
+		v, d int
+	}{
+		{graph.TwoNode(), 0, 1},
+		{graph.Cycle(5), 2, 3},
+		{graph.Path(4), 0, 3},
+		{graph.Star(5), 0, 2},
+		{graph.OrientedTorus(3, 3), 4, 2},
+		{graph.RandomConnected(7, 3, 42), 1, 3},
+	} {
+		f.Add(Truncated(seed.g, seed.v, seed.d).Encode())
+	}
+	// Hand-built corruption: truncated header, truncated entry varint,
+	// bad kid marker, huge degree claims, trailing garbage, empty input.
+	f.Add([]byte{})
+	f.Add([]byte{0x80})                   // unterminated varint
+	f.Add([]byte{0x03})                   // header only, entry missing
+	f.Add([]byte{0x03, 0x00})             // expanded deg-1, kid marker missing
+	f.Add([]byte{0x03, 0x00, 0x07})       // bad kid marker
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0x7F}) // giant degree claim
+	f.Add([]byte{0x02, 0x00, 0x00})       // trailing byte after a leaf
+	f.Add([]byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x02, 0x00})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var tr Tree
+		if err := tr.Decode(data); err != nil {
+			return // rejected input: fine, as long as it never panics
+		}
+		// Accepted: the decoded tree must re-encode deterministically and
+		// round-trip to a structurally equal tree whose encoding is a
+		// fixed point.
+		enc := tr.Encode()
+		var tr2 Tree
+		if err := tr2.Decode(enc); err != nil {
+			t.Fatalf("re-decode of own encoding failed: %v\ninput: %x\nenc:   %x", err, data, enc)
+		}
+		if !Equal(&tr, &tr2) {
+			t.Fatalf("decode(encode(tree)) not structurally equal\ninput: %x", data)
+		}
+		if enc2 := tr2.Encode(); !bytes.Equal(enc, enc2) {
+			t.Fatalf("encoding is not a fixed point: %x vs %x", enc, enc2)
+		}
+	})
+}
+
+// FuzzTreeDecodeRoundTrip drives the decoder with guaranteed-valid
+// encodings built from fuzz-chosen graph parameters: every valid
+// encoding must decode to a tree Equal to the source and re-encode
+// byte-identically.
+func FuzzTreeDecodeRoundTrip(f *testing.F) {
+	f.Add(uint8(5), uint8(2), uint8(3), uint16(0))
+	f.Add(uint8(8), uint8(0), uint8(1), uint16(7))
+	f.Add(uint8(3), uint8(1), uint8(4), uint16(99))
+	f.Fuzz(func(t *testing.T, n, v, depth uint8, seed uint16) {
+		nn := 2 + int(n)%10
+		g := graph.RandomConnected(nn, 3, uint64(seed))
+		src := Truncated(g, int(v)%nn, int(depth)%4)
+		enc := src.Encode()
+		var dec Tree
+		if err := dec.Decode(enc); err != nil {
+			t.Fatalf("valid encoding rejected: %v (%x)", err, enc)
+		}
+		if !Equal(src, &dec) {
+			t.Fatal("round trip changed the tree")
+		}
+		if !bytes.Equal(enc, dec.Encode()) {
+			t.Fatal("round trip changed the encoding")
+		}
+	})
+}

@@ -185,6 +185,12 @@ func (t *Tree) decodeNode(data []byte) ([]byte, int32, error) {
 	if entryRaw > maxDecodeDeg {
 		return nil, 0, fmt.Errorf("view: entry port %d exceeds decode bound", entryRaw)
 	}
+	if head&1 == 1 && deg > uint64(len(data)) {
+		// An expanded node is followed by one marker byte per kid slot, so
+		// a valid encoding always has >= deg bytes left. Checking before
+		// Expand keeps a few corrupt bytes from demanding a huge arena.
+		return nil, 0, fmt.Errorf("view: degree %d exceeds remaining input (%d bytes)", deg, len(data))
+	}
 	id := t.NewNode(int32(deg), int32(entryRaw)-1)
 	if head&1 == 1 {
 		t.Expand(id)
