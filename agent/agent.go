@@ -22,7 +22,12 @@
 // detection) and wakes the program only once, when the whole script has
 // run. Script actions are plain ints (see ScriptWait, Rel and ActionPort
 // for the encoding); RunScript is the unbatched reference executor that
-// defines MoveSeq's semantics action by action.
+// defines MoveSeq's semantics action by action. MoveSeqDegrees is the
+// percept-streaming form: the same script execution with the degree of
+// every visited node reported alongside the entry ports, so producers
+// whose only inter-move percept is a Degree() call (view walks, path
+// enumerations) batch whole phases instead of waking at every node;
+// RunScriptDegrees/UnbatchedDegrees are its reference pair.
 //
 // The duration of a script is always exactly len(actions) rounds — one
 // round per action, moves and waits alike. Procedures that rely on
@@ -72,6 +77,27 @@ type World interface {
 	// longer must copy it. Implementations reuse one buffer per agent so
 	// that scripted hot loops stay allocation-free.
 	MoveSeq(actions []int) (entries []int)
+
+	// MoveSeqDegrees performs a batched script exactly like MoveSeq and
+	// additionally streams the degree percept: degrees[i] is the degree
+	// of the node the agent occupies once action i has run — the node
+	// just entered for a move (the degree is observed on entry), the
+	// unchanged current node for a ScriptWait — i.e. exactly what
+	// Degree() would return at that round. len(entries) == len(degrees)
+	// == len(actions). The action alphabet and the per-round timing are
+	// those of MoveSeq: a degree-reporting grant changes what the agent
+	// learns, never how the rounds elapse, so Rel-encoded moves and
+	// in-script ScriptWait runs behave identically on both calls.
+	// MoveSeqDegrees(nil) is a no-op returning (nil, nil).
+	//
+	// The degree stream is what lets percept-bound producers (view
+	// walks, path enumerations) compile a whole phase into one script:
+	// the only thing they previously woke up for was a Degree() call at
+	// each newly visited node. RunScriptDegrees is the unbatched
+	// reference executor defining the semantics action by action; both
+	// returned slices are owned by the World under the same contract as
+	// MoveSeq's.
+	MoveSeqDegrees(actions []int) (entries, degrees []int)
 
 	// Clock returns the number of rounds elapsed since this agent
 	// appeared at its initial node (the paper's synchronized local clock).
@@ -168,22 +194,135 @@ func RunScript(w World, actions []int) []int {
 	return entries
 }
 
+// seqWaitBase anchors the compressed-wait encoding of RunSeq scripts:
+// actions below it encode whole wait runs (SeqWait). The base sits far
+// outside any real Rel offset — an entry-relative move with an offset
+// anywhere near 2^30 would need a node of a billion ports — so
+// plain-script semantics are untouched; the encoding is only legal
+// inside RunSeq. Base and range fit int32 so the package still compiles
+// on 32-bit platforms.
+const (
+	seqWaitBase = -(1 << 30)
+	// MaxSeqWait is the longest wait run one SeqWait action can encode;
+	// producers flush longer waits as ordinary deferred waits (which the
+	// scheduler merges into the next script's lead anyway).
+	MaxSeqWait = uint64(1)<<30 - 1
+)
+
+// SeqWait encodes an n-round wait run (1 <= n <= MaxSeqWait) as a single
+// action of a RunSeq script. The scheduler consumes it in O(1) — the
+// run-length-encoded analogue of a materialized ScriptWait run — which is
+// what lets percept-free streams (label-schedule gaps, duration-padding
+// pads) ride inside one script instead of fragmenting it. SeqWait
+// actions are valid ONLY in RunSeq scripts; MoveSeq/RunScript decode
+// every negative action as ScriptWait or Rel.
+func SeqWait(n uint64) int { return seqWaitBase - int(n) }
+
+// SeqWaitRounds decodes a RunSeq wait-run action, reporting ok=false
+// for ordinary actions.
+func SeqWaitRounds(a int) (n uint64, ok bool) {
+	if a >= seqWaitBase {
+		return 0, false
+	}
+	return uint64(seqWaitBase - a), true
+}
+
+// RunSeq performs a batched script for its side effects only: identical
+// rounds, moves and timing to the equivalent MoveSeq/Wait sequence, but
+// the caller declares it will not read the percept streams, and the
+// script may contain SeqWait-encoded wait runs. Worlds that implement
+// the optional interface{ RunSeq([]int) } (the simulator's native world
+// does) skip producing per-action results and consume wait runs in O(1);
+// for everything else this reference fallback expands the script into
+// MoveSeq segments and Wait calls — same rounds, same positions. RunSeq
+// is an optimization channel, never a behavior change.
+func RunSeq(w World, actions []int) {
+	if q, ok := w.(interface{ RunSeq([]int) }); ok {
+		q.RunSeq(actions)
+		return
+	}
+	start := 0
+	for i, a := range actions {
+		if n, ok := SeqWaitRounds(a); ok {
+			if i > start {
+				w.MoveSeq(actions[start:i])
+			}
+			w.Wait(n)
+			start = i + 1
+		}
+	}
+	if start < len(actions) {
+		w.MoveSeq(actions[start:])
+	}
+}
+
+// RunScriptDegrees is the unbatched reference executor of
+// World.MoveSeqDegrees: the script runs action by action through Move and
+// Wait, and after each action the degree percept is read back with
+// Degree(). World implementations without a native degree-reporting path
+// delegate to it, and the engine-equivalence tests use it (via
+// UnbatchedDegrees) to check that the batched degree stream is
+// behavior-identical.
+func RunScriptDegrees(w World, actions []int) (entries, degrees []int) {
+	if len(actions) == 0 {
+		return nil, nil
+	}
+	entries = make([]int, len(actions))
+	degrees = make([]int, len(actions))
+	entry := w.EntryPort()
+	for i, a := range actions {
+		if p, wait := ActionPort(a, entry, w.Degree()); wait {
+			w.Wait(1)
+		} else {
+			entry = w.Move(p)
+		}
+		entries[i] = entry
+		degrees[i] = w.Degree()
+	}
+	return entries, degrees
+}
+
 // Unbatched returns a program identical to prog except that every MoveSeq
-// call is executed action by action through Move and Wait. It pins down
-// MoveSeq's semantics: for any program and any STIC, the batched and
-// unbatched runs must produce byte-identical results.
+// and MoveSeqDegrees call is executed action by action through Move and
+// Wait. It pins down the batched semantics: for any program and any STIC,
+// the batched and unbatched runs must produce byte-identical results.
 func Unbatched(prog Program) Program {
 	return func(w World) {
 		prog(unbatchedWorld{w})
 	}
 }
 
-// unbatchedWorld forwards everything but degrades MoveSeq to RunScript.
+// unbatchedWorld forwards everything but degrades the batched calls to
+// their per-action reference executors.
 type unbatchedWorld struct {
 	World
 }
 
 func (u unbatchedWorld) MoveSeq(actions []int) []int { return RunScript(u.World, actions) }
+
+func (u unbatchedWorld) MoveSeqDegrees(actions []int) ([]int, []int) {
+	return RunScriptDegrees(u.World, actions)
+}
+
+// UnbatchedDegrees returns a program identical to prog except that every
+// MoveSeqDegrees call is executed through RunScriptDegrees, with plain
+// MoveSeq left on the batched path. It isolates the degree-grant
+// machinery: differential runs against it pin exactly the new percept
+// stream (Unbatched remains the everything-per-move reference).
+func UnbatchedDegrees(prog Program) Program {
+	return func(w World) {
+		prog(unbatchedDegreesWorld{w})
+	}
+}
+
+// unbatchedDegreesWorld degrades only MoveSeqDegrees.
+type unbatchedDegreesWorld struct {
+	World
+}
+
+func (u unbatchedDegreesWorld) MoveSeqDegrees(actions []int) ([]int, []int) {
+	return RunScriptDegrees(u.World, actions)
+}
 
 // Script returns an oblivious program that performs the fixed action list,
 // submitted as one batched MoveSeq script. Each entry uses the script

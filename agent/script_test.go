@@ -60,6 +60,36 @@ func (r *scriptRecorder) Move(port int) int {
 }
 func (r *scriptRecorder) Wait(rounds uint64)    { r.waits++; r.clock += rounds }
 func (r *scriptRecorder) MoveSeq(a []int) []int { return RunScript(r, a) }
+func (r *scriptRecorder) MoveSeqDegrees(a []int) ([]int, []int) {
+	return RunScriptDegrees(r, a)
+}
+
+func TestRunScriptDegreesBookkeeping(t *testing.T) {
+	// Degrees are observed on entry: after each action the stream carries
+	// what Degree() returns at that round — unchanged across waits.
+	r := &scriptRecorder{deg: 4, entry: -1, nextEnt: func(port int) int { return (port + 1) % 4 }}
+	entries, degrees := r.MoveSeqDegrees([]int{0, ScriptWait, Rel(1)})
+	if len(entries) != 3 || len(degrees) != 3 {
+		t.Fatalf("stream lengths %d/%d", len(entries), len(degrees))
+	}
+	for i, d := range degrees {
+		if d != 4 {
+			t.Fatalf("degrees[%d] = %d, want 4 (recorder world is 4-regular)", i, d)
+		}
+	}
+	wantEntries := []int{1, 1, 3}
+	for i := range wantEntries {
+		if entries[i] != wantEntries[i] {
+			t.Fatalf("entries = %v, want %v", entries, wantEntries)
+		}
+	}
+	if r.clock != 3 {
+		t.Fatalf("clock = %d, want 3", r.clock)
+	}
+	if e, d := RunScriptDegrees(r, nil); e != nil || d != nil {
+		t.Fatal("empty degree script should return (nil, nil)")
+	}
+}
 
 func TestRunScriptBookkeeping(t *testing.T) {
 	r := &scriptRecorder{deg: 4, entry: -1, nextEnt: func(port int) int { return (port + 1) % 4 }}

@@ -97,17 +97,33 @@ func (w *tracingWorld) Move(port int) int {
 	return entry
 }
 
-// MoveSeq degrades to per-action execution so that every scripted move and
-// wait lands in the trace individually (waits still coalesce via Wait).
+// MoveSeq degrades to per-action execution so that every scripted move
+// and wait lands in the trace individually. This is load-bearing, not
+// just simple: a run that ends mid-script (the scheduler aborts the
+// program at the meeting) must leave a trace that extends exactly to the
+// last completed round — election.Decide compares trajectory ends — and
+// a batched submission would lose the partial script's steps, since its
+// grant never reaches the program. Per-action execution records each
+// step as it completes, whatever round the run is cut at.
 func (w *tracingWorld) MoveSeq(actions []int) []int { return RunScript(w, actions) }
+
+// MoveSeqDegrees degrades the same way; the degree stream carries no
+// action of its own, so the trace is identical to the MoveSeq form.
+func (w *tracingWorld) MoveSeqDegrees(actions []int) ([]int, []int) {
+	return RunScriptDegrees(w, actions)
+}
 
 func (w *tracingWorld) Wait(rounds uint64) {
 	if rounds == 0 {
 		return
 	}
 	w.World.Wait(rounds)
-	// Coalesce consecutive waits so traces stay compact even for the
-	// padding-heavy algorithms.
+	w.recordWait(rounds)
+}
+
+// recordWait appends waited rounds, coalescing consecutive waits so
+// traces stay compact even for the padding-heavy algorithms.
+func (w *tracingWorld) recordWait(rounds uint64) {
 	if n := len(w.trace.Steps); n > 0 && w.trace.Steps[n-1].Kind == StepWait {
 		w.trace.Steps[n-1].Rounds += rounds
 		return

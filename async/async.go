@@ -99,6 +99,12 @@ func (x *extractor) Wait(rounds uint64) {
 // one recorded action, exactly as if the program had issued it unbatched.
 func (x *extractor) MoveSeq(actions []int) []int { return agent.RunScript(x, actions) }
 
+// MoveSeqDegrees likewise goes through the reference executor; the degree
+// stream changes what the program learns, not which actions it performs.
+func (x *extractor) MoveSeqDegrees(actions []int) ([]int, []int) {
+	return agent.RunScriptDegrees(x, actions)
+}
+
 func (x *extractor) record(a Action) {
 	x.actions = append(x.actions, a)
 	if len(x.actions) >= x.max {

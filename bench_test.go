@@ -108,15 +108,18 @@ func BenchmarkE17MultiAgent(b *testing.B) {
 }
 
 // BenchmarkE17Multiagent measures the k-agent scheduler itself at
-// k = 2, 4, 8: k UniversalRV agents on a ring with staggered appearance
+// k = 2, 4, 8 (channel-bound UniversalRV sweep shape) and k = 32, 64
+// (where the position-bucketed meeting scan replaces the O(k²) pairwise
+// loop): k UniversalRV agents on a ring with staggered appearance
 // rounds, driven through one pooled session (the E17 workload shape
 // without the table harness). Distinct from BenchmarkE17MultiAgent
 // above, which regenerates the full E17 experiment and carries the
 // cross-PR perf trajectory; this one's per-k sub-benchmarks are tracked
-// separately by benchdiff ("…Multiagent/k=N" vs "…MultiAgent").
+// separately by benchdiff ("…Multiagent/k=N" vs "…MultiAgent"), which
+// also gates the reported wakeups/op metric.
 func BenchmarkE17Multiagent(b *testing.B) {
 	prog := rendezvous.UniversalRV()
-	for _, k := range []int{2, 4, 8} {
+	for _, k := range []int{2, 4, 8, 32, 64} {
 		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
 			g := graph.Cycle(2 * k)
 			agents := make([]sim.MultiAgent, k)
@@ -127,12 +130,14 @@ func BenchmarkE17Multiagent(b *testing.B) {
 			defer sess.Close()
 			cfg := sim.MultiConfig{Budget: 500_000}
 			b.ReportAllocs()
-			var rounds uint64
+			var rounds, wakeups uint64
 			for i := 0; i < b.N; i++ {
 				res := sess.RunMany(g, agents, cfg)
 				rounds += res.Rounds
+				wakeups += sess.Wakeups()
 			}
 			b.ReportMetric(float64(rounds)/b.Elapsed().Seconds(), "rounds/s")
+			b.ReportMetric(float64(wakeups)/float64(b.N), "wakeups/op")
 		})
 	}
 }

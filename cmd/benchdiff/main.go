@@ -1,6 +1,7 @@
 // Command benchdiff compares two BENCH_PR*.json perf records (as emitted
 // by scripts/bench.sh) and exits nonzero when any benchmark present in
-// both regressed in ns/op by more than the threshold. CI runs it over the
+// both regressed in ns/op — or, when both records carry the metric, in
+// scheduler wakeups/op — by more than the threshold. CI runs it over the
 // committed records so a PR cannot silently give back the perf the
 // trajectory has banked.
 //
@@ -25,10 +26,11 @@ import (
 )
 
 type entry struct {
-	Name   string   `json:"name"`
-	Ns     float64  `json:"ns_per_op"`
-	Bytes  *float64 `json:"bytes_per_op"`
-	Allocs *float64 `json:"allocs_per_op"`
+	Name    string   `json:"name"`
+	Ns      float64  `json:"ns_per_op"`
+	Bytes   *float64 `json:"bytes_per_op"`
+	Allocs  *float64 `json:"allocs_per_op"`
+	Wakeups *float64 `json:"wakeups_per_op,omitempty"`
 }
 
 type record struct {
@@ -124,6 +126,23 @@ func main() {
 		default:
 			if *all {
 				fmt.Printf("ok      %-40s %14.1f -> %14.1f ns/op  (%+.1f%%)\n", name, o.Ns, n.Ns, 100*ratio)
+			}
+		}
+		// Wakeups are deterministic (no host-jitter noise floor), so when
+		// both records carry the metric any increase beyond the threshold
+		// is a real batching regression and fails the run just like ns/op.
+		if o.Wakeups != nil && n.Wakeups != nil && *o.Wakeups > 0 {
+			wratio := *n.Wakeups / *o.Wakeups - 1
+			switch {
+			case wratio > *threshold:
+				regressions++
+				fmt.Printf("REGRESS %-40s %14.1f -> %14.1f wakeups/op  (%+.1f%%)\n", name, *o.Wakeups, *n.Wakeups, 100*wratio)
+			case wratio < -*threshold:
+				fmt.Printf("faster  %-40s %14.1f -> %14.1f wakeups/op  (%+.1f%%)\n", name, *o.Wakeups, *n.Wakeups, 100*wratio)
+			default:
+				if *all {
+					fmt.Printf("ok      %-40s %14.1f -> %14.1f wakeups/op  (%+.1f%%)\n", name, *o.Wakeups, *n.Wakeups, 100*wratio)
+				}
 			}
 		}
 	}

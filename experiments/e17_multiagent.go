@@ -50,17 +50,24 @@ func E17(full bool) *Table {
 	// The k-agent runs go through the sweep scheduler: each case executes
 	// on a worker whose Scratch carries a pooled runner session, so the
 	// agent goroutines, channels and script buffers are reused across the
-	// cases of a shard.
-	results := sim.Sweep(cases, 0, func(c caze) any { return c.g }, func(sc *sim.Scratch, c caze) sim.MultiResult {
+	// cases of a shard. The session also reports each run's scheduler
+	// wakeup count — the debug stat behind the percept-streaming work,
+	// surfaced in the table notes.
+	type outcome struct {
+		res     sim.MultiResult
+		wakeups uint64
+	}
+	results := sim.Sweep(cases, 0, func(c caze) any { return c.g }, func(sc *sim.Scratch, c caze) outcome {
 		agents := make([]sim.MultiAgent, len(c.starts))
 		for i := range agents {
 			agents[i] = sim.MultiAgent{Program: prog, Start: c.starts[i], Appear: c.appear[i]}
 		}
-		return sc.Session().RunMany(c.g, agents, sim.MultiConfig{Budget: c.budget})
+		res := sc.Session().RunMany(c.g, agents, sim.MultiConfig{Budget: c.budget})
+		return outcome{res: res, wakeups: sc.Session().Wakeups()}
 	})
 	var cl stic.Classifier
 	for ci, c := range cases {
-		res := results[ci]
+		res := results[ci].res
 		if err := sim.GatherCheck(res); err != nil {
 			t.Check(false, "%s: %v", c.g, err)
 			continue
@@ -89,7 +96,8 @@ func E17(full bool) *Table {
 			}
 		}
 		t.Notes = append(t.Notes,
-			fmt.Sprintf("%s: gathered=%v (gathering is not guaranteed by the pairwise theorem; observed only).", c.g, res.Gathered))
+			fmt.Sprintf("%s: gathered=%v (gathering is not guaranteed by the pairwise theorem; observed only); %d rounds simulated on %d scheduler wakeups.",
+				c.g, res.Gathered, res.Rounds, results[ci].wakeups))
 	}
 	t.Notes = append(t.Notes,
 		"Agents are oblivious to each other until co-located, so each pair's execution is literally a two-agent run: the two-agent characterization transfers without modification.")

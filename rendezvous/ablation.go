@@ -46,7 +46,7 @@ func unpaddedSymmRV(w agent.World, n, d, delta uint64) {
 	for i, j := 0, len(entries)-1; i < j; i, j = i+1, j-1 {
 		entries[i], entries[j] = entries[j], entries[i]
 	}
-	w.MoveSeq(entries)
+	agent.RunSeq(w, entries)
 }
 
 // unpaddedExplore is Algorithm 2 verbatim: all existing paths of length d

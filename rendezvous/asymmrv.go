@@ -62,32 +62,48 @@ type rvScratch struct {
 	// explore's per-iteration buffers (all of length d).
 	expSeq, expDegs, expEntries, expRev []int
 	// explore's merged-script buffer (reverse path + inter-iteration pad
-	// + next prefix, or the whole batched d=1 enumeration).
+	// + next forward walk, or the whole batched d=1 enumeration).
 	expScript []int
 	// symmRV's reverse-path buffer (length M+1).
 	symEntries []int
-	// viewWalk's deferred-move buffer (backtrack chains between first
-	// visits).
-	walkPending []int
+	// viewWalk's planner state (the script being planned, the DFS stack,
+	// the patch list awaiting a degree stream, and the full-walk record)
+	// plus the per-(depth,budget) walk cache: every walk starts at the
+	// agent's home node (all procedures return home), so the move script
+	// and the tree it builds are identical every time a hypothesis
+	// recurs — later phases replay the script percept-free and copy the
+	// cached tree instead of re-planning.
+	walkScript []int
+	walkStack  []vwFrame
+	walkPatch  []vwPatch
+	walkRecord []int
+	walkCache  map[walkKey]*walkRec
 	// tripCache memoizes, per size hypothesis, the home cycle's period
 	// for roundTrips (see uxsWalk.cache).
 	tripCache map[uint64][]int
 	// symCache memoizes, per size hypothesis, the degrees and entry
 	// ports along SymmRV's walk R(u) from home (see symmWalk); symDegs
 	// is the learning pass's recording buffer and symStream the replay's
-	// chunk buffer.
+	// chunk buffer. seedSymm marks programs that will actually run
+	// SymmRV (the universal algorithms set it): only then does the
+	// schedule's first UXS application pay for a degree-reporting grant
+	// to seed the cache.
 	symCache  map[uint64]symmWalk
 	symDegs   []int
 	symStream []int
+	seedSymm  bool
 }
 
 // uxsWalkFor returns this agent's UXS walk for size hypothesis n: the
-// globally cached forward script plus the scratch's reverse buffer.
+// globally cached forward script plus the scratch's reverse buffer. The
+// walk also carries the scratch itself so that the first application at
+// a new n — played with a degree-reporting grant — can seed the SymmRV
+// walk cache: R(u) is the same walk in both procedures.
 func (s *rvScratch) uxsWalkFor(n uint64) uxsWalk {
 	if s.tripCache == nil {
 		s.tripCache = map[uint64][]int{}
 	}
-	return uxsWalk{fwd: uxsFwdFor(n), rev: &s.rev, chunk: &s.trip, n: n, cache: s.tripCache}
+	return uxsWalk{fwd: uxsFwdFor(n), rev: &s.rev, chunk: &s.trip, n: n, cache: s.tripCache, scratch: s}
 }
 
 // scratchInts returns a length-n view of *buf, reallocating only when the
@@ -116,7 +132,7 @@ func asymmRVWith(w agent.World, n, delta uint64, s *rvScratch) {
 	// synchrony requires; under a correct hypothesis the cap never binds.
 	budget := ViewWalkTime(n)
 	start := w.Clock()
-	viewWalkWith(w, int(n)-1, budget, &s.tree, &s.walkPending)
+	viewWalkWith(w, int(n)-1, budget, &s.tree, s)
 	used := w.Clock() - start
 	w.Wait(budget - used)
 
@@ -128,6 +144,15 @@ func asymmRVWith(w agent.World, n, delta uint64, s *rvScratch) {
 	playSchedule(w, s.enc, EncodingBitBudget(n), repeats, slotLen, walk)
 }
 
+// maxWalkScript caps one view-walk script submission (the buffers persist
+// in the agent's scratch), and maxWalkCacheScript bounds the per-size
+// cached walk record so degenerate hypotheses cannot pin huge scripts in
+// the scratch for the rest of the program.
+const (
+	maxWalkScript      = 4096
+	maxWalkCacheScript = 8192
+)
+
 // viewWalk physically explores every path of length <= depth from the
 // current node by DFS with backtracking, and builds the truncated view it
 // observed into t (replacing t's previous contents; a warm tree makes the
@@ -136,86 +161,221 @@ func asymmRVWith(w agent.World, n, delta uint64, s *rvScratch) {
 // root's entry port is canonicalized to -1 so that the encoding depends
 // only on the view, not on how the agent arrived at its current node.
 //
-// The move sequence is the textbook DFS, but it reaches the simulator
-// batched: the only percept the walk needs is each first-visited node's
-// degree, so every stretch between first visits — the backtrack chain up
-// from the previous subtree plus the forward move into the new node — is
-// submitted as one script (buffered in vw.pending), and the scheduler
-// wakes the agent once per tree node instead of twice per edge.
+// The move sequence is the textbook DFS, but it reaches the simulator as
+// degree-reporting scripts: the only percept the walk needs is each
+// first-visited node's degree, and MoveSeqDegrees streams those with the
+// grant, so the planner speculatively extends each script deep into
+// unvisited territory — descending the port-0 chain of every fresh node
+// down to the truncation depth, a move that exists at every node of a
+// connected graph — and only stops (re-plans) where the next decision, a
+// port enumeration bound at a node first visited inside the very script
+// being built, genuinely depends on a degree still in flight. The grant's
+// degree stream is then ingested directly into the flat tree slab. The
+// moves, their order and the 2-rounds-per-path accounting are exactly
+// those of the per-node walk; only the script boundaries differ.
 func viewWalk(w agent.World, depth int, maxRounds uint64, t *view.Tree) {
-	var buf []int
-	viewWalkWith(w, depth, maxRounds, t, &buf)
+	var s rvScratch
+	viewWalkWith(w, depth, maxRounds, t, &s)
 }
 
-// viewWalkWith is viewWalk with a caller-owned pending-move buffer, so
-// the per-phase walks inside AsymmRV reuse one scratch buffer instead of
-// growing a fresh one per walk.
-func viewWalkWith(w agent.World, depth int, maxRounds uint64, t *view.Tree, buf *[]int) {
+// viewWalkWith is viewWalk with the planner state and walk cache threaded
+// through the agent's scratch. Walks always start at the agent's home
+// node (every rendezvous procedure returns home), so a (depth, budget)
+// pair fully determines the walk on a fixed graph: the first walk records
+// its move script and tree, and every later walk at the same key replays
+// the script in percept-free chunks — one scheduler wakeup per chunk
+// instead of one per re-plan — and copies the cached tree.
+func viewWalkWith(w agent.World, depth int, maxRounds uint64, t *view.Tree, s *rvScratch) {
+	key := walkKey{depth: depth, budget: maxRounds}
+	if rec, ok := s.walkCache[key]; ok {
+		t.CopyFrom(&rec.tree)
+		for off := 0; off < len(rec.script); off += maxWalkScript {
+			end := off + maxWalkScript
+			if end > len(rec.script) {
+				end = len(rec.script)
+			}
+			agent.RunSeq(w, rec.script[off:end])
+		}
+		return
+	}
 	t.Reset()
-	vw := viewWalker{w: w, t: t, remaining: maxRounds, pending: (*buf)[:0]}
+	vw := viewWalker{
+		w: w, t: t, remaining: maxRounds,
+		script: s.walkScript[:0], stack: s.walkStack[:0],
+		patch: s.walkPatch[:0], record: s.walkRecord[:0],
+	}
 	root := t.NewNode(int32(w.Degree()), -1)
-	vw.explore(root, depth)
-	vw.flushTail() // play the deferred backtracks up to the root
-	*buf = vw.pending[:0]
+	if depth > 0 {
+		t.Expand(root)
+		vw.run(root, depth)
+	}
+	if len(vw.record) <= maxWalkCacheScript {
+		if s.walkCache == nil {
+			s.walkCache = map[walkKey]*walkRec{}
+		}
+		rec := &walkRec{script: append([]int(nil), vw.record...)}
+		rec.tree.CopyFrom(t)
+		s.walkCache[key] = rec
+	}
+	s.walkScript = vw.script[:0]
+	s.walkStack = vw.stack[:0]
+	s.walkPatch = vw.patch[:0]
+	s.walkRecord = vw.record[:0]
 }
 
-// viewWalker carries the DFS state as a named receiver (not a closure), so
-// recursion into a warm tree performs no allocations (pending grows once
-// and is kept across phases via the scratch's walkPending swap).
+// walkKey identifies one deterministic view walk from the agent's home
+// node; walkRec caches its full move script and the tree it built.
+type walkKey struct {
+	depth  int
+	budget uint64
+}
+
+type walkRec struct {
+	script []int
+	tree   view.Tree
+}
+
+// viewWalker is the speculative DFS planner. It simulates the walk over
+// the tree built so far, appending actions to script; nodes first visited
+// by the pending (unsubmitted) script are "fresh" — their degree and
+// entry port are still in flight and arrive with the grant, recorded via
+// the patch list. Planning stops only where a decision needs a fresh
+// degree; everything else — port enumeration at known nodes, port-0
+// descents through fresh territory, backtracks (absolute entry ports at
+// known nodes, Rel(0) immediately after a fresh first visit) — extends
+// the current script.
 type viewWalker struct {
 	w         agent.World
 	t         *view.Tree
 	remaining uint64
-	pending   []int // deferred moves since the last degree percept
+	script    []int     // actions of the script being planned
+	stack     []vwFrame // explicit DFS stack
+	patch     []vwPatch // fresh first visits awaiting the degree stream
+	record    []int     // full move sequence across all submissions
 }
 
-// stepToNewNode plays the deferred backtracks plus the forward move
-// through port p as one script and returns the entry port into, and the
-// degree of, the newly visited node. The no-backtracks case (descending
-// to a node's first child) is a plain Move: one scheduler interaction
-// either way, but without the script machinery — which keeps the direct
-// single-agent worlds (soloWorld, the async extractor) fast too.
-func (vw *viewWalker) stepToNewNode(p int) (ep, deg int) {
-	if len(vw.pending) == 0 {
-		ep = vw.w.Move(p)
-		return ep, vw.w.Degree()
+// vwFrame is one level of the planner's DFS stack.
+type vwFrame struct {
+	id    int32 // tree node
+	port  int   // next port to enumerate
+	depth int   // levels remaining below this node
+	fresh bool  // first visited by the pending script
+}
+
+// vwPatch links a fresh first-visit to its action index in the pending
+// script: the grant's streams fill the node's degree and entry port, exp
+// marks nodes to Expand once the degree is known (depth > 0), and parent
+// >= 0 defers the kid-slot link of a fresh parent (whose arena slots do
+// not exist until its own patch runs, earlier in the list).
+type vwPatch struct {
+	id     int32
+	at     int
+	exp    bool
+	parent int32
+	port   int
+}
+
+func (vw *viewWalker) run(root int32, depth int) {
+	vw.stack = append(vw.stack, vwFrame{id: root, depth: depth})
+	for len(vw.stack) > 0 {
+		if len(vw.script) >= maxWalkScript {
+			vw.submit()
+		}
+		f := &vw.stack[len(vw.stack)-1]
+		if f.depth == 0 {
+			vw.pop()
+			continue
+		}
+		if f.fresh {
+			if f.port == 0 && vw.remaining >= 2 {
+				vw.descend(f) // speculative port-0 chain into fresh territory
+				continue
+			}
+			if f.port == 0 {
+				// Budget exhausted before any child: frontier marks only.
+				vw.pop()
+				continue
+			}
+			// The enumeration bound is this node's degree, which is still
+			// in the pending script's grant: submit and re-plan.
+			vw.submit()
+			continue
+		}
+		if deg := int(vw.t.At(f.id).Deg); f.port < deg && vw.remaining >= 2 {
+			vw.descend(f)
+			continue
+		}
+		vw.pop()
 	}
-	vw.pending = append(vw.pending, p)
-	entries := vw.w.MoveSeq(vw.pending)
-	ep = entries[len(entries)-1]
-	vw.pending = vw.pending[:0]
-	return ep, vw.w.Degree()
+	vw.submit()
 }
 
-// flushTail plays any deferred trailing backtracks (they need no percept,
-// but the walk must physically end at its start node before the caller
-// measures its clock or moves on).
-func (vw *viewWalker) flushTail() {
-	if len(vw.pending) > 0 {
-		vw.w.MoveSeq(vw.pending)
-		vw.pending = vw.pending[:0]
+// descend plans the forward move through f's next port into a new tree
+// node (2 rounds charged up front: the move and its eventual backtrack,
+// exactly the old per-node walk's accounting).
+func (vw *viewWalker) descend(f *vwFrame) {
+	vw.remaining -= 2
+	p := f.port
+	f.port++
+	fresh, id, d := f.fresh, f.id, f.depth-1
+	vw.script = append(vw.script, p)
+	kid := vw.t.NewNode(-1, -1) // degree and entry arrive with the grant
+	pc := vwPatch{id: kid, at: len(vw.script) - 1, exp: d > 0, parent: -1}
+	if fresh {
+		pc.parent, pc.port = id, p // parent's kid slots exist after its patch
+	} else {
+		vw.t.SetKid(id, p, kid)
+	}
+	vw.patch = append(vw.patch, pc)
+	vw.stack = append(vw.stack, vwFrame{id: kid, depth: d, fresh: true})
+}
+
+// pop plans the backtrack out of the finished top frame. A fresh node is
+// only ever popped immediately after its first-visit move (leaf depth or
+// budget stop), where Rel(0) — back through the entry port — is exact; a
+// known node's entry port is in the tree.
+func (vw *viewWalker) pop() {
+	f := vw.stack[len(vw.stack)-1]
+	vw.stack = vw.stack[:len(vw.stack)-1]
+	if len(vw.stack) == 0 {
+		return // the root: the walk is over, no backtrack
+	}
+	if f.fresh {
+		vw.script = append(vw.script, agent.Rel(0))
+	} else {
+		vw.script = append(vw.script, int(vw.t.At(f.id).EntryPort))
 	}
 }
 
-func (vw *viewWalker) explore(id int32, d int) {
-	if d == 0 {
+// submit plays the pending script as one degree-reporting grant and
+// ingests the percept streams into the tree slab: every fresh node's
+// degree and entry port, its kid-slot arena (once the degree is known),
+// and any deferred parent links.
+func (vw *viewWalker) submit() {
+	if len(vw.script) == 0 {
 		return
 	}
-	vw.t.Expand(id)
-	deg := int(vw.t.At(id).Deg)
-	for p := 0; p < deg; p++ {
-		if vw.remaining < 2 {
-			// Budget exhausted under a wrong hypothesis: leave the
-			// remaining subtrees as frontier marks.
-			return
+	entries, degs := vw.w.MoveSeqDegrees(vw.script)
+	for _, pc := range vw.patch {
+		vw.t.SetInfo(pc.id, int32(degs[pc.at]), int32(entries[pc.at]))
+		if pc.exp {
+			vw.t.Expand(pc.id)
 		}
-		vw.remaining -= 2
-		ep, kdeg := vw.stepToNewNode(p)
-		kid := vw.t.NewNode(int32(kdeg), int32(ep))
-		vw.t.SetKid(id, p, kid)
-		vw.explore(kid, d-1)
-		vw.pending = append(vw.pending, ep) // deferred backtrack
+		if pc.parent >= 0 {
+			vw.t.SetKid(pc.parent, pc.port, pc.id)
+		}
 	}
+	for i := range vw.stack {
+		vw.stack[i].fresh = false
+	}
+	// Record for the walk cache — but stop accumulating once past the
+	// cache bound (a record that overran it is never cached, so there is
+	// no point holding a giant script in the scratch for walks that big).
+	if len(vw.record) <= maxWalkCacheScript {
+		vw.record = append(vw.record, vw.script...)
+	}
+	vw.script = vw.script[:0]
+	vw.patch = vw.patch[:0]
 }
 
 // uxsWalk holds the batched script of one UXS application — port 0 out of
@@ -237,6 +397,35 @@ type uxsWalk struct {
 	// learning trip entirely.
 	n     uint64
 	cache map[uint64][]int
+	// scratch, when set, lets the learning trip seed the agent's SymmRV
+	// walk cache (see seedSymmWalk): the forward application IS the walk
+	// R(u) that SymmRV(n, 1, δ) later follows node by node, so playing it
+	// once with a degree-reporting grant replaces SymmRV's whole
+	// one-wakeup-per-node learning pass.
+	scratch *rvScratch
+}
+
+// seedSymmWalk converts one degree-reporting forward application (played
+// from home) into the SymmRV walk cache entry for this size: degs[i] is
+// the degree of walk node u_i and entries[i-1] the port entering u_i —
+// exactly what symmRVWith's own learning pass would have recorded.
+func (u uxsWalk) seedSymmWalk(entries, degrees []int, homeDeg int) {
+	if u.scratch == nil {
+		return
+	}
+	if _, ok := u.scratch.symCache[u.n]; ok {
+		return
+	}
+	degs := make([]int, len(degrees)+1)
+	degs[0] = homeDeg
+	copy(degs[1:], degrees)
+	if u.scratch.symCache == nil {
+		u.scratch.symCache = map[uint64]symmWalk{}
+	}
+	u.scratch.symCache[u.n] = symmWalk{
+		degs:    degs,
+		entries: append([]int(nil), entries...),
+	}
 }
 
 // buildUXSFwd renders the batched forward script of one UXS application.
@@ -279,7 +468,7 @@ func newUXSWalk(y uxs.Sequence) uxsWalk {
 // consuming exactly UXSRoundTrip(n) = 2*(M+1) rounds — as two batched
 // scripts: the forward application and the reversed entry-port path.
 func (u uxsWalk) roundTrip(w agent.World) {
-	entries := w.MoveSeq(u.fwd)
+	entries := u.firstApplication(w)
 	rev := scratchInts(u.rev, len(entries))
 	for i, j := 0, len(entries)-1; j >= 0; i, j = i+1, j-1 {
 		rev[i] = entries[j]
@@ -287,9 +476,25 @@ func (u uxsWalk) roundTrip(w agent.World) {
 	w.MoveSeq(rev)
 }
 
+// firstApplication plays one forward UXS application. When this agent has
+// no SymmRV walk cache for the size yet, it is played with a
+// degree-reporting grant and the percept streams seed that cache as a
+// side effect (identical rounds either way).
+func (u uxsWalk) firstApplication(w agent.World) []int {
+	if u.scratch != nil && u.scratch.seedSymm {
+		if _, ok := u.scratch.symCache[u.n]; !ok {
+			homeDeg := w.Degree()
+			entries, degrees := w.MoveSeqDegrees(u.fwd)
+			u.seedSymmWalk(entries, degrees, homeDeg)
+			return entries
+		}
+	}
+	return w.MoveSeq(u.fwd)
+}
+
 // maxTripScript caps the merged round-trip script length (the buffer
 // persists in the walk's reverse-path scratch).
-const maxTripScript = 4096
+const maxTripScript = 8192
 
 // roundTrips performs count consecutive round trips as merged scripts.
 // The first forward application learns the cycle's entry ports; every
@@ -313,7 +518,7 @@ func (u uxsWalk) roundTrips(w agent.World, count uint64) {
 			return
 		}
 	}
-	entries := w.MoveSeq(u.fwd)
+	entries := u.firstApplication(w)
 	if count == 1 || 2*l > maxTripScript {
 		// Degenerate sizes: per-trip submission, reverse then forward.
 		for i := uint64(1); i < count; i++ {
@@ -328,7 +533,7 @@ func (u uxsWalk) roundTrips(w agent.World, count uint64) {
 		for a, b := 0, l-1; b >= 0; a, b = a+1, b-1 {
 			rev[a] = entries[b]
 		}
-		w.MoveSeq(rev)
+		agent.RunSeq(w, rev)
 		return
 	}
 	// One period of the cycle beyond the first application: the reverse
@@ -384,7 +589,7 @@ func (u uxsWalk) playPeriods(w agent.World, period []int, reps uint64, withTail 
 			}
 			copy(script[off:], period[:m])
 		}
-		w.MoveSeq(script)
+		agent.RunSeq(w, script)
 		reps -= c
 	}
 }

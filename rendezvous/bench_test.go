@@ -10,29 +10,46 @@ import (
 
 // BenchmarkViewWalkBatched: the AsymmRV hot path — physical view
 // reconstruction into a warm flat tree plus label encoding. Steady state
-// is 0 allocs/op: the tree slab, kid arena, encoding and pending-move
-// buffers all live in the per-agent scratch and are reused across walks.
-// (Successor of PR 2's BenchmarkViewWalk, renamed because the walk is now
-// the script-batched DFS: against this benchmark's direct in-process
-// world the script plumbing costs ~60% over raw per-move calls, the
-// price of cutting the real engine's scheduler wakeups per walk in half
-// — see BENCH_PR3.json's E7/E17 rows for the system-level effect.)
+// is 0 allocs/op: the tree slab, kid arena, encoding and planner buffers
+// all live in the per-agent scratch and are reused across walks. With a
+// warm scratch this now measures the production repeat-phase path — the
+// per-(depth,budget) walk cache replays the recorded script percept-free
+// and copies the cached tree, which is what every UniversalRV phase
+// after the first does at a given hypothesis. BenchmarkViewWalkCold
+// measures the first walk (the speculative degree-reporting planner).
 func BenchmarkViewWalkBatched(b *testing.B) {
 	g := graph.Petersen()
 	var tree view.Tree
 	var enc []byte
 	w := &soloWorld{g: g, pos: 0, deg: g.Degree(0), entry: -1}
-	var pending []int // the production path reuses rvScratch.walkPending
-	viewWalkWith(w, 3, RoundCap, &tree, &pending)
+	var s rvScratch
+	viewWalkWith(w, 3, RoundCap, &tree, &s)
 	enc = tree.AppendEncode(enc[:0])
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		w.pos, w.deg, w.entry = 0, g.Degree(0), -1
-		viewWalkWith(w, 3, RoundCap, &tree, &pending)
+		viewWalkWith(w, 3, RoundCap, &tree, &s)
 		enc = tree.AppendEncode(enc[:0])
 	}
 	_ = enc
+}
+
+// BenchmarkViewWalkCold: the first walk at a hypothesis — the
+// degree-reporting planner DFS with nothing cached.
+func BenchmarkViewWalkCold(b *testing.B) {
+	g := graph.Petersen()
+	var tree view.Tree
+	w := &soloWorld{g: g, pos: 0, deg: g.Degree(0), entry: -1}
+	var s rvScratch
+	viewWalkWith(w, 3, RoundCap, &tree, &s) // warm the planner buffers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.pos, w.deg, w.entry = 0, g.Degree(0), -1
+		s.walkCache = nil
+		viewWalkWith(w, 3, RoundCap, &tree, &s)
+	}
 }
 
 // BenchmarkSymmRVTwoNode: the dedicated symmetric procedure on K2, δ=1.

@@ -92,7 +92,7 @@ func asymmRVIDWith(w agent.World, n, delta uint64, s *rvScratch) {
 		// tree and label buffer are reused across sub-phases and phases.
 		budget := ViewWalkTimeDepth(n, d)
 		start := w.Clock()
-		viewWalkWith(w, int(d), budget, &s.tree, &s.walkPending)
+		viewWalkWith(w, int(d), budget, &s.tree, s)
 		used := w.Clock() - start
 		w.Wait(budget - used)
 
@@ -107,9 +107,56 @@ func asymmRVIDWith(w agent.World, n, delta uint64, s *rvScratch) {
 // and asymmRVID: slot k is active (repeats UXS round trips) iff bit k of
 // enc is 1; passive slots (and the padding beyond the label) are merged
 // waits. Exactly slots*slotLen rounds.
+//
+// Once the walk's home-cycle period is cached (after the first active
+// slot of the first schedule at this size), every remaining active slot
+// is a known percept-free action block, so the whole label region of the
+// schedule streams through chunked scripts — active trips as moves,
+// passive runs as single SeqWait actions the scheduler consumes in O(1).
+// The rounds and positions are identical to the slot-by-slot submission;
+// only the script boundaries differ.
 func playSchedule(w agent.World, enc []byte, slots, repeats, slotLen uint64, walk uxsWalk) {
 	encBits := uint64(len(enc)) * 8
 	pendingPassive := uint64(0)
+	var st *scriptStream
+	var rot []int
+	startStream := func() bool {
+		if st != nil {
+			return true
+		}
+		if walk.cache == nil || 2*len(walk.fwd) > maxTripScript {
+			return false
+		}
+		period, ok := walk.cache[walk.n]
+		if !ok {
+			return false
+		}
+		// One active slot is repeats repetitions of [fwd rev] — the cached
+		// period rotated by half (cf. uxsWalk.playKnown).
+		l := len(walk.fwd)
+		rot = scratchInts(walk.rev, 2*l)
+		copy(rot, period[l:])
+		copy(rot[l:], period[:l])
+		// Size the chunk to the schedule's real volume (active slots are
+		// moves, each gap a single SeqWait slot) so small schedules use
+		// small buffers: the experiment harness churns through many
+		// short-lived programs, and a full-cap chunk per agent was a
+		// measurable allocator.
+		ones := uint64(0)
+		for k := uint64(0); k < encBits && k < slots; k += 8 {
+			b := enc[k/8]
+			for ; b != 0; b &= b - 1 {
+				ones++
+			}
+		}
+		need := satAdd(satMul(ones, satMul(repeats, uint64(2*l))), satAdd(ones, 2))
+		chunk := maxTripScript
+		if need < uint64(chunk) {
+			chunk = int(need)
+		}
+		st = &scriptStream{w: w, buf: scratchInts(walk.chunk, chunk)[:0], chunk: chunk}
+		return true
+	}
 	for k := uint64(0); k < slots; k++ {
 		if k >= encBits {
 			pendingPassive += slots - k
@@ -121,10 +168,24 @@ func playSchedule(w agent.World, enc []byte, slots, repeats, slotLen uint64, wal
 			continue
 		}
 		if pendingPassive > 0 {
-			w.Wait(satMul(pendingPassive, slotLen))
+			if st != nil {
+				st.wait(satMul(pendingPassive, slotLen))
+			} else {
+				w.Wait(satMul(pendingPassive, slotLen))
+			}
 			pendingPassive = 0
 		}
-		walk.roundTrips(w, repeats)
+		if startStream() {
+			for r := uint64(0); r < repeats; r++ {
+				st.acts(rot)
+			}
+		} else {
+			walk.roundTrips(w, repeats)
+		}
+	}
+	if st != nil {
+		st.flush()
+		*walk.chunk = st.buf[:0]
 	}
 	if pendingPassive > 0 {
 		w.Wait(satMul(pendingPassive, slotLen))
@@ -140,6 +201,7 @@ func playSchedule(w agent.World, enc []byte, slots, repeats, slotLen uint64, wal
 func FastUniversalRV() agent.Program {
 	return func(w agent.World) {
 		var s rvScratch // reused across every phase of this agent
+		s.seedSymm = true
 		for p := uint64(1); ; p++ {
 			n, d, delta := Untriple(p)
 			if d >= n {

@@ -85,25 +85,27 @@ func explore1ScriptLen(deg int, budget, delta uint64) uint64 {
 
 // exploreThenMove performs Explore(u, d, δ) followed by one move through
 // the given outgoing port (applied modulo the degree of u) and returns
-// the entry port into the new node. SymmRV executes exactly this pair at
-// every node of its UXS walk, and the port is known before the Explore
-// starts, so for the batchable d = 1 form the enumeration, its duration
-// padding AND the walk step fuse into a single script — one scheduler
-// wakeup per walk node. The fallback is the split submission with
-// identical per-round behavior.
-func exploreThenMove(w agent.World, n, d, delta uint64, s *rvScratch, port int) int {
+// the entry port into, and the degree of, the node the move lands on.
+// SymmRV executes exactly this pair at every node of its UXS walk, and
+// the port is known before the Explore starts, so for the batchable
+// d = 1 form the enumeration, its duration padding AND the walk step
+// fuse into a single degree-reporting script — one scheduler wakeup per
+// walk node, with the landed node's degree (SymmRV's walk bookkeeping)
+// read straight from the grant's degree stream. The fallback is the
+// split submission with identical per-round behavior.
+func exploreThenMove(w agent.World, n, d, delta uint64, s *rvScratch, port int) (entry, deg int) {
 	if d == 1 && delta >= 1 {
 		budget := PathBudget(n, 1)
 		if explore1ScriptLen(w.Degree(), budget, delta) < maxExploreScript {
 			script := appendExplore1(s.expScript[:0], w.Degree(), budget, delta)
 			script = append(script, port)
 			s.expScript = script
-			entries := w.MoveSeq(script)
-			return entries[len(entries)-1]
+			entries, degs := w.MoveSeqDegrees(script)
+			return entries[len(entries)-1], degs[len(degs)-1]
 		}
 	}
 	exploreWith(w, n, d, delta, s)
-	return w.Move(port)
+	return w.Move(port), w.Degree()
 }
 
 // exploreEnumerate is the enumeration core shared by the padded explore
@@ -140,7 +142,7 @@ func exploreEnumerate(w agent.World, d, delta, maxIter uint64, s *rvScratch) uin
 		if per <= maxExploreScript && iters*per <= maxExploreScript {
 			script, emitted := appendExplore1Iters(s.expScript[:0], w.Degree(), maxIter, delta)
 			s.expScript = script
-			w.MoveSeq(script)
+			agent.RunSeq(w, script)
 			return emitted
 		}
 		// Padding too long to materialize: per-iteration submission (the
@@ -150,7 +152,7 @@ func exploreEnumerate(w agent.World, d, delta, maxIter uint64, s *rvScratch) uin
 		step[0], step[1] = 0, agent.Rel(0)
 		for {
 			deg := w.Degree()
-			w.MoveSeq(step)
+			agent.RunSeq(w, step)
 			w.Wait(pad)
 			count++
 			if count == maxIter || step[0]+1 >= deg {
@@ -170,26 +172,23 @@ func exploreEnumerate(w agent.World, d, delta, maxIter uint64, s *rvScratch) uin
 	rev := scratchInts(&s.expRev, dd)         // reversed entries, batched backtrack script
 
 	// The forward walk needs the degree at every depth to compute the
-	// lexicographic successor — a percept only an unscripted visit can
-	// deliver. But degrees learned once stay valid: the successor of a
-	// sequence differs from it only at one bumped position j (deeper
-	// positions reset to port 0), so the next path revisits the same nodes
-	// at depths 0..j and degs[0..j] carry over. The moves through those
-	// depths — ports known, percepts already learned — batch into a single
-	// script; only the suffix beyond the bump (new nodes, unknown degrees)
-	// is walked per-move. In the common case (bump at the deepest
-	// position) the entire forward walk is one script.
-	known := 0          // leading depths whose degs[] entries are valid
-	prefixDone := false // the seq[:known] moves were already played merged
+	// lexicographic successor — and the current port sequence is itself a
+	// complete forward script (its ports are valid by construction: the
+	// successor bump keeps seq[j]+1 < degs[j] and resets deeper positions
+	// to port 0, valid at every node). MoveSeqDegrees therefore plays the
+	// ENTIRE forward walk in one grant whose degree stream fills degs[]
+	// for the next successor computation and whose entry stream fills the
+	// backtrack path — no per-node suffix wakeups. ingest maps the
+	// streams: the move at forward offset i enters the depth-(i+1) node,
+	// so degrees[i] lands in degs[i+1] (degs[0], the degree of u itself,
+	// is a plain percept read once); degs[dd] is never needed.
+	degs[0] = w.Degree()
+	ingest := func(gotE, gotD []int) {
+		copy(entries, gotE)
+		copy(degs[1:dd], gotD)
+	}
+	ingest(w.MoveSeqDegrees(seq))
 	for {
-		if known > 0 && !prefixDone {
-			scripted := w.MoveSeq(seq[:known])
-			copy(entries, scripted)
-		}
-		for i := known; i < dd; i++ {
-			degs[i] = w.Degree()
-			entries[i] = w.Move(seq[i])
-		}
 		// The reverse path back to u, played batched below.
 		for i, j := 0, dd-1; j >= 0; i, j = i+1, j-1 {
 			rev[i] = entries[j]
@@ -210,33 +209,32 @@ func exploreEnumerate(w agent.World, d, delta, maxIter uint64, s *rvScratch) uin
 			last = j < 0
 		}
 		if last {
-			w.MoveSeq(rev)
+			agent.RunSeq(w, rev)
 			w.Wait(delta - d)
 			return count
 		}
 		seq[j]++
-		known = j + 1 // nodes at depths 0..j are revisited next iteration
 
 		// Merge this iteration's backtrack, the inter-iteration pad and
-		// the next iteration's known prefix into one script — the moves
-		// and their per-round timing are exactly those of the split
-		// submission, but the scheduler wakes the agent once instead of
-		// three times. Long pads are not materialized; they go through
-		// the wait fast-forward instead.
-		if total := uint64(dd) + pad + uint64(known); total <= maxExploreScript {
+		// the whole next forward walk into one degree-reporting script —
+		// the moves and their per-round timing are exactly those of the
+		// split submission, but the scheduler wakes the agent once per
+		// iteration. Long pads are not materialized; they go through the
+		// wait fast-forward instead.
+		if total := uint64(2*dd) + pad; total <= maxExploreScript {
 			script := scratchInts(&s.expScript, int(total))
 			copy(script, rev)
 			for q := 0; q < int(pad); q++ {
 				script[dd+q] = agent.ScriptWait
 			}
-			copy(script[dd+int(pad):], seq[:known])
-			got := w.MoveSeq(script)
-			copy(entries[:known], got[dd+int(pad):])
-			prefixDone = true
+			fo := dd + int(pad)
+			copy(script[fo:], seq)
+			gotE, gotD := w.MoveSeqDegrees(script)
+			ingest(gotE[fo:], gotD[fo:])
 		} else {
-			w.MoveSeq(rev)
+			agent.RunSeq(w, rev)
 			w.Wait(pad)
-			prefixDone = false
+			ingest(w.MoveSeqDegrees(seq))
 		}
 	}
 }

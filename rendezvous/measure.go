@@ -66,7 +66,8 @@ type soloWorld struct {
 	deg     int
 	entry   int
 	clock   uint64
-	entries []int // reusable MoveSeq result buffer (see the World contract)
+	entries []int // reusable MoveSeq result buffers (see the World contract)
+	degs    []int
 }
 
 func (w *soloWorld) Degree() int    { return w.deg }
@@ -91,7 +92,27 @@ func (w *soloWorld) Wait(rounds uint64) { w.clock += rounds }
 // per move (the same fusion as the engine's scriptStep; the batched
 // rendezvous procedures put every action through this loop). The
 // returned slice is the world's reusable buffer, per the World contract.
-func (w *soloWorld) MoveSeq(actions []int) []int {
+func (w *soloWorld) MoveSeq(actions []int) []int { return w.runScript(actions, nil) }
+
+// MoveSeqDegrees shares MoveSeq's fused loop with the degree stream
+// filled alongside (one reusable buffer each, per the World contract) —
+// the direct single-agent analogue of the engine's degree-reporting
+// grant, and the world BenchmarkViewWalkBatched drives.
+func (w *soloWorld) MoveSeqDegrees(actions []int) ([]int, []int) {
+	if len(actions) == 0 {
+		return nil, nil
+	}
+	if cap(w.degs) >= len(actions) {
+		w.degs = w.degs[:len(actions)]
+	} else {
+		w.degs = make([]int, len(actions))
+	}
+	return w.runScript(actions, w.degs), w.degs
+}
+
+// runScript is the shared script loop; degs, when non-nil, receives the
+// per-action degree percept.
+func (w *soloWorld) runScript(actions, degs []int) []int {
 	if len(actions) == 0 {
 		return nil
 	}
@@ -110,6 +131,9 @@ func (w *soloWorld) MoveSeq(actions []int) []int {
 		}
 		w.clock++
 		w.entries[i] = w.entry
+		if degs != nil {
+			degs[i] = w.deg
+		}
 	}
 	return w.entries
 }

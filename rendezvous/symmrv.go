@@ -64,19 +64,21 @@ func symmRVWith(w agent.World, n, d, delta uint64, s *rvScratch) {
 	// Explore at u0, then step to u1 = succ(u0, 0); then, following the
 	// UXS from u_i entered by port q, explore and leave by
 	// (q + a_i) mod d(u_i). Each Explore and the walk step after it fuse
-	// into one script where possible (exploreThenMove); the final
-	// backtrack batches into one script. The degrees observed along the
-	// walk are recorded for the replay cache.
+	// into one degree-reporting script where possible (exploreThenMove);
+	// the final backtrack batches into one script. The walk's
+	// degree-prefix bookkeeping — degs[i], recorded for the replay
+	// cache — reads straight from each grant's degree stream instead of
+	// interleaving w.Degree() calls between scripts.
 	degs := append(scratchInts(&s.symDegs, len(y)+2)[:0], w.Degree())
-	entry := exploreThenMove(w, n, d, delta, s, 0)
+	entry, dcur := exploreThenMove(w, n, d, delta, s, 0)
 	entries := append(scratchInts(&s.symEntries, len(y)+1)[:0], entry)
-	degs = append(degs, w.Degree())
+	degs = append(degs, dcur)
 
 	for _, a := range y {
-		p := (entry + a) % w.Degree()
-		entry = exploreThenMove(w, n, d, delta, s, p)
+		p := (entry + a) % dcur
+		entry, dcur = exploreThenMove(w, n, d, delta, s, p)
 		entries = append(entries, entry)
-		degs = append(degs, w.Degree())
+		degs = append(degs, dcur)
 	}
 	exploreWith(w, n, d, delta, s) // the walk's last node gets its Explore too
 
@@ -95,7 +97,7 @@ func symmRVWith(w agent.World, n, d, delta uint64, s *rvScratch) {
 	for i, j := 0, len(entries)-1; i < j; i, j = i+1, j-1 {
 		entries[i], entries[j] = entries[j], entries[i]
 	}
-	w.MoveSeq(entries)
+	agent.RunSeq(w, entries)
 	s.symEntries = entries // keep the grown buffer for the next phase
 }
 
@@ -150,18 +152,49 @@ func replaySymmRV1(w agent.World, y uxs.Sequence, n, delta uint64, walk symmWalk
 	s.symStream = st.buf[:0]
 }
 
-// scriptStream accumulates a percept-free action stream and submits it
-// in bounded script chunks; long waits bypass the buffer so the
-// scheduler's O(1) fast-forward (and the world's deferred-wait merging)
-// does the work instead of materialized ScriptWait runs.
+// scriptStream accumulates a percept-free action stream — submitted via
+// agent.RunSeq in bounded script chunks — in which waits of any length
+// are single SeqWait actions the scheduler consumes in O(1): a pad or a
+// schedule gap costs one slot of the chunk, never materialized rounds
+// and never a chunk split. chunk is the flush threshold (0 selects
+// maxExploreScript).
 type scriptStream struct {
-	w   agent.World
-	buf []int
+	w     agent.World
+	buf   []int
+	chunk int
+}
+
+func (st *scriptStream) limit() int {
+	if st.chunk > 0 {
+		return st.chunk
+	}
+	return maxExploreScript
 }
 
 func (st *scriptStream) act(a int) {
 	st.buf = append(st.buf, a)
-	if len(st.buf) >= maxExploreScript {
+	if len(st.buf) >= st.limit() {
+		st.flush()
+	}
+}
+
+// acts appends a whole action block, splitting across chunk flushes —
+// bulk copies, not per-action calls: the schedule stream pushes millions
+// of actions through here and the per-action form was a measurable cost.
+func (st *scriptStream) acts(actions []int) {
+	lim := st.limit()
+	for len(actions) > 0 {
+		if len(st.buf) >= lim {
+			st.flush()
+		}
+		n := lim - len(st.buf)
+		if n > len(actions) {
+			n = len(actions)
+		}
+		st.buf = append(st.buf, actions[:n]...)
+		actions = actions[n:]
+	}
+	if len(st.buf) >= lim {
 		st.flush()
 	}
 }
@@ -170,22 +203,19 @@ func (st *scriptStream) wait(rounds uint64) {
 	if rounds == 0 {
 		return
 	}
-	if rounds <= 64 {
-		for i := uint64(0); i < rounds; i++ {
-			st.buf = append(st.buf, agent.ScriptWait)
-		}
-		if len(st.buf) >= maxExploreScript {
-			st.flush()
-		}
+	if rounds > agent.MaxSeqWait {
+		// Beyond the run-length encoding (astronomical trailing blocks):
+		// flush and let the deferred wait ride the next chunk's lead.
+		st.flush()
+		st.w.Wait(rounds)
 		return
 	}
-	st.flush()
-	st.w.Wait(rounds)
+	st.act(agent.SeqWait(rounds))
 }
 
 func (st *scriptStream) flush() {
 	if len(st.buf) > 0 {
-		st.w.MoveSeq(st.buf)
+		agent.RunSeq(st.w, st.buf) // side effects only: O(1) wait runs
 		st.buf = st.buf[:0]
 	}
 }

@@ -26,6 +26,7 @@ import "repro/agent"
 func UniversalRV() agent.Program {
 	return func(w agent.World) {
 		var s rvScratch // reused across every phase of this agent
+		s.seedSymm = true
 		for p := uint64(1); ; p++ {
 			n, d, delta := Untriple(p)
 			if d >= n {

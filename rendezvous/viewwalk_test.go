@@ -92,6 +92,48 @@ func TestViewWalkMatchesOracleRandom(t *testing.T) {
 	}
 }
 
+// TestViewWalkCacheReplayMatchesFirstWalk pins the per-(depth,budget)
+// walk cache: a second walk at the same key must replay the exact same
+// move script (same rounds, same end position) and deliver the identical
+// tree, including under a binding budget cap.
+func TestViewWalkCacheReplayMatchesFirstWalk(t *testing.T) {
+	cases := []struct {
+		g      *graph.Graph
+		depth  int
+		budget uint64
+	}{
+		{graph.Path(4), 3, RoundCap},
+		{graph.Cycle(5), 3, RoundCap},
+		{graph.Petersen(), 2, RoundCap},
+		{graph.Cycle(6), 5, 10}, // budget-capped walk: frontier truncation must replay too
+	}
+	for _, c := range cases {
+		for v := 0; v < c.g.N(); v++ {
+			var s rvScratch
+			w := &soloWorld{g: c.g, pos: v, deg: c.g.Degree(v), entry: -1}
+			var first, replay view.Tree
+			viewWalkWith(w, c.depth, c.budget, &first, &s)
+			used := w.clock
+			if w.pos != v {
+				t.Fatalf("%s node %d: first walk ended at %d", c.g, v, w.pos)
+			}
+			viewWalkWith(w, c.depth, c.budget, &replay, &s)
+			if w.clock-used != used {
+				t.Fatalf("%s node %d: replay used %d rounds, first walk %d", c.g, v, w.clock-used, used)
+			}
+			if w.pos != v {
+				t.Fatalf("%s node %d: replay ended at %d", c.g, v, w.pos)
+			}
+			if !view.Equal(&first, &replay) {
+				t.Fatalf("%s node %d: replayed tree differs from first walk", c.g, v)
+			}
+			if !bytes.Equal(first.Encode(), replay.Encode()) {
+				t.Fatalf("%s node %d: replayed encoding differs", c.g, v)
+			}
+		}
+	}
+}
+
 func TestViewWalkBudgetCap(t *testing.T) {
 	// With a tight budget the walk truncates instead of overrunning —
 	// the wrong-hypothesis safety property.

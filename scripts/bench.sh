@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # bench.sh — run the benchmark suite and emit a JSON perf record
-# (ns/op, B/op, allocs/op per benchmark) for the PR perf trajectory.
+# (ns/op, B/op, allocs/op, and — where reported — scheduler wakeups/op
+# per benchmark) for the PR perf trajectory.
 #
-# Usage: scripts/bench.sh [output.json]   (default: BENCH_PR3.json)
+# Usage: scripts/bench.sh [output.json]   (default: BENCH_PR4.json)
 #
 # The emitted file contains a "baseline" section (the seed engine's
 # numbers, recorded in scripts/seed-baseline.json) and a "current" section
@@ -15,7 +16,7 @@
 # Compare two records with: go run ./cmd/benchdiff old.json new.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_PR3.json}"
+out="${1:-BENCH_PR4.json}"
 count="${BENCH_COUNT:-5}"
 # go test appends "-$GOMAXPROCS" to benchmark names — but only when
 # GOMAXPROCS > 1. Resolve the actual value so the name extraction below
@@ -54,18 +55,19 @@ go test -run '^$' -bench 'BenchmarkGenerate' -count 3 -benchmem ./uxs/ | tee -a 
           name = substr(name, 1, length(name) - length(suffix))
         }
       }
-      ns = ""; bytes = "null"; allocs = "null"
+      ns = ""; bytes = "null"; allocs = "null"; wakeups = "null"
       for (i = 2; i <= NF; i++) {
         if ($i == "ns/op") ns = $(i-1)
         if ($i == "B/op") bytes = $(i-1)
         if ($i == "allocs/op") allocs = $(i-1)
+        if ($i == "wakeups/op") wakeups = $(i-1)
       }
       if (ns != "") {
         if (!(name in minNs)) {
           order[++n] = name
-          minNs[name] = ns + 0; minBytes[name] = bytes; minAllocs[name] = allocs
+          minNs[name] = ns + 0; minBytes[name] = bytes; minAllocs[name] = allocs; minWakeups[name] = wakeups
         } else if (ns + 0 < minNs[name]) {
-          minNs[name] = ns + 0; minBytes[name] = bytes; minAllocs[name] = allocs
+          minNs[name] = ns + 0; minBytes[name] = bytes; minAllocs[name] = allocs; minWakeups[name] = wakeups
         }
       }
     }
@@ -73,7 +75,7 @@ go test -run '^$' -bench 'BenchmarkGenerate' -count 3 -benchmem ./uxs/ | tee -a 
       for (i = 1; i <= n; i++) {
         name = order[i]
         if (i > 1) printf ",\n"
-        printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, minNs[name], minBytes[name], minAllocs[name]
+        printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"wakeups_per_op\": %s}", name, minNs[name], minBytes[name], minAllocs[name], minWakeups[name]
       }
       printf "\n"
     }

@@ -21,12 +21,50 @@
 // edge traversal — while preserving exact per-round meeting detection,
 // budget accounting and observer semantics. Runs of ScriptWait actions
 // inside a script coalesce into the same O(1) fast-forward path as Wait,
-// and the world layer defers and merges adjacent Wait calls (folding
-// short ones into the next script) — all invisible to the program, since
+// and the world layer defers and merges adjacent Wait calls (riding the
+// next script request as its lead) — all invisible to the program, since
 // waiting changes no percept and no position. Batched and unbatched
 // execution of the same program are behavior-identical (same Result
 // field by field); the engine-equivalence tests pin this down across the
 // STIC suite.
+//
+// # Degree-reporting grants
+//
+// agent.World.MoveSeqDegrees is MoveSeq with the degree percept streamed
+// alongside the entry ports: the runner fills a second per-agent buffer
+// in the same channel-free lock-step loop — degrees[i] is the degree of
+// the node occupied after action i, i.e. the node a move enters (degree
+// observed on entry) or the unchanged current node for a ScriptWait —
+// and the grant hands both slices back under the same
+// valid-until-next-action ownership contract. Rel-encoded moves resolve
+// identically on both calls, and deferred-wait merging is oblivious to
+// the degree flag: a pending wait of any length rides the script request
+// as its lead — fast-forwarded in O(1) with the agent parked and no
+// percepts produced, before the script's first action — so
+// percept-streaming producers batch across wait boundaries exactly like
+// plain scripted ones, and the grant's entry and degree streams always
+// line up one-to-one with the caller's actions.
+// agent.RunScriptDegrees defines the semantics action by action, and
+// agent.UnbatchedDegrees degrades exactly the degree-reporting calls so
+// the differential suites pin the new percept stream in isolation.
+//
+// Degree grants exist for percept-bound producers — walks whose only
+// reason to wake up at a node was a Degree() call before the next
+// scripted stretch. With the degree in the grant, rendezvous's view
+// walk, path enumeration and SymmRV bookkeeping compile whole phases
+// into a handful of scripts; Session.Wakeups counts the scheduler-agent
+// interactions per run and the wakeup regression tests pin the E17
+// workload's ceiling.
+//
+// The complementary channel is agent.RunSeq, the side-effects-only
+// script: the caller declares it will not read the percept streams, the
+// grant carries none, and the script may run-length-encode whole wait
+// runs as single SeqWait actions that the scheduler — like the lead —
+// consumes in O(1) with no per-round buffer fills. Percept-free streams
+// (label-schedule slots and gaps, duration-padding pads, cached-walk
+// replays) ride this path, so an entire schedule phase is a couple of
+// script requests regardless of how many rounds its passive stretches
+// span.
 //
 // # Pooled runner sessions
 //
@@ -49,11 +87,15 @@
 //  1. Event horizon. From a boundary at round t, every agent can be
 //     driven horizon = min(budget-t, next appearance - t, min over
 //     present runners of runway()) rounds with no goroutine interaction,
-//     where runway is the remaining script length, the remaining wait,
-//     1 for a pending single move, and unbounded for a terminated
-//     program. No runner reaches the request-pulling state before the
-//     horizon's final round, so fetch — the only blocking interaction —
-//     happens only at boundaries.
+//     where runway is the script's pending lead plus its remaining
+//     length (a lower bound when SeqWait escapes compress further
+//     rounds, which only shortens horizons), the remaining wait, 1 for
+//     a pending single move, and unbounded for a terminated program. No
+//     runner reaches the request-pulling state before the horizon's
+//     final round, so fetch — the only blocking interaction — happens
+//     only at boundaries. Degree-reporting scripts have the same runway
+//     as plain ones: the degree buffer is filled as positions advance,
+//     never by extra interactions.
 //
 //  2. Quiet skips. Rounds in which no present agent moves cannot create
 //     a meeting or a gathering: positions are static and every
@@ -63,10 +105,14 @@
 //     roundsUntilMove — are skipped in bulk without detection.
 //
 //  3. Moving rounds. A round in which at least one agent moves advances
-//     every present agent by exactly one round and then runs the O(k²)
+//     every present agent by exactly one round and then runs the
 //     allocation-free pairwise scan, in (i, j) order — so the Meetings
 //     slice is ordered by round, then lexicographically, identically to
-//     the round-by-round reference engine.
+//     the round-by-round reference engine. Below bucketScanMinK agents
+//     the scan is the O(k²) pairwise loop; from bucketScanMinK up it is
+//     position-bucketed (per-node lists over the active set, O(k) per
+//     scanned round) with byte-identical output, pinned by the large-k
+//     differential suite.
 //
 //  4. Appearance boundaries. When a horizon ends exactly at an
 //     appearance round, that round's detection is deferred past the

@@ -18,14 +18,22 @@ import (
 	"repro/sim"
 )
 
-// sameResult runs the program pair through both engines and compares the
-// full Result structs.
+// sameResult runs the program pair through three engines — fully batched,
+// fully per-move (Unbatched), and batched except for degree-reporting
+// scripts (UnbatchedDegrees, which degrades every MoveSeqDegrees call to
+// the RunScriptDegrees reference) — and compares the full Result structs.
+// The third run isolates the degree-grant machinery: the rendezvous
+// producers drive MoveSeqDegrees on every path these cases exercise.
 func sameResult(t *testing.T, name string, g *graph.Graph, pa, pb agent.Program, u, v int, delay, budget uint64) {
 	t.Helper()
 	batched := sim.RunPrograms(g, pa, pb, u, v, delay, sim.Config{Budget: budget})
 	unbatched := sim.RunPrograms(g, agent.Unbatched(pa), agent.Unbatched(pb), u, v, delay, sim.Config{Budget: budget})
 	if batched != unbatched {
 		t.Fatalf("%s: engines disagree\n  batched:   %+v\n  unbatched: %+v", name, batched, unbatched)
+	}
+	udeg := sim.RunPrograms(g, agent.UnbatchedDegrees(pa), agent.UnbatchedDegrees(pb), u, v, delay, sim.Config{Budget: budget})
+	if batched != udeg {
+		t.Fatalf("%s: degree-grant engines disagree\n  batched:           %+v\n  unbatched-degrees: %+v", name, batched, udeg)
 	}
 }
 

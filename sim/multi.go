@@ -54,16 +54,24 @@ type MultiConfig struct {
 	StopOnFirstMeeting bool
 }
 
+// bucketScanMinK is the agent count from which RunMany's meeting scans
+// switch from the O(k²) pairwise loop to position-bucketed detection
+// (O(k) per scanned round): below it the quadratic loop's cache-friendly
+// simplicity wins, above it the pairwise scan dominates the run.
+const bucketScanMinK = 32
+
 // RunMany executes k agents in lock-step on g through the
 // direct-execution scheduler: it advances all agents together to the
 // next event horizon — the earliest script boundary, wait end, agent
 // appearance or budget edge — and inside a horizon steps scripted moves
 // in a tight channel-free loop, skipping mutual-wait stretches in O(1).
 // Pairwise meetings are recorded (first meeting per pair, see
-// MultiResult.Meetings for the order); the run ends on gathering (when
-// StopOnGather is set), on the first meeting (when StopOnFirstMeeting is
-// set), on the budget, or — when every program has terminated at
-// scattered nodes — on proof that nothing further can happen.
+// MultiResult.Meetings for the order; at k >= bucketScanMinK the scan is
+// position-bucketed instead of pairwise, with identical output); the run
+// ends on gathering (when StopOnGather is set), on the first meeting
+// (when StopOnFirstMeeting is set), on the budget, or — when every
+// program has terminated at scattered nodes — on proof that nothing
+// further can happen.
 //
 // RunManyReference is the retained round-by-round reference spec; the
 // engine-equivalence suite pins RunMany to it on randomized cases.
@@ -83,6 +91,7 @@ func (s *Session) RunMany(g *graph.Graph, agents []MultiAgent, cfg MultiConfig) 
 	if budget == 0 {
 		budget = DefaultBudget
 	}
+	s.wakeups = 0
 
 	// Per-session scheduler state, reused across runs: the runner set,
 	// presence flags and the met matrix (met[i*k+j] records that pair
@@ -117,6 +126,25 @@ func (s *Session) RunMany(g *graph.Graph, agents []MultiAgent, cfg MultiConfig) 
 		s.mmoved = make([]bool, k)
 	}
 	movedBuf := s.mmoved[:k]
+	// Large k: the O(k²) pairwise scans are replaced by position-bucketed
+	// detection — per-node singly linked lists over the active set, built
+	// and torn down in O(k) per scanned round. head is indexed by node id
+	// and kept all -1 between uses.
+	useBuckets := k >= bucketScanMinK
+	var bhead, bnext []int32
+	if useBuckets {
+		if cap(s.mbhead) < g.N() {
+			s.mbhead = make([]int32, g.N())
+		}
+		if cap(s.mbnext) < k {
+			s.mbnext = make([]int32, k)
+		}
+		bhead = s.mbhead[:g.N()]
+		for i := range bhead {
+			bhead[i] = -1
+		}
+		bnext = s.mbnext[:k]
+	}
 	defer func() {
 		for i, r := range runners {
 			if r != nil {
@@ -151,23 +179,54 @@ func (s *Session) RunMany(g *graph.Graph, agents []MultiAgent, cfg MultiConfig) 
 	presentCount := 0
 	detect := func(t uint64, moved []bool) bool {
 		coloc := false
-		for a := 0; a < len(active); a++ {
-			pi := active[a].pos
-			i := activeIdx[a]
-			aMoved := moved == nil || moved[a]
-			for b := a + 1; b < len(active); b++ {
-				if !aMoved && !moved[b] {
-					continue
+		if useBuckets {
+			// Bucket the active set by position, lists ascending by active
+			// index (built in reverse), then emit co-located pairs by
+			// walking each agent's tail — the identical (i, j) lexicographic
+			// order, and the identical moved-pair filter, as the quadratic
+			// scan below.
+			for a := len(active) - 1; a >= 0; a-- {
+				p := active[a].pos
+				bnext[a] = bhead[p]
+				bhead[p] = int32(a)
+			}
+			for a := 0; a < len(active); a++ {
+				i := activeIdx[a]
+				aMoved := moved == nil || moved[a]
+				for b := bnext[a]; b >= 0; b = bnext[b] {
+					if !aMoved && !moved[b] {
+						continue
+					}
+					coloc = true
+					if met[i*k+activeIdx[b]] {
+						continue
+					}
+					met[i*k+activeIdx[b]] = true
+					res.Meetings = append(res.Meetings, Meeting{A: i, B: activeIdx[b], Node: active[a].pos, Round: t})
 				}
-				if active[b].pos != pi {
-					continue
+			}
+			for a := range active {
+				bhead[active[a].pos] = -1
+			}
+		} else {
+			for a := 0; a < len(active); a++ {
+				pi := active[a].pos
+				i := activeIdx[a]
+				aMoved := moved == nil || moved[a]
+				for b := a + 1; b < len(active); b++ {
+					if !aMoved && !moved[b] {
+						continue
+					}
+					if active[b].pos != pi {
+						continue
+					}
+					coloc = true
+					if met[i*k+activeIdx[b]] {
+						continue
+					}
+					met[i*k+activeIdx[b]] = true
+					res.Meetings = append(res.Meetings, Meeting{A: i, B: activeIdx[b], Node: pi, Round: t})
 				}
-				coloc = true
-				if met[i*k+activeIdx[b]] {
-					continue
-				}
-				met[i*k+activeIdx[b]] = true
-				res.Meetings = append(res.Meetings, Meeting{A: i, B: activeIdx[b], Node: pi, Round: t})
 			}
 		}
 		if (coloc || k == 1) && presentCount == k && !res.Gathered {
@@ -297,13 +356,39 @@ func (s *Session) RunMany(g *graph.Graph, agents []MultiAgent, cfg MultiConfig) 
 				// two-agent engine's tight lock-step loop), with an
 				// inline co-location pre-check so the full detect
 				// (closure, met matrix, gather logic) only runs when two
-				// positions actually coincide.
+				// positions actually coincide. Degree mode is fixed
+				// between fetches, so the degree-buffer test hoists out
+				// of the per-round step into a register-resident flag.
 				for ai := range active {
 					movedBuf[ai] = true
 				}
+				plainScripts := true
+				for _, r := range active {
+					if r.scriptDegs != nil {
+						plainScripts = false
+						break
+					}
+				}
 				for {
+					// The scripted step, fused inline (keep in sync with
+					// runner.scriptStep): the per-runner call overhead is
+					// measurable at this loop's intensity, and degree mode
+					// is fixed between fetches so the plainScripts flag
+					// short-circuits the degree-buffer test.
 					for _, r := range active {
-						r.scriptStep()
+						adj := r.g.Adj(r.pos)
+						p, _ := agent.ActionPort(r.script[r.scriptAt], r.entry, len(adj))
+						h := adj[p]
+						r.pos, r.entry = h.To, h.ToPort
+						r.moves++
+						r.scriptEntries[r.scriptAt] = h.ToPort
+						if !plainScripts && r.scriptDegs != nil {
+							r.scriptDegs[r.scriptAt] = r.g.Degree(h.To)
+						}
+						r.scriptAt++
+						if r.scriptAt == r.segEnd {
+							r.endSeg()
+						}
 					}
 					t++
 					horizon--
@@ -311,12 +396,28 @@ func (s *Session) RunMany(g *graph.Graph, agents []MultiAgent, cfg MultiConfig) 
 						break
 					}
 					hit := false
-					for a := 0; a < len(active) && !hit; a++ {
-						pi := active[a].pos
-						for b := a + 1; b < len(active); b++ {
-							if active[b].pos == pi {
+					if useBuckets {
+						// O(k) collision probe via the position buckets
+						// (insert all, then clear all — a collision is any
+						// second insert into an occupied bucket).
+						for a := 0; a < len(active); a++ {
+							p := active[a].pos
+							if bhead[p] >= 0 {
 								hit = true
-								break
+							}
+							bhead[p] = int32(a)
+						}
+						for a := range active {
+							bhead[active[a].pos] = -1
+						}
+					} else {
+						for a := 0; a < len(active) && !hit; a++ {
+							pi := active[a].pos
+							for b := a + 1; b < len(active); b++ {
+								if active[b].pos == pi {
+									hit = true
+									break
+								}
 							}
 						}
 					}

@@ -26,9 +26,11 @@ import (
 // to exercise every scheduler path: batched scripts (with and without
 // in-script wait runs), unbatched per-move interaction, long waits (the
 // O(1) fast-forward), early termination (NeverMeet/allDone detection),
+// degree-reporting grants whose percept streams drive the next script
+// (with deferred waits merging across the degree scripts' boundaries),
 // and the full phase pipeline of UniversalRV.
 func randProgram(r *rand.Rand) (agent.Program, string) {
-	switch r.Intn(8) {
+	switch r.Intn(11) {
 	case 0: // oblivious script of absolute ports
 		n := 1 + r.Intn(24)
 		actions := make([]int, n)
@@ -72,6 +74,45 @@ func randProgram(r *rand.Rand) (agent.Program, string) {
 				w.Wait(wait)
 			}
 		}, fmt.Sprintf("bounce-wait-%d", wait)
+	case 7: // degree-driven walker: every script's ports come from the
+		// previous degree-reporting grant — the percept-feedback loop the
+		// new API exists for. The pre-script wait exercises the
+		// wait-merge boundary (short pads fold into the degree script as
+		// a leading ScriptWait run whose percepts are sliced off).
+		pad := uint64(r.Intn(12))
+		return func(w agent.World) {
+			script := []int{0}
+			for {
+				w.Wait(pad)
+				entries, degs := w.MoveSeqDegrees(script)
+				last := len(degs) - 1
+				script = []int{degs[last] - 1, agent.Rel(entries[last] % 2), agent.ScriptWait}
+			}
+		}, fmt.Sprintf("degwalk-pad%d", pad)
+	case 8: // degree-reporting script behind a LONG deferred wait (the
+		// flush path rather than the fold path), with in-script waits.
+		wait := uint64(300 + r.Intn(2000))
+		steps := 1 + r.Intn(6)
+		return func(w agent.World) {
+			script := []int{0, agent.ScriptWait, agent.Rel(0)}
+			for i := 0; i < steps; i++ {
+				w.Wait(wait)
+				_, degs := w.MoveSeqDegrees(script)
+				script = []int{degs[0] - 1, agent.ScriptWait, agent.Rel(0)}
+			}
+		}, fmt.Sprintf("degflush-%d-%d", wait, steps)
+	case 9: // quiet stream with run-length-encoded waits: agent.RunSeq
+		// scripts mixing moves, ScriptWait runs and SeqWait escapes — the
+		// O(1) wait encoding the schedule streams ride on. The unbatched
+		// population expands these through the reference fallback
+		// (MoveSeq segments + Wait), pinning the encoding's semantics.
+		gap := uint64(1 + r.Intn(900))
+		return func(w agent.World) {
+			script := []int{0, agent.SeqWait(gap), agent.Rel(0), agent.ScriptWait, 0, agent.SeqWait(1 + gap/2)}
+			for {
+				agent.RunSeq(w, script)
+			}
+		}, fmt.Sprintf("seqwait-%d", gap)
 	default: // the real thing
 		return rendezvous.UniversalRV(), "universal"
 	}
@@ -157,31 +198,72 @@ func TestEngineEquivalenceRunManyUniversal(t *testing.T) {
 	}
 }
 
-// TestEngineEquivalenceRunManyBatchedVsUnbatched re-pins MoveSeq
-// semantics on the k-agent path: a mixed batched/unbatched population
-// must behave identically through the direct engine.
+// TestEngineEquivalenceRunManyBatchedVsUnbatched re-pins the batched
+// semantics on the k-agent path: three populations of the same programs —
+// fully batched, fully per-move (Unbatched), and batched with only the
+// degree-reporting scripts degraded to the RunScriptDegrees reference
+// (UnbatchedDegrees) — must behave identically through the direct engine,
+// mid-script appearances and wait-merge boundaries included.
 func TestEngineEquivalenceRunManyBatchedVsUnbatched(t *testing.T) {
 	r := rand.New(rand.NewSource(7))
 	for ci := 0; ci < 60; ci++ {
 		g := randGraph(r)
 		k := 2 + r.Intn(3)
-		mk := func(unbatch bool) []sim.MultiAgent {
+		mk := func(wrap func(agent.Program) agent.Program) []sim.MultiAgent {
 			rr := rand.New(rand.NewSource(int64(ci)))
 			agents := make([]sim.MultiAgent, k)
 			for i := range agents {
 				prog, _ := randProgram(rr)
-				if unbatch {
-					prog = agent.Unbatched(prog)
+				if wrap != nil {
+					prog = wrap(prog)
 				}
 				agents[i] = sim.MultiAgent{Program: prog, Start: rr.Intn(g.N()), Appear: uint64(rr.Intn(10))}
 			}
 			return agents
 		}
 		cfg := sim.MultiConfig{Budget: uint64(1 + r.Intn(1500)), StopOnGather: r.Intn(2) == 1}
-		a := sim.RunMany(g, mk(false), cfg)
-		b := sim.RunMany(g, mk(true), cfg)
+		a := sim.RunMany(g, mk(nil), cfg)
+		b := sim.RunMany(g, mk(agent.Unbatched), cfg)
 		if !reflect.DeepEqual(a, b) {
 			t.Fatalf("case %d on %s: batched vs unbatched disagree\n  batched:   %+v\n  unbatched: %+v", ci, g, a, b)
+		}
+		c := sim.RunMany(g, mk(agent.UnbatchedDegrees), cfg)
+		if !reflect.DeepEqual(a, c) {
+			t.Fatalf("case %d on %s: batched vs unbatched-degrees disagree\n  batched:           %+v\n  unbatched-degrees: %+v", ci, g, a, c)
+		}
+	}
+}
+
+// TestEngineEquivalenceRunManyLargeK pins the position-bucketed meeting
+// scan (k >= 32) against the quadratic reference engine: full
+// MultiResult equality including the Meetings order, on dense
+// populations where many pairs co-locate in the same round.
+func TestEngineEquivalenceRunManyLargeK(t *testing.T) {
+	r := rand.New(rand.NewSource(0xB17))
+	for ci := 0; ci < 12; ci++ {
+		g := randGraph(r)
+		k := 32 + r.Intn(3)*16 // 32, 48 or 64 — all on the bucketed path
+		agents := make([]sim.MultiAgent, k)
+		for i := range agents {
+			prog, _ := randProgram(r)
+			appear := uint64(0)
+			if r.Intn(2) == 1 {
+				appear = uint64(r.Intn(30))
+			}
+			agents[i] = sim.MultiAgent{Program: prog, Start: r.Intn(g.N()), Appear: appear}
+		}
+		cfg := sim.MultiConfig{
+			Budget:             uint64(1 + r.Intn(800)),
+			StopOnGather:       r.Intn(2) == 1,
+			StopOnFirstMeeting: r.Intn(4) == 0,
+		}
+		got := sim.RunMany(g, agents, cfg)
+		want := sim.RunManyReference(g, agents, cfg)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("case %d (k=%d) on %s: engines disagree\n  direct:    %+v\n  reference: %+v", ci, k, g, got, want)
+		}
+		if err := sim.GatherCheck(got); err != nil {
+			t.Fatalf("case %d: %v", ci, err)
 		}
 	}
 }

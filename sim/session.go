@@ -23,6 +23,11 @@ type Session struct {
 	free []*runner
 	wg   sync.WaitGroup
 
+	// wakeups counts, for the most recent run on this session, how many
+	// requests the scheduler fetched from agent goroutines — one per
+	// program wakeup. See Wakeups.
+	wakeups uint64
+
 	// Reusable k-agent scheduler state (see multi.go).
 	mrunners   []*runner
 	mpresent   []bool
@@ -30,7 +35,19 @@ type Session struct {
 	mactive    []*runner
 	mactiveIdx []int
 	mmoved     []bool
+	// Position-bucket buffers for the large-k meeting scan (see detect in
+	// multi.go): per-node list heads and per-agent next links.
+	mbhead []int32
+	mbnext []int32
 }
+
+// Wakeups returns the number of scheduler-agent interactions (requests
+// fetched from agent goroutines, each the result of one goroutine wakeup)
+// during the session's most recent Run/RunPrograms/RunMany. It is a debug
+// statistic: the batching work lives or dies by this number, and the
+// wakeup regression tests pin it so a producer change cannot silently
+// fall back to per-move chatter.
+func (s *Session) Wakeups() uint64 { return s.wakeups }
 
 // NewSession returns an empty session; runners are created on demand.
 func NewSession() *Session { return &Session{} }
@@ -53,6 +70,7 @@ func (s *Session) acquire(g *graph.Graph, prog agent.Program, start int) *runner
 		go r.work(&s.wg)
 	}
 	r.g = g
+	r.wk = &s.wakeups
 	r.gen++
 	r.pos = start
 	r.entry = -1
@@ -61,7 +79,10 @@ func (s *Session) acquire(g *graph.Graph, prog agent.Program, start int) *runner
 	r.waitLeft = 0
 	r.script = nil
 	r.scriptAt = 0
+	r.scriptLead = 0
 	r.scriptWaitRun = 0
+	r.scriptDegs = nil
+	r.scriptQuiet = false
 	r.assign <- runAssign{g: g, prog: prog, start: start, gen: r.gen}
 	return r
 }
@@ -83,6 +104,7 @@ func (s *Session) release(r *runner) {
 	}
 	<-r.idle
 	r.script = nil
+	r.scriptDegs = nil
 	s.free = append(s.free, r)
 }
 
@@ -122,18 +144,34 @@ const (
 )
 
 type request struct {
-	kind   reqKind
-	port   int
+	kind reqKind
+	port int
+	// rounds is the wait length for reqWait; for reqScript it is the
+	// LEAD — a deferred wait the scheduler fast-forwards in O(1) (the
+	// agent parked at its node, position static, no percepts, no entries)
+	// before the script's first action runs. The lead is how the world
+	// merges an arbitrarily long deferred wait into its next script
+	// without materializing ScriptWait rounds and without a separate
+	// wait request: one handshake, zero per-round cost.
 	rounds uint64
 	script []int
-	val    any    // panic value for reqPanic
-	gen    uint64 // run generation; stale deposits are discarded by fetch
+	// wantDegs marks a degree-reporting script (World.MoveSeqDegrees):
+	// the scheduler fills the runner's degree buffer alongside the entry
+	// buffer in the same lock-step loop and hands both back in the grant.
+	// quiet marks a side-effects-only script (agent.RunSeq): the grant
+	// carries no entry stream, so in-script ScriptWait runs advance in
+	// O(1) with no per-round buffer writes.
+	wantDegs bool
+	quiet    bool
+	val      any    // panic value for reqPanic
+	gen      uint64 // run generation; stale deposits are discarded by fetch
 }
 
 type grantMsg struct {
 	degree  int
 	entry   int
 	entries []int  // per-action entry ports, for reqScript grants
+	degrees []int  // per-action degrees, for degree-reporting script grants
 	gen     uint64 // run generation; stale grants are discarded by recv
 }
 
@@ -190,11 +228,30 @@ type runner struct {
 	// Script execution state (stScript): the pending action list, the
 	// cursor, the entry-port results accumulated so far, and the cached
 	// length of the run of consecutive ScriptWait actions at the cursor
-	// (0 = not computed or cursor on a move).
+	// (0 = not computed or cursor on a move). scriptDegs is the active
+	// degree buffer of a degree-reporting script — nil for plain MoveSeq
+	// grants, so the hot per-round step pays one pointer test when no
+	// degrees were asked for. scriptLead is the pending lead — deferred
+	// or SeqWait-encoded wait rounds fast-forwarded in O(1) (position
+	// static, no entries produced) before the next action runs. segEnd
+	// is the current segment's bound: len(script) for plain scripts, the
+	// next SeqWait escape for quiet ones — the hot step compares against
+	// it exactly where it used to compare against len(script), so the
+	// run-length wait encoding costs the move loop nothing.
 	script        []int
 	scriptAt      int
+	segEnd        int
+	scriptLead    uint64
 	scriptEntries []int
+	scriptDegs    []int
 	scriptWaitRun uint64
+	scriptQuiet   bool
+
+	// Cold tail — touched once per script or per run, never per round:
+	// the degree buffer's capacity reservoir and the owning session's
+	// wakeup counter (incremented by fetch per request pulled).
+	scriptDegsBuf []int
+	wk            *uint64
 }
 
 // work is the pooled worker goroutine: it executes one assigned program
@@ -277,6 +334,9 @@ recv:
 		// runner: discard and wait for the current program's request.
 		goto recv
 	}
+	if r.wk != nil {
+		*r.wk++
+	}
 	switch rq.kind {
 	case reqMove:
 		r.state = stMovePending
@@ -288,15 +348,30 @@ recv:
 		r.state = stScript
 		r.script = rq.script
 		r.scriptAt = 0
+		r.scriptLead = rq.rounds
+		r.scriptQuiet = rq.quiet
 		// Reuse the per-runner entries buffer (the World.MoveSeq contract
 		// makes the previous grant's slice invalid once the agent issues a
-		// new action), so scripted hot loops allocate nothing.
+		// new action), so scripted hot loops allocate nothing. Quiet
+		// scripts keep the buffer too — the per-move write costs less
+		// than a hot-loop branch to skip it; only the wait-run fills are
+		// elided. The degree buffer only materializes for
+		// degree-reporting scripts.
 		if cap(r.scriptEntries) >= len(rq.script) {
 			r.scriptEntries = r.scriptEntries[:len(rq.script)]
 		} else {
 			r.scriptEntries = make([]int, len(rq.script))
 		}
+		if rq.wantDegs {
+			if cap(r.scriptDegsBuf) < len(rq.script) {
+				r.scriptDegsBuf = make([]int, len(rq.script))
+			}
+			r.scriptDegs = r.scriptDegsBuf[:len(rq.script)]
+		} else {
+			r.scriptDegs = nil
+		}
 		r.scriptWaitRun = 0
+		r.beginSeg()
 	case reqDone:
 		r.state = stDone
 	case reqPanic:
@@ -317,6 +392,9 @@ func (r *runner) maxSkip() uint64 {
 	case stWaiting:
 		return r.waitLeft
 	case stScript:
+		if r.scriptLead > 0 {
+			return r.scriptLead
+		}
 		if r.script[r.scriptAt] != agent.ScriptWait {
 			return 1
 		}
@@ -353,7 +431,7 @@ func (r *runner) runway() uint64 {
 	case stWaiting:
 		return r.waitLeft
 	case stScript:
-		return uint64(len(r.script) - r.scriptAt)
+		return r.scriptLead + uint64(len(r.script)-r.scriptAt)
 	case stDone:
 		return ^uint64(0)
 	}
@@ -371,6 +449,11 @@ func (r *runner) roundsUntilMove() uint64 {
 	case stWaiting:
 		return r.waitLeft
 	case stScript:
+		if r.scriptLead > 0 {
+			// A trailing lead may leave the cursor past the last action;
+			// the lead itself is a valid (conservative) stationary bound.
+			return r.scriptLead
+		}
 		if r.script[r.scriptAt] != agent.ScriptWait {
 			return 0
 		}
@@ -382,9 +465,49 @@ func (r *runner) roundsUntilMove() uint64 {
 }
 
 // scriptMoveReady reports whether the runner's next round is a scripted
-// move — the state the scheduler's tight lock-step loop handles.
+// move — the state the scheduler's tight lock-step loop handles. A
+// script still inside its lead is not move-ready.
 func (r *runner) scriptMoveReady() bool {
-	return r.state == stScript && r.script[r.scriptAt] != agent.ScriptWait
+	return r.state == stScript && r.scriptLead == 0 && r.script[r.scriptAt] != agent.ScriptWait
+}
+
+// beginSeg consumes any SeqWait escapes at the cursor into the pending
+// lead and sets segEnd to the current segment's bound — the next escape
+// of a quiet script, or the script end. Quiet scripts are scanned one
+// segment at a time (O(len) total per script); plain scripts skip the
+// scan entirely.
+func (r *runner) beginSeg() {
+	if !r.scriptQuiet {
+		r.segEnd = len(r.script)
+		return
+	}
+	for r.scriptAt < len(r.script) {
+		n, ok := agent.SeqWaitRounds(r.script[r.scriptAt])
+		if !ok {
+			break
+		}
+		r.scriptLead += n
+		r.scriptAt++
+	}
+	i := r.scriptAt
+	for i < len(r.script) {
+		if _, ok := agent.SeqWaitRounds(r.script[i]); ok {
+			break
+		}
+		i++
+	}
+	r.segEnd = i
+}
+
+// endSeg handles the cursor reaching segEnd: consume the escape(s) there
+// into a fresh lead and continue with the next segment, or — when the
+// script is exhausted with no lead left to serve — finish it. A script
+// ending in a lead finishes from the lead-consumption paths instead.
+func (r *runner) endSeg() {
+	r.beginSeg()
+	if r.scriptAt == len(r.script) && r.scriptLead == 0 {
+		r.finishScript()
+	}
 }
 
 // scriptStep executes exactly one scripted move. The caller must have
@@ -398,9 +521,33 @@ func (r *runner) scriptStep() {
 	r.pos, r.entry = h.To, h.ToPort
 	r.moves++
 	r.scriptEntries[r.scriptAt] = h.ToPort
+	if r.scriptDegs != nil {
+		// Degree observed on entry: the new node's degree, filled in the
+		// same channel-free loop as the entry port.
+		r.scriptDegs[r.scriptAt] = r.g.Degree(h.To)
+	}
 	r.scriptAt++
-	if r.scriptAt == len(r.script) {
-		r.finishScript()
+	if r.scriptAt == r.segEnd {
+		r.endSeg()
+	}
+}
+
+// scriptStepPlain is scriptStep without the degree-buffer test. A
+// runner's degree mode is fixed between fetches, so the burst loops
+// hoist the test out of the per-round path: when no active script
+// reports degrees they drive this branch-free copy instead — the
+// plain-script engine pays nothing for the degree-grant feature. Keep
+// the two bodies in sync.
+func (r *runner) scriptStepPlain() {
+	adj := r.g.Adj(r.pos)
+	p, _ := agent.ActionPort(r.script[r.scriptAt], r.entry, len(adj))
+	h := adj[p]
+	r.pos, r.entry = h.To, h.ToPort
+	r.moves++
+	r.scriptEntries[r.scriptAt] = h.ToPort
+	r.scriptAt++
+	if r.scriptAt == r.segEnd {
+		r.endSeg()
 	}
 }
 
@@ -421,14 +568,24 @@ func (r *runner) stepOne() (moved bool) {
 			r.state = stNeedReq
 		}
 	case stScript:
-		if r.script[r.scriptAt] == agent.ScriptWait {
-			r.scriptEntries[r.scriptAt] = r.entry
+		if r.scriptLead > 0 {
+			r.scriptLead--
+			if r.scriptLead == 0 && r.scriptAt == len(r.script) {
+				r.finishScript()
+			}
+		} else if r.script[r.scriptAt] == agent.ScriptWait {
+			if !r.scriptQuiet {
+				r.scriptEntries[r.scriptAt] = r.entry
+				if r.scriptDegs != nil {
+					r.scriptDegs[r.scriptAt] = r.g.Degree(r.pos)
+				}
+			}
 			r.scriptAt++
 			if r.scriptWaitRun > 0 {
 				r.scriptWaitRun--
 			}
-			if r.scriptAt == len(r.script) {
-				r.finishScript()
+			if r.scriptAt == r.segEnd {
+				r.endSeg()
 			}
 		} else {
 			r.scriptStep()
@@ -445,9 +602,15 @@ func (r *runner) stepOne() (moved bool) {
 // it only until its next request (the MoveSeq contract), which is
 // sequenced after this grant by the req channel.
 func (r *runner) finishScript() {
-	r.grant <- grantMsg{degree: r.g.Degree(r.pos), entry: r.entry, entries: r.scriptEntries, gen: r.gen}
+	entries := r.scriptEntries
+	if r.scriptQuiet {
+		entries = nil // quiet grants carry no (partially unfilled) streams
+	}
+	r.grant <- grantMsg{degree: r.g.Degree(r.pos), entry: r.entry, entries: entries, degrees: r.scriptDegs, gen: r.gen}
 	r.state = stNeedReq
 	r.script = nil
+	r.scriptDegs = nil
+	r.scriptQuiet = false
 }
 
 // advance applies k rounds of this agent's pending action. k must respect
@@ -467,16 +630,34 @@ func (r *runner) advance(k uint64) {
 			r.state = stNeedReq
 		}
 	case stScript:
-		if r.script[r.scriptAt] == agent.ScriptWait {
+		if r.scriptLead > 0 {
+			// Lead rounds: the deferred or SeqWait-carried wait — position
+			// static, no entries produced, O(1) consumption.
+			r.scriptLead -= k
+			if r.scriptLead == 0 && r.scriptAt == len(r.script) {
+				r.finishScript()
+			}
+		} else if r.script[r.scriptAt] == agent.ScriptWait {
 			// k rounds of a (cached) wait run: positions are static, the
-			// entry percept is unchanged.
-			for i := uint64(0); i < k; i++ {
-				r.scriptEntries[r.scriptAt] = r.entry
-				r.scriptAt++
+			// entry and degree percepts are unchanged. Quiet scripts skip
+			// the result fills entirely — the run is one O(1) skip.
+			if r.scriptQuiet {
+				r.scriptAt += int(k)
+			} else {
+				if r.scriptDegs != nil {
+					d := r.g.Degree(r.pos)
+					for i := uint64(0); i < k; i++ {
+						r.scriptDegs[r.scriptAt+int(i)] = d
+					}
+				}
+				for i := uint64(0); i < k; i++ {
+					r.scriptEntries[r.scriptAt] = r.entry
+					r.scriptAt++
+				}
 			}
 			r.scriptWaitRun -= k
-			if r.scriptAt == len(r.script) {
-				r.finishScript()
+			if r.scriptAt == r.segEnd {
+				r.endSeg()
 			}
 		} else {
 			r.scriptStep()
@@ -491,10 +672,11 @@ func (r *runner) advance(k uint64) {
 //
 // Waits are deferred: Wait only accumulates rounds locally, and the
 // accumulated stretch reaches the scheduler merged with the agent's next
-// action — prepended to the next script as a ScriptWait run when short,
-// flushed as a single wait request otherwise. Waiting changes no percept
-// and no position, so merging consecutive waits (and folding them into
-// scripts) is invisible to the program and to the other agents: the
+// action — carried as the LEAD of the next script request (fast-forwarded
+// in O(1) before the script's first action; degree-reporting scripts
+// included), or flushed as a single wait request when the program ends or
+// the accumulator cap binds. Waiting changes no percept and no position,
+// so the merge is invisible to the program and to the other agents: the
 // scheduler still advances the exact same number of rounds with the
 // agent parked at the same node. It just hears about them in one
 // handshake instead of many — the dominant cost of padding-heavy
@@ -508,8 +690,8 @@ type world struct {
 	// request so a later run on the same pooled runner can recognize and
 	// discard a deposit this run never got fetched.
 	gen uint64
-	// pendingWait is the deferred-wait accumulator; scriptBuf backs
-	// scripts that inline a pending wait ahead of the caller's actions.
+	// pendingWait is the deferred-wait accumulator; scriptBuf backs the
+	// one-action script a Move with a pending wait turns into.
 	pendingWait uint64
 	scriptBuf   []int
 }
@@ -521,12 +703,6 @@ type world struct {
 // sending a request.
 const flushWaitEvery = 1 << 22
 
-// inlineWaitMax is the longest pending wait folded into the next script
-// as a ScriptWait run (one action per round) rather than flushed as its
-// own request; longer waits stay requests so script memory stays bounded
-// and the scheduler's O(1) wait fast-forward does the work.
-const inlineWaitMax = 256
-
 func (w *world) Degree() int    { return w.deg }
 func (w *world) EntryPort() int { return w.entry }
 func (w *world) Clock() uint64  { return w.clock }
@@ -535,21 +711,19 @@ func (w *world) Move(port int) int {
 	if port < 0 || port >= w.deg {
 		panic(agent.ErrBadPort{Port: port, Degree: w.deg})
 	}
-	if p := w.pendingWait; p > 0 && p <= inlineWaitMax {
-		// Fold the pending wait and the move into one script.
-		buf := w.script(int(p) + 1)
-		for i := range buf {
-			buf[i] = agent.ScriptWait
-		}
-		buf[p] = port
+	if w.pendingWait > 0 {
+		// Merge the pending wait and the move into one request: a
+		// single-action script carrying the wait as its lead.
+		buf := w.script(1)
+		buf[0] = port
+		lead := w.pendingWait
 		w.pendingWait = 0
-		w.send(request{kind: reqScript, script: buf})
+		w.send(request{kind: reqScript, script: buf, rounds: lead})
 		g := w.recv()
 		w.deg, w.entry = g.degree, g.entry
 		w.clock++
 		return w.entry
 	}
-	w.flushWait()
 	w.send(request{kind: reqMove, port: port})
 	g := w.recv()
 	w.deg, w.entry = g.degree, g.entry
@@ -572,31 +746,52 @@ func (w *world) Wait(rounds uint64) {
 }
 
 func (w *world) MoveSeq(actions []int) []int {
+	entries, _ := w.moveSeq(actions, false)
+	return entries
+}
+
+// RunSeq is the native side-effects-only batched script (the optional
+// fast path behind agent.RunSeq): same rounds and moves as the expanded
+// reference form, no result streams, and O(1) consumption of both
+// in-script ScriptWait runs and SeqWait-encoded wait runs.
+func (w *world) RunSeq(actions []int) {
 	if len(actions) == 0 {
-		return nil
+		return
 	}
-	if p := w.pendingWait; p > 0 && p <= inlineWaitMax {
-		// Fold the pending wait into the script as a leading ScriptWait
-		// run; the grant's entries for those rounds are sliced off so the
-		// caller sees exactly its own actions' entries.
-		buf := w.script(int(p) + len(actions))
-		for i := 0; i < int(p); i++ {
-			buf[i] = agent.ScriptWait
+	rounds := uint64(len(actions))
+	for _, a := range actions {
+		if n, ok := agent.SeqWaitRounds(a); ok {
+			rounds += n - 1
 		}
-		copy(buf[p:], actions)
-		w.pendingWait = 0
-		w.send(request{kind: reqScript, script: buf})
-		g := w.recv()
-		w.deg, w.entry = g.degree, g.entry
-		w.clock += uint64(len(actions))
-		return g.entries[p:]
 	}
-	w.flushWait()
-	w.send(request{kind: reqScript, script: actions})
+	lead := w.pendingWait
+	w.pendingWait = 0
+	w.send(request{kind: reqScript, script: actions, rounds: lead, quiet: true})
+	g := w.recv()
+	w.deg, w.entry = g.degree, g.entry
+	w.clock += rounds
+}
+
+func (w *world) MoveSeqDegrees(actions []int) (entries, degrees []int) {
+	return w.moveSeq(actions, true)
+}
+
+// moveSeq is the shared body of MoveSeq and MoveSeqDegrees. Deferred-wait
+// merging works identically across both: any pending wait — however long
+// — rides the script request as its lead, so the caller's percept slices
+// line up with its actions with nothing to slice off and the scheduler
+// consumes the wait in O(1).
+func (w *world) moveSeq(actions []int, wantDegs bool) (entries, degrees []int) {
+	if len(actions) == 0 {
+		return nil, nil
+	}
+	lead := w.pendingWait
+	w.pendingWait = 0
+	w.send(request{kind: reqScript, script: actions, rounds: lead, wantDegs: wantDegs})
 	g := w.recv()
 	w.deg, w.entry = g.degree, g.entry
 	w.clock += uint64(len(actions))
-	return g.entries
+	return g.entries, g.degrees
 }
 
 // script returns the world's reusable script-building buffer at length n.

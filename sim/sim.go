@@ -84,6 +84,7 @@ func (s *Session) RunPrograms(g *graph.Graph, progA, progB agent.Program, u, v i
 	if budget == 0 {
 		budget = DefaultBudget
 	}
+	s.wakeups = 0
 	ra := s.acquire(g, progA, u)
 	var rb *runner // started when the later agent appears
 	defer func() {
@@ -134,12 +135,20 @@ func (s *Session) RunPrograms(g *graph.Graph, progA, progB agent.Program, u, v i
 		// Tight lock-step loop: while both agents are executing scripted
 		// moves, step the positions directly — no channel traffic, no
 		// goroutine wakeups — with the same per-round meeting detection
-		// and budget accounting as the general path below.
+		// and budget accounting as the general path below. Degree mode is
+		// fixed between fetches, so the degree-buffer test hoists out of
+		// the per-round step into a register-resident flag.
 		if cfg.Observer == nil && rb != nil {
 			stepped := false
+			plain := ra.scriptDegs == nil && rb.scriptDegs == nil
 			for ra.scriptMoveReady() && rb.scriptMoveReady() && t < budget {
-				ra.scriptStep()
-				rb.scriptStep()
+				if plain {
+					ra.scriptStepPlain()
+					rb.scriptStepPlain()
+				} else {
+					ra.scriptStep()
+					rb.scriptStep()
+				}
 				t++
 				stepped = true
 				if ra.pos == rb.pos {

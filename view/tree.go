@@ -67,6 +67,24 @@ func (t *Tree) SetKid(id int32, p int, kid int32) {
 	t.kids[t.nodes[id].Kids+int32(p)] = kid
 }
 
+// SetInfo fills in node id's degree and entry port after the fact. The
+// physical view walker creates nodes ahead of their percepts — with
+// degree-reporting scripts, a node's degree and entry port arrive only in
+// the grant of the batch that first visited it — and patches them here.
+// Expand must not be called before the node's true degree is set.
+func (t *Tree) SetInfo(id int32, deg, entry int32) {
+	nd := &t.nodes[id]
+	nd.Deg, nd.EntryPort = deg, entry
+}
+
+// CopyFrom replaces t's contents with a structural copy of src, reusing
+// t's backing arrays (warm trees copy allocation-free). Node ids carry
+// over verbatim.
+func (t *Tree) CopyFrom(src *Tree) {
+	t.nodes = append(t.nodes[:0], src.nodes...)
+	t.kids = append(t.kids[:0], src.kids...)
+}
+
 // KidsOf returns node id's kid slots as a slice into the arena (nil when
 // the node was never expanded). The slice is valid until the next Expand
 // or Reset.
