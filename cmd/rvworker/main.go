@@ -1,0 +1,56 @@
+// Command rvworker is a standalone dispatch-protocol worker for the
+// distributed sweep dispatcher (package dist): it executes shard
+// descriptors — (graph, parameter-block) shards of simulator cases — on
+// a pooled sim.Session and streams the aggregates back to the
+// coordinator.
+//
+// Usage:
+//
+//	rvworker              speak the protocol on stdin/stdout (the mode
+//	                      dist.NewLocal forks; `rvx --dist-workers N
+//	                      --dist-worker-bin rvworker` uses N of these)
+//	rvworker -listen :7001
+//	                      accept TCP coordinator connections, each served
+//	                      with its own session (the multi-machine mode
+//	                      behind dist.Dial / `rvx --dist-addrs`)
+//	rvworker -programs    list the registered program names and exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"repro/dist"
+)
+
+func main() {
+	listen := flag.String("listen", "", "TCP address to accept coordinator connections on (default: serve stdin/stdout)")
+	programs := flag.Bool("programs", false, "list registered program names and exit")
+	flag.Parse()
+
+	if *programs {
+		for _, name := range dist.Programs() {
+			fmt.Println(name)
+		}
+		return
+	}
+	if *listen == "" {
+		if err := dist.Serve(os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "rvworker: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rvworker: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "rvworker: listening on %s\n", l.Addr())
+	if err := dist.ListenAndServe(l); err != nil {
+		fmt.Fprintf(os.Stderr, "rvworker: %v\n", err)
+		os.Exit(1)
+	}
+}

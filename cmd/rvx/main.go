@@ -4,11 +4,20 @@
 //
 // Usage:
 //
-//	rvx [-full] [-markdown] [-only E4,E7]
+//	rvx [-full] [-markdown] [-only E4,E7] [-dist-workers N] [-dist-worker-bin path] [-dist-addrs host:port,...]
 //
 // -full enables the heavier variants (ring-4 UniversalRV in E7, the
 // million-node Q̂12 build in E9). -markdown emits GitHub tables (the format
 // of EXPERIMENTS.md); the default is fixed-width text.
+//
+// The distributable sweeps (E7, E12, E17) run on in-process protocol
+// workers by default. -dist-workers N forks N worker processes on this
+// machine instead — rvx re-execs itself as the worker unless
+// -dist-worker-bin points at cmd/rvworker — and -dist-addrs connects to
+// already-running `rvworker -listen` processes (one connection per
+// address; repeat an address for more parallelism on one host). The
+// dispatcher's aggregation is byte-identical across all modes, so the
+// tables come out the same however the sweeps were executed.
 package main
 
 import (
@@ -17,14 +26,45 @@ import (
 	"os"
 	"strings"
 
+	"repro/dist"
 	"repro/experiments"
 )
 
 func main() {
+	// When forked by dist.NewLocal as our own worker, serve the protocol
+	// and never reach flag parsing.
+	dist.RunWorkerIfChild()
+
 	full := flag.Bool("full", false, "run the heavier experiment variants")
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavored markdown")
 	only := flag.String("only", "", "comma-separated experiment IDs (e.g. E4,E7); default all")
+	distWorkers := flag.Int("dist-workers", 0, "fork this many local worker processes for the distributable sweeps")
+	distWorkerBin := flag.String("dist-worker-bin", "", "worker binary for -dist-workers (default: re-exec rvx itself)")
+	distAddrs := flag.String("dist-addrs", "", "comma-separated rvworker -listen addresses to dispatch sweeps to")
 	flag.Parse()
+
+	switch {
+	case *distAddrs != "":
+		be, err := dist.Dial(strings.Split(*distAddrs, ","))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rvx: %v\n", err)
+			os.Exit(1)
+		}
+		defer be.Close()
+		experiments.SetDistBackend(be)
+	case *distWorkers > 0:
+		var argv []string
+		if *distWorkerBin != "" {
+			argv = []string{*distWorkerBin}
+		}
+		be, err := dist.NewLocal(*distWorkers, argv)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rvx: %v\n", err)
+			os.Exit(1)
+		}
+		defer be.Close()
+		experiments.SetDistBackend(be)
+	}
 
 	want := map[string]bool{}
 	if *only != "" {

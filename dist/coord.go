@@ -1,0 +1,341 @@
+package dist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Backend executes shard descriptors and returns their aggregates. Run is
+// position-stable: results[i] always answers shards[i], whatever worker
+// executed it and in whatever order shards finished — the multi-process
+// analogue of sim.Sweep's disjoint-region aggregation. A Backend is safe
+// for sequential reuse across many Run calls (worker processes and
+// connections stay warm in between); Close releases the workers.
+type Backend interface {
+	Run(shards []*ShardDesc) ([]*ShardResult, error)
+	Close() error
+}
+
+// wconn is one coordinator-held worker connection.
+type wconn struct {
+	r     *bufio.Reader
+	w     *bufio.Writer
+	c     io.Closer
+	hello bool // hello frame consumed and version-checked
+}
+
+// handshake consumes the worker's hello frame once per connection.
+func (c *wconn) handshake() error {
+	if c.hello {
+		return nil
+	}
+	payload, err := readFrame(c.r, nil)
+	if err != nil {
+		return fmt.Errorf("dist: waiting for worker hello: %w", err)
+	}
+	if len(payload) != 2 || payload[0] != frameHello {
+		return fmt.Errorf("dist: bad hello frame from worker")
+	}
+	if payload[1] != ProtoVersion {
+		return fmt.Errorf("dist: worker speaks protocol v%d, coordinator v%d", payload[1], ProtoVersion)
+	}
+	c.hello = true
+	return nil
+}
+
+// dispatch sends one shard and decodes its answer, verifying the view
+// signature against the coordinator's own reading of the descriptor.
+func (c *wconn) dispatch(id int, sh *ShardDesc, scratch []byte) (*ShardResult, []byte, error) {
+	if err := c.handshake(); err != nil {
+		return nil, scratch, err
+	}
+	scratch = append(scratch[:0], frameShard)
+	scratch = binary.AppendUvarint(scratch, uint64(id))
+	scratch = sh.AppendEncode(scratch)
+	if err := writeFrame(c.w, scratch); err != nil {
+		return nil, scratch, err
+	}
+	payload, err := readFrame(c.r, scratch[:0])
+	if err != nil {
+		return nil, scratch, err
+	}
+	scratch = payload[:0]
+	if len(payload) == 0 {
+		return nil, scratch, fmt.Errorf("dist: empty frame from worker")
+	}
+	d := &rd{data: payload[1:]}
+	gotID := d.uvarint()
+	if d.err != nil {
+		return nil, scratch, d.err
+	}
+	if gotID != uint64(id) {
+		return nil, scratch, fmt.Errorf("dist: worker answered shard %d, expected %d", gotID, id)
+	}
+	switch payload[0] {
+	case frameError:
+		msg := d.str(maxErrStrLen, "error message")
+		if d.err != nil {
+			return nil, scratch, d.err
+		}
+		return nil, scratch, fmt.Errorf("dist: shard %d failed on worker: %s", id, msg)
+	case frameResult:
+		var res ShardResult
+		if err := res.Decode(d.data); err != nil {
+			return nil, scratch, err
+		}
+		if len(res.Cases) != len(sh.Cases) {
+			return nil, scratch, fmt.Errorf("dist: shard %d returned %d results for %d cases", id, len(res.Cases), len(sh.Cases))
+		}
+		g, err := sh.Graph()
+		if err != nil {
+			return nil, scratch, err
+		}
+		if err := verifyViewSig(g, res.ViewSig); err != nil {
+			return nil, scratch, fmt.Errorf("dist: shard %d: %w", id, err)
+		}
+		return &res, scratch, nil
+	default:
+		return nil, scratch, fmt.Errorf("dist: unexpected frame type %d from worker", payload[0])
+	}
+}
+
+// runOnConns is the coordinator core shared by every backend: deal the
+// shards largest-first (the same policy as sim.Sweep — long shards start
+// early) to whichever connection is free, and place each decoded result
+// at its shard's index. The first failure cancels the dispatch loop and
+// is returned; position stability is by construction, since results are
+// stored by shard index and never in completion order.
+func runOnConns(conns []*wconn, shards []*ShardDesc) ([]*ShardResult, error) {
+	out := make([]*ShardResult, len(shards))
+	if len(shards) == 0 {
+		return out, nil
+	}
+	order := make([]int, len(shards))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return len(shards[order[a]].Cases) > len(shards[order[b]].Cases)
+	})
+	nw := len(conns)
+	if nw > len(shards) {
+		nw = len(shards)
+	}
+
+	next := make(chan int)
+	done := make(chan struct{})
+	var (
+		mu       sync.Mutex
+		firstErr error
+		failOnce sync.Once
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		failOnce.Do(func() { close(done) }) // unblocks the feeder
+	}
+	var wg sync.WaitGroup
+	for _, c := range conns[:nw] {
+		wg.Add(1)
+		go func(c *wconn) {
+			defer wg.Done()
+			var scratch []byte
+			for si := range next {
+				res, sc, err := c.dispatch(si, shards[si], scratch)
+				scratch = sc
+				if err != nil {
+					fail(err)
+					return
+				}
+				out[si] = res
+			}
+		}(c)
+	}
+	go func() {
+		defer close(next)
+		for _, si := range order {
+			select {
+			case next <- si:
+			case <-done:
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if firstErr == nil {
+		for _, si := range order {
+			if out[si] == nil {
+				fail(fmt.Errorf("dist: shard %d never completed", si))
+				break
+			}
+		}
+	}
+	return out, firstErr
+}
+
+// connBackend is the shared backend body: a fixed set of worker
+// connections plus a closer for whatever owns them.
+type connBackend struct {
+	conns []*wconn
+	stop  func() error
+}
+
+func (b *connBackend) Run(shards []*ShardDesc) ([]*ShardResult, error) {
+	return runOnConns(b.conns, shards)
+}
+
+// Close sends every used worker a shutdown frame (best effort) and
+// releases the underlying processes/connections. A connection whose
+// hello was never consumed is just closed: its worker may still be
+// blocked writing the hello into an unbuffered transport (net.Pipe), in
+// which case writing the shutdown frame from this side would deadlock —
+// closing unblocks it with an error instead, which Serve treats as the
+// end of the stream.
+func (b *connBackend) Close() error {
+	for _, c := range b.conns {
+		if c.hello {
+			_ = writeFrame(c.w, []byte{frameShutdown})
+		}
+		if c.c != nil {
+			_ = c.c.Close()
+		}
+	}
+	if b.stop != nil {
+		return b.stop()
+	}
+	return nil
+}
+
+func newWconn(rw io.ReadWriter, closer io.Closer) *wconn {
+	return &wconn{
+		r: bufio.NewReaderSize(rw, 1<<16),
+		w: bufio.NewWriterSize(rw, 1<<16),
+		c: closer,
+	}
+}
+
+// NewInProcess returns a backend that serves the protocol over in-memory
+// pipes to worker goroutines in this process — the default execution
+// path of the experiment sweeps, and the reference the multi-process
+// backends are differentially pinned against. workers <= 0 selects
+// GOMAXPROCS. Descriptors and results still round-trip through the full
+// wire codec, so the in-process and multi-process paths run byte-for-byte
+// the same protocol; only the transport differs.
+func NewInProcess(workers int) Backend {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	conns := make([]*wconn, workers)
+	var wg sync.WaitGroup
+	for i := range conns {
+		coord, worker := net.Pipe()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer worker.Close()
+			// Serve returns on the shutdown frame or when the
+			// coordinator side closes.
+			_ = Serve(worker, worker)
+		}()
+		conns[i] = newWconn(coord, coord)
+	}
+	return &connBackend{conns: conns, stop: func() error { wg.Wait(); return nil }}
+}
+
+// rwPair joins a subprocess's stdin/stdout pipes into one ReadWriter.
+type rwPair struct {
+	io.Reader
+	io.Writer
+}
+
+// NewLocal returns a backend that forks `workers` OS worker processes on
+// this machine and speaks the protocol over their stdin/stdout — the
+// single-machine scale-out mode behind `rvx --dist-workers`. argv names
+// the worker binary and its arguments (typically cmd/rvworker); a nil
+// argv re-execs the current binary with WorkerEnv set, which any binary
+// that calls RunWorkerIfChild first thing in main supports. Worker
+// stderr passes through to the coordinator's stderr.
+func NewLocal(workers int, argv []string) (Backend, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	selfExec := len(argv) == 0
+	if selfExec {
+		self, err := os.Executable()
+		if err != nil {
+			return nil, fmt.Errorf("dist: resolving own binary for self-exec workers: %w", err)
+		}
+		argv = []string{self}
+	}
+	cmds := make([]*exec.Cmd, 0, workers)
+	conns := make([]*wconn, 0, workers)
+	fail := func(err error) (Backend, error) {
+		for _, cmd := range cmds {
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
+		}
+		return nil, err
+	}
+	for i := 0; i < workers; i++ {
+		cmd := exec.Command(argv[0], argv[1:]...)
+		if selfExec {
+			cmd.Env = append(os.Environ(), WorkerEnv+"=1")
+		}
+		cmd.Stderr = os.Stderr
+		stdin, err := cmd.StdinPipe()
+		if err != nil {
+			return fail(err)
+		}
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			return fail(err)
+		}
+		if err := cmd.Start(); err != nil {
+			return fail(fmt.Errorf("dist: starting worker %v: %w", argv, err))
+		}
+		cmds = append(cmds, cmd)
+		conns = append(conns, newWconn(rwPair{stdout, stdin}, stdin))
+	}
+	return &connBackend{conns: conns, stop: func() error {
+		var first error
+		for _, cmd := range cmds {
+			if err := cmd.Wait(); err != nil && first == nil {
+				first = fmt.Errorf("dist: worker exit: %w", err)
+			}
+		}
+		return first
+	}}, nil
+}
+
+// Dial returns a backend over TCP connections to already-running
+// protocol workers (`rvworker -listen`), one connection per address —
+// the multi-machine mode. Addresses may repeat to open several
+// connections to one worker host.
+func Dial(addrs []string) (Backend, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("dist: Dial needs at least one worker address")
+	}
+	conns := make([]*wconn, 0, len(addrs))
+	for _, a := range addrs {
+		c, err := net.Dial("tcp", a)
+		if err != nil {
+			for _, open := range conns {
+				_ = open.c.Close()
+			}
+			return nil, fmt.Errorf("dist: dialing worker %s: %w", a, err)
+		}
+		conns = append(conns, newWconn(c, c))
+	}
+	return &connBackend{conns: conns}, nil
+}

@@ -1,0 +1,403 @@
+package dist_test
+
+// The acceptance suite of the dispatcher: randomized differential tests
+// pinning dist-executed sweeps against the raw in-process sim.Sweep on
+// FULL result equality — sim.Result / sim.MultiResult field by field,
+// Meetings order and wakeup counts included — across mixed graphs,
+// parameter blocks, case kinds and worker counts, through every backend:
+// in-process protocol workers, forked subprocesses of this very test
+// binary (TestMain calls dist.RunWorkerIfChild, so the binary doubles as
+// its own rvworker), and TCP connections.
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/agent"
+	"repro/dist"
+	"repro/graph"
+	"repro/sim"
+)
+
+func TestMain(m *testing.M) {
+	dist.RunWorkerIfChild()
+	os.Exit(m.Run())
+}
+
+// randDistGraph mirrors the engine-equivalence suite's graph mix.
+func randDistGraph(r *rand.Rand) *graph.Graph {
+	switch r.Intn(6) {
+	case 0:
+		return graph.Cycle(3 + r.Intn(6))
+	case 1:
+		return graph.Path(2 + r.Intn(5))
+	case 2:
+		return graph.Star(3 + r.Intn(4))
+	case 3:
+		return graph.OrientedTorus(3, 3)
+	case 4:
+		return graph.Tree(graph.ChainShape(2 + r.Intn(3)))
+	default:
+		return graph.RandomConnected(4+r.Intn(5), 3, uint64(r.Intn(1000)))
+	}
+}
+
+// randRunnableProg draws a descriptor whose program exercises scripts,
+// waits, randomized walks and the real UniversalRV, with bounded budgets
+// in mind.
+func randRunnableProg(r *rand.Rand, seedLo, seedHi uint64) dist.ProgDesc {
+	switch r.Intn(8) {
+	case 0:
+		return dist.ProgDesc{Name: "sit"}
+	case 1:
+		return dist.ProgDesc{Name: "moveevery"}
+	case 2, 3:
+		n := 1 + r.Intn(24)
+		actions := make([]int, n)
+		for i := range actions {
+			switch r.Intn(3) {
+			case 0:
+				actions[i] = -1 // ScriptWait
+			case 1:
+				actions[i] = r.Intn(4)
+			default:
+				actions[i] = -2 - r.Intn(3) // Rel
+			}
+		}
+		return dist.ProgDesc{Name: "script", Args: dist.ScriptProgArgs(actions)}
+	case 4:
+		seed := seedLo + uint64(r.Intn(int(seedHi-seedLo)))
+		return dist.ProgDesc{Name: "lazyrandom", Args: []uint64{seed}}
+	case 5:
+		seed := seedLo + uint64(r.Intn(int(seedHi-seedLo)))
+		return dist.ProgDesc{Name: "randomwalk", Args: []uint64{seed}}
+	case 6:
+		return dist.ProgDesc{Name: "universal"}
+	default:
+		return dist.ProgDesc{Name: "doubling", Args: []uint64{uint64(2 + r.Intn(6)), uint64(1 + r.Intn(2))}}
+	}
+}
+
+// buildPlan builds a randomized case grid over a few graphs — the mixed
+// (graph, parameter-block) shard population — and returns the planner
+// plus the graphs/cases needed to compute the raw in-process expectation.
+type planCase struct {
+	g *graph.Graph
+	c dist.CaseDesc
+}
+
+func buildPlan(r *rand.Rand) (*dist.Planner, []planCase) {
+	const seedLo, seedHi = 500, 1500
+	ngraphs := 1 + r.Intn(4)
+	graphs := make([]*graph.Graph, ngraphs)
+	for i := range graphs {
+		graphs[i] = randDistGraph(r)
+	}
+	p := &dist.Planner{}
+	var cases []planCase
+	ncases := 1 + r.Intn(24)
+	for i := 0; i < ncases; i++ {
+		gi := r.Intn(ngraphs)
+		g := graphs[gi]
+		var c dist.CaseDesc
+		if r.Intn(2) == 0 {
+			c = dist.CaseDesc{
+				Kind:   dist.KindTwoAgent,
+				ProgA:  randRunnableProg(r, seedLo, seedHi),
+				ProgB:  randRunnableProg(r, seedLo, seedHi),
+				U:      r.Intn(g.N()),
+				V:      r.Intn(g.N()),
+				Delay:  uint64(r.Intn(40)),
+				Budget: uint64(1 + r.Intn(3000)),
+			}
+		} else {
+			agents := make([]dist.AgentDesc, 2+r.Intn(3))
+			for j := range agents {
+				agents[j] = dist.AgentDesc{
+					Prog:   randRunnableProg(r, seedLo, seedHi),
+					Start:  r.Intn(g.N()),
+					Appear: uint64(r.Intn(20)),
+				}
+			}
+			c = dist.CaseDesc{
+				Kind:               dist.KindMulti,
+				Agents:             agents,
+				StopOnGather:       r.Intn(2) == 0,
+				StopOnFirstMeeting: r.Intn(4) == 0,
+				Budget:             uint64(1 + r.Intn(3000)),
+			}
+		}
+		// Key by graph index with a parameter-block flavor bit, so some
+		// shards share a graph but are still distinct shards — mirroring
+		// sweeps keyed by (graph, parameter block).
+		key := [2]int{gi, r.Intn(2)}
+		p.Add(key, g, c)
+		p.SetSeedRange(key, seedLo, seedHi)
+		cases = append(cases, planCase{g: g, c: c})
+	}
+	return p, cases
+}
+
+// rawSweep computes the expectation through the plain in-process
+// sim.Sweep — the same pooled sessions the experiments used before the
+// dispatcher existed, running on the ORIGINAL graph objects (no codec in
+// sight). This is the invariant's right-hand side.
+func rawSweep(t *testing.T, cases []planCase) []dist.CaseResult {
+	t.Helper()
+	idx := make([]int, len(cases))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Program resolution errors are test bugs; panic rather than t.Fatal —
+	// a Goexit inside a Sweep worker goroutine would deadlock the pool.
+	mustBuild := func(p dist.ProgDesc) agent.Program {
+		prog, err := dist.BuildProgram(p)
+		if err != nil {
+			panic(err)
+		}
+		return prog
+	}
+	return sim.Sweep(idx, 2, func(i int) any { return cases[i].g }, func(sc *sim.Scratch, i int) dist.CaseResult {
+		g, c := cases[i].g, &cases[i].c
+		out := dist.CaseResult{Kind: c.Kind}
+		switch c.Kind {
+		case dist.KindTwoAgent:
+			out.Two = sc.Session().RunPrograms(g, mustBuild(c.ProgA), mustBuild(c.ProgB), c.U, c.V, c.Delay, sim.Config{Budget: c.Budget})
+		default:
+			agents := make([]sim.MultiAgent, len(c.Agents))
+			for j := range c.Agents {
+				agents[j] = sim.MultiAgent{Program: mustBuild(c.Agents[j].Prog), Start: c.Agents[j].Start, Appear: c.Agents[j].Appear}
+			}
+			out.Multi = sc.Session().RunMany(g, agents, sim.MultiConfig{
+				Budget:             c.Budget,
+				StopOnGather:       c.StopOnGather,
+				StopOnFirstMeeting: c.StopOnFirstMeeting,
+			})
+		}
+		out.Wakeups = sc.Session().Wakeups()
+		return out
+	})
+}
+
+func diffAgainstBackend(t *testing.T, be dist.Backend, rounds int, seed int64) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	for round := 0; round < rounds; round++ {
+		p, cases := buildPlan(r)
+		want := rawSweep(t, cases)
+		got, err := p.Run(be)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("round %d: %d results for %d cases", round, len(got), len(want))
+		}
+		for i := range want {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Fatalf("round %d case %d (%+v): dist and in-process sweeps disagree\n  dist:       %+v\n  in-process: %+v",
+					round, i, cases[i].c, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestDifferentialInProcessBackend(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			be := dist.NewInProcess(workers)
+			defer be.Close()
+			diffAgainstBackend(t, be, 6, int64(1000+workers))
+		})
+	}
+}
+
+func TestDifferentialLocalSubprocess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("forks worker subprocesses")
+	}
+	for _, workers := range []int{1, 2, 3} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			be, err := dist.NewLocal(workers, nil) // self-exec this test binary
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer be.Close()
+			diffAgainstBackend(t, be, 3, int64(2000+workers))
+		})
+	}
+}
+
+func TestDifferentialTCP(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback listen unavailable: %v", err)
+	}
+	defer l.Close()
+	go dist.ListenAndServe(l)
+	addr := l.Addr().String()
+	be, err := dist.Dial([]string{addr, addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer be.Close()
+	diffAgainstBackend(t, be, 3, 3000)
+}
+
+// TestSpecShard pins the graph-spec transport: a shard dispatched by
+// builder spec must execute on the same graph as the coordinator's.
+func TestSpecShard(t *testing.T) {
+	sh := &dist.ShardDesc{
+		Spec: "ring:6",
+		Cases: []dist.CaseDesc{{
+			Kind:  dist.KindTwoAgent,
+			ProgA: dist.ProgDesc{Name: "universal"},
+			ProgB: dist.ProgDesc{Name: "universal"},
+			U:     0, V: 3, Delay: 2, Budget: 200000,
+		}},
+	}
+	be := dist.NewInProcess(1)
+	defer be.Close()
+	res, err := be.Run([]*dist.ShardDesc{sh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := graph.FromSpec("ring:6")
+	prog, _ := dist.BuildProgram(dist.ProgDesc{Name: "universal"})
+	want := sim.RunPrograms(g, prog, prog, 0, 3, 2, sim.Config{Budget: 200000})
+	if !reflect.DeepEqual(res[0].Cases[0].Two, want) {
+		t.Fatalf("spec shard result %+v, in-process %+v", res[0].Cases[0].Two, want)
+	}
+}
+
+// TestBackendErrors pins the failure surface: unknown programs, corrupt
+// graphs and out-of-range seeds must come back as errors naming the
+// problem, not as hangs or zero results.
+func TestBackendErrors(t *testing.T) {
+	be := dist.NewInProcess(2)
+	defer be.Close()
+	for _, tc := range []struct {
+		name string
+		sh   dist.ShardDesc
+		want string
+	}{
+		{
+			name: "unknown program",
+			sh: dist.ShardDesc{
+				GraphText: graph.Encode(graph.Cycle(4)),
+				Cases: []dist.CaseDesc{{
+					Kind:  dist.KindTwoAgent,
+					ProgA: dist.ProgDesc{Name: "no-such-program"},
+					ProgB: dist.ProgDesc{Name: "sit"},
+					U:     0, V: 1, Budget: 10,
+				}},
+			},
+			want: "not registered",
+		},
+		{
+			name: "corrupt graph",
+			sh: dist.ShardDesc{
+				GraphText: "3\nbogus adjacency\n",
+				Cases:     []dist.CaseDesc{{Kind: dist.KindTwoAgent, ProgA: dist.ProgDesc{Name: "sit"}, ProgB: dist.ProgDesc{Name: "sit"}, Budget: 10}},
+			},
+			want: "decode",
+		},
+		{
+			name: "start out of range",
+			sh: dist.ShardDesc{
+				GraphText: graph.Encode(graph.Cycle(4)),
+				Cases: []dist.CaseDesc{{
+					Kind:  dist.KindTwoAgent,
+					ProgA: dist.ProgDesc{Name: "sit"},
+					ProgB: dist.ProgDesc{Name: "sit"},
+					U:     9, V: 1, Budget: 10,
+				}},
+			},
+			want: "outside graph",
+		},
+		{
+			name: "seed outside declared range",
+			sh: dist.ShardDesc{
+				GraphText: graph.Encode(graph.Cycle(4)),
+				SeedLo:    100, SeedHi: 200,
+				Cases: []dist.CaseDesc{{
+					Kind:  dist.KindTwoAgent,
+					ProgA: dist.ProgDesc{Name: "lazyrandom", Args: []uint64{999}},
+					ProgB: dist.ProgDesc{Name: "sit"},
+					U:     0, V: 1, Budget: 10,
+				}},
+			},
+			want: "outside the shard's declared range",
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sh := tc.sh
+			_, err := be.Run([]*dist.ShardDesc{&sh})
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("want error containing %q, got %v", tc.want, err)
+			}
+		})
+	}
+	// The backend must survive failed sweeps: a good shard afterwards
+	// still runs (worker connections are not poisoned by error frames).
+	good := &dist.ShardDesc{
+		GraphText: graph.Encode(graph.Cycle(4)),
+		Cases: []dist.CaseDesc{{
+			Kind:  dist.KindTwoAgent,
+			ProgA: dist.ProgDesc{Name: "moveevery"},
+			ProgB: dist.ProgDesc{Name: "sit"},
+			U:     0, V: 2, Delay: 0, Budget: 1000,
+		}},
+	}
+	res, err := be.Run([]*dist.ShardDesc{good})
+	if err != nil {
+		t.Fatalf("backend poisoned by earlier error: %v", err)
+	}
+	if res[0].Cases[0].Two.Outcome != sim.Met {
+		t.Fatalf("unexpected outcome %v", res[0].Cases[0].Two.Outcome)
+	}
+}
+
+// TestMeasureHintsAndPrewarm exercises the warmup-hint pipeline: measure
+// a shard, check the measured shape, and run the shard with the hints
+// stamped — behavior must be identical with and without them.
+func TestMeasureHintsAndPrewarm(t *testing.T) {
+	g := graph.Cycle(5)
+	sh := &dist.ShardDesc{GraphText: graph.Encode(g)}
+	for i := 0; i < 4; i++ {
+		agents := make([]dist.AgentDesc, 3)
+		for j := range agents {
+			agents[j] = dist.AgentDesc{Prog: dist.ProgDesc{Name: "universal"}, Start: (i + j) % g.N(), Appear: uint64(j)}
+		}
+		sh.Cases = append(sh.Cases, dist.CaseDesc{Kind: dist.KindMulti, Agents: agents, Budget: 300000})
+	}
+	hints, err := dist.MeasureHints(sh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hints.K != 3 {
+		t.Fatalf("measured K = %d, want 3", hints.K)
+	}
+	if len(hints.ScriptHist) == 0 {
+		t.Fatal("measured an empty script-length histogram for a batched program")
+	}
+	be := dist.NewInProcess(1)
+	defer be.Close()
+	bare, err := be.Run([]*dist.ShardDesc{sh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmed := *sh
+	warmed.Hints = hints
+	warm, err := be.Run([]*dist.ShardDesc{&warmed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(bare[0].Cases, warm[0].Cases) {
+		t.Fatal("warmup hints changed results")
+	}
+}

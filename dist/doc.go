@@ -1,0 +1,73 @@
+// Package dist is the distributed sweep dispatcher: it takes the same
+// (graph, parameter-block) shards that sim.Sweep runs on in-process
+// workers and dispatches them to worker processes — forked subprocesses
+// on one machine (NewLocal, `rvx --dist-workers`), TCP-connected
+// `rvworker -listen` processes on other machines (Dial), or protocol
+// workers inside this process (NewInProcess, the reference everything
+// else is pinned against) — over a length-prefixed binary protocol.
+//
+// # Protocol framing
+//
+// A connection carries varint length-prefixed frames in both directions:
+// each frame is binary.AppendUvarint(len(payload)) followed by the
+// payload, whose first byte is the frame type. Payloads are capped (64
+// MiB) so a corrupt length cannot demand unbounded memory. The
+// conversation is strictly request/response:
+//
+//	worker → coordinator   hello    {version}           once, on connect
+//	coordinator → worker   shard    {id, ShardDesc}
+//	worker → coordinator   result   {id, ShardResult}   answers shard
+//	worker → coordinator   error    {id, message}       answers shard
+//	coordinator → worker   shutdown {}                  drain and exit
+//
+// A worker serves shards sequentially on one pooled sim.Session, so its
+// runner goroutines, channels and script buffers stay warm across every
+// shard it drains — the cross-process analogue of one sim.Sweep worker.
+// cmd/rvworker is the standalone worker binary (stdin/stdout or TCP);
+// any other binary becomes a worker pool for itself by calling
+// RunWorkerIfChild first thing in main.
+//
+// # Descriptor schema
+//
+// A ShardDesc carries everything a worker needs to reproduce the shard
+// bit-for-bit: the graph (a graph.FromSpec builder spec, or an inline
+// graph.Encode image for instances with no spec), the task's opaque
+// parameter block, the declared PRNG seed range (validated against
+// seeded program arguments — a cheap end-to-end transposition guard),
+// pool warmup hints (the maximum concurrent agent count and a
+// script-length histogram in sim.Session.ScriptLenHist's buckets, fed to
+// sim.Session.Prewarm before the first case), and the ordered case list.
+// A CaseDesc names its programs as registry entries (RegisterProgram) —
+// programs are closures and cannot travel, so the wire carries (name,
+// args) resolved identically on both sides, the classic task-registry
+// shape. Descriptor decoding is hardened the same way view.Tree.Decode
+// is: arbitrary bytes produce an error or a valid descriptor, never a
+// panic or a disproportionate allocation (pinned by FuzzShardDecode).
+//
+// # Byte-identical aggregation
+//
+// The invariant the whole package is built around: a sweep executed
+// through ANY backend returns, per case, exactly the Go value the
+// in-process engine produces — sim.Result / sim.MultiResult equality
+// field by field, Meetings order and slice nil-ness included — and the
+// coordinator places shard results back at their shard's input indices
+// (never in completion order), so the flattened output of Planner.Run is
+// indistinguishable from running sim.Sweep in-process. This holds
+// because every run is deterministic, the result codec is lossless, and
+// aggregation is position-stable by construction; the randomized
+// differential suite pins it across mixed graphs, parameter blocks,
+// case kinds and worker counts, and the CI smoke job re-checks it
+// end-to-end through real forked worker processes (`rvx --dist-workers 2`
+// must reproduce the in-process experiment tables byte-for-byte).
+//
+// # View exchange
+//
+// The protocol's graph-integrity check rides the view codec: each shard
+// result carries the view signature — view.Tree.AppendEncode of the
+// executed graph's truncated view from node 0 (depth bounded by a node
+// budget) — which the coordinator re-derives from the descriptor it sent
+// and compares byte-for-byte after a hardened round trip through
+// view.Tree.Decode. The first cross-process consumer of the view wire
+// format the ROADMAP called for: agents' label structure, not an
+// unrelated checksum, is what certifies the graph survived the wire.
+package dist

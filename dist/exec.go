@@ -1,0 +1,191 @@
+package dist
+
+import (
+	"fmt"
+
+	"repro/graph"
+	"repro/sim"
+	"repro/view"
+)
+
+// viewSigNodeBudget bounds the view-signature tree: the signature depth
+// is the largest depth (at most viewSigMaxDepth) whose worst-case node
+// count stays under the budget, so dense graphs get shallow signatures
+// instead of exponential ones. Both sides derive the depth from the same
+// graph, so it never needs to travel.
+const (
+	viewSigNodeBudget = 2048
+	viewSigMaxDepth   = 3
+)
+
+// viewSigDepth returns the signature truncation depth for g.
+func viewSigDepth(g *graph.Graph) int {
+	d := 0
+	size := 1
+	for d < viewSigMaxDepth {
+		size *= max(1, g.MaxDegree())
+		if size > viewSigNodeBudget {
+			break
+		}
+		d++
+	}
+	return d
+}
+
+// appendViewSig appends g's view signature — the canonical binary
+// encoding of the truncated view from node 0 — to dst. This is the
+// protocol's cross-process view exchange: the worker derives it from the
+// graph it actually decoded and executed on, the coordinator re-derives
+// it from the graph it meant to send, and the byte comparison (plus a
+// hardened round trip through view.Tree.Decode) turns "did the graph
+// survive the wire" into an end-to-end check of the label structure
+// itself rather than a checksum of unrelated bytes.
+func appendViewSig(dst []byte, g *graph.Graph, t *view.Tree) []byte {
+	t.Build(g, 0, viewSigDepth(g))
+	return t.AppendEncode(dst)
+}
+
+// verifyViewSig checks a worker-reported signature against the
+// coordinator-side graph.
+func verifyViewSig(g *graph.Graph, sig []byte) error {
+	var want, got view.Tree
+	local := appendViewSig(nil, g, &want)
+	if err := got.Decode(sig); err != nil {
+		return fmt.Errorf("dist: worker view signature does not decode: %w", err)
+	}
+	if !view.Equal(&want, &got) || string(local) != string(sig) {
+		return fmt.Errorf("dist: worker view signature disagrees with the dispatched graph (graph corrupted in transit?)")
+	}
+	return nil
+}
+
+// Warmup clamps: hints come off the wire, so however corrupt or hostile
+// the histogram, prewarming never commits more than a modest bounded
+// amount of memory and goroutines — hints are advisory, and scripts
+// larger than the clamp simply grow their buffers lazily as always.
+const (
+	prewarmMaxK         = 1024
+	prewarmMaxScriptCap = 1 << 16
+)
+
+// prewarm applies a shard's warmup hints to the session.
+func prewarm(sess *sim.Session, h *Hints) {
+	k := int(h.K)
+	if k > prewarmMaxK {
+		k = prewarmMaxK
+	}
+	scriptCap := 0
+	for i, n := range h.ScriptHist {
+		if n > 0 && i < 31 {
+			scriptCap = 1 << i // bucket i holds lengths in [2^(i-1), 2^i)
+		}
+	}
+	if scriptCap > prewarmMaxScriptCap {
+		scriptCap = prewarmMaxScriptCap
+	}
+	if k > 0 || scriptCap > 0 {
+		sess.Prewarm(k, scriptCap)
+	}
+}
+
+// ExecShard runs every case of the shard, in order, on the given pooled
+// session and returns the per-case aggregates plus the executed graph's
+// view signature. Execution is deterministic: the same descriptor on any
+// process yields the same ShardResult, which is the whole basis of the
+// byte-identical-aggregation invariant.
+func ExecShard(sess *sim.Session, sh *ShardDesc) (*ShardResult, error) {
+	g, err := sh.Graph()
+	if err != nil {
+		return nil, err
+	}
+	prewarm(sess, &sh.Hints)
+	res := &ShardResult{Cases: make([]CaseResult, len(sh.Cases))}
+	for i := range sh.Cases {
+		c := &sh.Cases[i]
+		out := &res.Cases[i]
+		out.Kind = c.Kind
+		switch c.Kind {
+		case KindTwoAgent:
+			if err := checkStart(g, c.U); err != nil {
+				return nil, fmt.Errorf("dist: case %d: %w", i, err)
+			}
+			if err := checkStart(g, c.V); err != nil {
+				return nil, fmt.Errorf("dist: case %d: %w", i, err)
+			}
+			progA, err := buildProg(&c.ProgA, sh.SeedLo, sh.SeedHi)
+			if err != nil {
+				return nil, fmt.Errorf("dist: case %d: %w", i, err)
+			}
+			progB, err := buildProg(&c.ProgB, sh.SeedLo, sh.SeedHi)
+			if err != nil {
+				return nil, fmt.Errorf("dist: case %d: %w", i, err)
+			}
+			out.Two = sess.RunPrograms(g, progA, progB, c.U, c.V, c.Delay, sim.Config{Budget: c.Budget})
+		default:
+			agents := make([]sim.MultiAgent, len(c.Agents))
+			for j := range c.Agents {
+				a := &c.Agents[j]
+				if err := checkStart(g, a.Start); err != nil {
+					return nil, fmt.Errorf("dist: case %d agent %d: %w", i, j, err)
+				}
+				prog, err := buildProg(&a.Prog, sh.SeedLo, sh.SeedHi)
+				if err != nil {
+					return nil, fmt.Errorf("dist: case %d agent %d: %w", i, j, err)
+				}
+				agents[j] = sim.MultiAgent{Program: prog, Start: a.Start, Appear: a.Appear}
+			}
+			out.Multi = sess.RunMany(g, agents, sim.MultiConfig{
+				Budget:             c.Budget,
+				StopOnGather:       c.StopOnGather,
+				StopOnFirstMeeting: c.StopOnFirstMeeting,
+			})
+		}
+		out.Wakeups = sess.Wakeups()
+	}
+	var t view.Tree
+	res.ViewSig = appendViewSig(nil, g, &t)
+	return res, nil
+}
+
+func checkStart(g *graph.Graph, v int) error {
+	if v < 0 || v >= g.N() {
+		return fmt.Errorf("start node %d outside graph of %d nodes", v, g.N())
+	}
+	return nil
+}
+
+// MeasureHints runs the shard's first case on a throwaway session and
+// returns measured warmup hints: the case's agent count and the session's
+// script-length histogram. Coordinators that dispatch many shards of one
+// shape measure once and stamp the hints on all of them; hints are purely
+// a warmup accelerant, so measuring is always optional.
+func MeasureHints(sh *ShardDesc) (Hints, error) {
+	h := Hints{}
+	for i := range sh.Cases {
+		if k := sh.Cases[i].K(); uint32(k) > h.K {
+			h.K = uint32(k)
+		}
+	}
+	if len(sh.Cases) == 0 {
+		return h, nil
+	}
+	one := *sh
+	one.Cases = sh.Cases[:1]
+	one.Hints = Hints{}
+	sess := sim.NewSession()
+	defer sess.Close()
+	if _, err := ExecShard(sess, &one); err != nil {
+		return h, err
+	}
+	hist := sess.ScriptLenHist()
+	top := 0
+	for i, n := range hist {
+		if n > 0 {
+			top = i
+		}
+	}
+	if top > 0 {
+		h.ScriptHist = append([]uint64(nil), hist[:top+1]...)
+	}
+	return h, nil
+}

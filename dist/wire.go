@@ -1,0 +1,188 @@
+package dist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// This file is the transport layer of the dispatch protocol: varint
+// length-prefixed frames over any byte stream (a worker subprocess's
+// stdin/stdout pipes, a TCP connection, an in-memory net.Pipe), plus the
+// bounded cursor reader every descriptor and result codec decodes
+// through. The framing deliberately matches the view.Tree codec's idiom —
+// binary.AppendUvarint on the way out, hardened bounds on the way in — so
+// one hostile byte stream can at worst produce an error, never a panic or
+// an unbounded allocation.
+
+// ProtoVersion is the wire protocol version. A worker announces its
+// version in the hello frame and the coordinator refuses mismatches:
+// descriptors are not self-describing, so cross-version traffic would
+// misdecode rather than degrade.
+const ProtoVersion = 1
+
+// maxFrame bounds one frame's payload (64 MiB): far above any real shard
+// descriptor or aggregate, low enough that a corrupt length prefix cannot
+// demand gigabytes before the first payload byte arrives.
+const maxFrame = 1 << 26
+
+// Frame type tags (first payload byte).
+const (
+	frameHello    byte = 1 // worker → coordinator, once, on connect
+	frameShard    byte = 2 // coordinator → worker: shard id + descriptor
+	frameResult   byte = 3 // worker → coordinator: shard id + aggregates
+	frameError    byte = 4 // worker → coordinator: shard id + message
+	frameShutdown byte = 5 // coordinator → worker: drain and exit
+)
+
+// writeFrame emits one length-prefixed frame and flushes.
+func writeFrame(w *bufio.Writer, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("dist: frame payload %d bytes exceeds limit", len(payload))
+	}
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(payload)))
+	if _, err := w.Write(hdr[:n]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// readFrame reads one frame payload, reusing buf when it is large enough.
+// io.EOF is returned verbatim (clean end of stream) only when it occurs
+// before the first length byte.
+func readFrame(r *bufio.Reader, buf []byte) ([]byte, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("dist: reading frame length: %w", err)
+	}
+	if n > maxFrame {
+		return nil, fmt.Errorf("dist: frame length %d exceeds limit", n)
+	}
+	if uint64(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("dist: reading %d-byte frame: %w", n, err)
+	}
+	return buf, nil
+}
+
+// Decode bounds: a corrupt or hostile descriptor can claim at most these
+// counts before the reader errors out, so decoding allocates O(input)
+// (pinned by FuzzShardDecode).
+const (
+	maxCases     = 1 << 20
+	maxAgents    = 1 << 16
+	maxArgs      = 1 << 12
+	maxNameLen   = 1 << 10
+	maxGraphLen  = 1 << 22
+	maxHistLen   = 64
+	maxMeetings  = 1 << 20
+	maxViewSig   = 1 << 22
+	maxErrStrLen = 1 << 16
+)
+
+// rd is the bounded cursor all wire decoding goes through: every getter
+// records the first failure and degrades to zero values, so codecs read
+// a whole structure and check err once.
+type rd struct {
+	data []byte
+	err  error
+}
+
+func (d *rd) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("dist: "+format, args...)
+	}
+}
+
+func (d *rd) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.data)
+	if n <= 0 {
+		d.fail("truncated varint")
+		return 0
+	}
+	d.data = d.data[n:]
+	return v
+}
+
+// count reads a uvarint bounded by max, for length prefixes.
+func (d *rd) count(max uint64, what string) int {
+	v := d.uvarint()
+	if d.err == nil && v > max {
+		d.fail("%s count %d exceeds bound %d", what, v, max)
+		return 0
+	}
+	return int(v)
+}
+
+func (d *rd) byteVal() byte {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.data) == 0 {
+		d.fail("truncated byte")
+		return 0
+	}
+	b := d.data[0]
+	d.data = d.data[1:]
+	return b
+}
+
+func (d *rd) bool() bool { return d.byteVal() != 0 }
+
+// bytes reads a uvarint length prefix bounded by max, then that many raw
+// bytes (returned as a sub-slice of the input, not a copy).
+func (d *rd) bytes(max uint64, what string) []byte {
+	n := d.count(max, what)
+	if d.err != nil {
+		return nil
+	}
+	if n > len(d.data) {
+		d.fail("%s length %d exceeds remaining input (%d bytes)", what, n, len(d.data))
+		return nil
+	}
+	b := d.data[:n]
+	d.data = d.data[n:]
+	return b
+}
+
+func (d *rd) str(max uint64, what string) string { return string(d.bytes(max, what)) }
+
+// rest reports how many undecoded bytes remain.
+func (d *rd) rest() int { return len(d.data) }
+
+// Append-side helpers, symmetric with rd.
+func appendBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+func appendBytes(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// zigzag encodes a signed int into the uvarint alphabet; script actions
+// (ScriptWait, Rel offsets) are negative, program args ride as uint64.
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }

@@ -1,0 +1,127 @@
+package dist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"os"
+
+	"repro/sim"
+)
+
+// Serve speaks the worker side of the dispatch protocol on one byte
+// stream: announce hello, then answer shard frames with result (or
+// error) frames until a shutdown frame or EOF. All shards of the
+// connection execute sequentially on one pooled sim.Session, so a
+// worker's runners, channels and script buffers stay warm across every
+// shard the coordinator feeds it — the cross-process analogue of one
+// sim.Sweep worker draining its shard queue.
+//
+// A shard whose descriptor fails to decode, or whose execution errors
+// (unknown program, corrupt graph, out-of-range start), is answered with
+// an error frame; the connection survives, and the coordinator decides
+// whether to fail the sweep. A program panic, however, propagates and
+// tears the worker down — panics are bugs, and hiding them behind a
+// protocol frame would lose the stack.
+func Serve(r io.Reader, w io.Writer) error {
+	br := bufio.NewReaderSize(r, 1<<16)
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if err := writeFrame(bw, []byte{frameHello, ProtoVersion}); err != nil {
+		return err
+	}
+	sess := sim.NewSession()
+	defer sess.Close()
+	var inBuf, outBuf []byte
+	for {
+		payload, err := readFrame(br, inBuf)
+		if err != nil {
+			if err == io.EOF {
+				return nil // coordinator hung up cleanly
+			}
+			return err
+		}
+		inBuf = payload[:0]
+		if len(payload) == 0 {
+			return fmt.Errorf("dist: empty frame")
+		}
+		switch payload[0] {
+		case frameShutdown:
+			return nil
+		case frameShard:
+			d := &rd{data: payload[1:]}
+			id := d.uvarint()
+			if d.err != nil {
+				return d.err
+			}
+			outBuf = outBuf[:0]
+			var sh ShardDesc
+			if err := sh.Decode(d.data); err != nil {
+				outBuf = appendErrorFrame(outBuf, id, err)
+			} else if res, err := ExecShard(sess, &sh); err != nil {
+				outBuf = appendErrorFrame(outBuf, id, err)
+			} else {
+				outBuf = append(outBuf, frameResult)
+				outBuf = binary.AppendUvarint(outBuf, id)
+				outBuf = res.AppendEncode(outBuf)
+			}
+			if err := writeFrame(bw, outBuf); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("dist: unexpected frame type %d on worker", payload[0])
+		}
+	}
+}
+
+func appendErrorFrame(dst []byte, id uint64, err error) []byte {
+	dst = append(dst, frameError)
+	dst = binary.AppendUvarint(dst, id)
+	msg := err.Error()
+	if len(msg) > maxErrStrLen {
+		msg = msg[:maxErrStrLen]
+	}
+	return appendString(dst, msg)
+}
+
+// ListenAndServe accepts connections on l and serves each with its own
+// session in its own goroutine — the TCP worker mode of cmd/rvworker. It
+// returns the first Accept error (closing the listener is the way to
+// stop it); per-connection protocol errors are logged to stderr and end
+// only that connection.
+func ListenAndServe(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go func(c net.Conn) {
+			defer c.Close()
+			if err := Serve(c, c); err != nil {
+				fmt.Fprintf(os.Stderr, "dist: worker connection %v: %v\n", c.RemoteAddr(), err)
+			}
+		}(conn)
+	}
+}
+
+// WorkerEnv is the environment variable that marks a process as a forked
+// protocol worker (see RunWorkerIfChild and the Local backend's self-exec
+// mode).
+const WorkerEnv = "RV_DIST_WORKER"
+
+// RunWorkerIfChild turns the current process into a stdio protocol worker
+// and never returns when WorkerEnv is set; it is a no-op otherwise. Any
+// binary that wants to be its own worker pool (cmd/rvx, the test
+// binaries) calls it first thing in main/TestMain, and NewLocal with a
+// nil argv re-execs the calling binary with the variable set.
+func RunWorkerIfChild() {
+	if os.Getenv(WorkerEnv) == "" {
+		return
+	}
+	if err := Serve(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "dist worker: %v\n", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}

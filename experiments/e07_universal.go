@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/dist"
 	"repro/graph"
 	"repro/rendezvous"
 	"repro/sim"
@@ -59,19 +60,28 @@ func E7(full bool) *Table {
 	// the feasibility checks below.
 	var cl stic.Classifier
 	reps := make([]stic.Report, len(cases))
-	idxs := make([]int, len(cases))
 	for i, c := range cases {
 		reps[i] = cl.Classify(stic.STIC{G: c.g, U: c.u, V: c.v, Delay: c.delta})
-		idxs[i] = i
 	}
-	results := sim.Sweep(idxs, 0, func(i int) any { return cases[i].g }, func(sc *sim.Scratch, i int) sim.Result {
-		c := cases[i]
-		budget := universalBudget(c.g, reps[i], c.delta)
-		return sc.Session().Run(c.g, rendezvous.UniversalRV(), c.u, c.v, c.delta, sim.Config{Budget: budget})
-	})
+	// The runs go through the dist dispatcher as shard descriptors keyed
+	// by graph — in-process protocol workers by default, forked worker
+	// processes under `rvx --dist-workers` — with byte-identical results
+	// either way. Budgets are computed coordinator-side from the
+	// classification; the descriptor carries them explicitly.
+	plan := &dist.Planner{}
+	for i, c := range cases {
+		plan.Add(c.g, c.g, dist.CaseDesc{
+			Kind:  dist.KindTwoAgent,
+			ProgA: dist.ProgDesc{Name: "universal"},
+			ProgB: dist.ProgDesc{Name: "universal"},
+			U:     c.u, V: c.v, Delay: c.delta,
+			Budget: universalBudget(c.g, reps[i], c.delta),
+		})
+	}
+	results := runPlan(plan)
 	for i, c := range cases {
 		rep := reps[i]
-		res := results[i]
+		res := results[i].Two
 		class := "nonsymmetric"
 		if rep.Symmetric {
 			class = fmt.Sprintf("symmetric, Shrink=%d", rep.Shrink)

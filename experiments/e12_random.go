@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/dist"
 	"repro/graph"
 	"repro/rendezvous"
 	"repro/sim"
@@ -36,30 +37,36 @@ func E12() *Table {
 		{graph.Cycle(8), 0, 4, 5},
 	}
 	const runs = 32
-	// One sweep over the whole (configuration x seed) grid, sharded by
-	// configuration: each graph's 32 runs stay sequential on one worker
-	// while distinct configurations run concurrently; the per-shard
+	// One dispatched sweep over the whole (configuration x seed) grid,
+	// sharded by configuration: each graph's 32 runs stay sequential on
+	// one worker while distinct configurations run concurrently (possibly
+	// in other processes, under `rvx --dist-workers`); the per-shard
 	// results are then aggregated into the per-configuration statistics.
-	type job struct {
-		caseIdx      int
-		seedA, seedB uint64
-	}
-	jobs := make([]job, 0, len(cases)*runs)
-	for ci := range cases {
+	// Seeds ride the descriptors as lazyrandom program arguments, and
+	// each shard declares its covered seed range — the workers validate
+	// seeded args against it, an end-to-end guard on the grid transport.
+	plan := &dist.Planner{}
+	for ci, c := range cases {
 		for i := 0; i < runs; i++ {
-			jobs = append(jobs, job{caseIdx: ci, seedA: uint64(1000 + 2*i), seedB: uint64(1001 + 2*i)})
+			plan.Add(ci, c.g, dist.CaseDesc{
+				Kind:  dist.KindTwoAgent,
+				ProgA: dist.ProgDesc{Name: "lazyrandom", Args: []uint64{uint64(1000 + 2*i)}},
+				ProgB: dist.ProgDesc{Name: "lazyrandom", Args: []uint64{uint64(1001 + 2*i)}},
+				U:     c.u, V: c.v, Delay: c.delta,
+				Budget: 1 << 22,
+			})
+		}
+		plan.SetSeedRange(ci, 1000, uint64(1000+2*runs))
+	}
+	results := runPlan(plan)
+	times := make([]uint64, len(results))
+	for i := range results {
+		if res := results[i].Two; res.Outcome == sim.Met {
+			times[i] = res.MeetingRound
+		} else {
+			times[i] = 1 << 22 // censored at budget
 		}
 	}
-	times := sim.Sweep(jobs, 0, func(j job) any { return j.caseIdx }, func(sc *sim.Scratch, j job) uint64 {
-		c := cases[j.caseIdx]
-		a := rendezvous.NewLazyRandomWalk(j.seedA)
-		b := rendezvous.NewLazyRandomWalk(j.seedB)
-		res := sc.Session().RunPrograms(c.g, a, b, c.u, c.v, c.delta, sim.Config{Budget: 1 << 22})
-		if res.Outcome != sim.Met {
-			return 1 << 22 // censored at budget
-		}
-		return res.MeetingRound
-	})
 	for ci, c := range cases {
 		sorted := append([]uint64(nil), times[ci*runs:(ci+1)*runs]...)
 		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })

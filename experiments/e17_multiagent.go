@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/dist"
 	"repro/graph"
 	"repro/rendezvous"
 	"repro/sim"
@@ -46,28 +47,25 @@ func E17(full bool) *Table {
 			budget: 3 + 2*rendezvous.UniversalRVTimeBound(4, 2, 3),
 		})
 	}
-	prog := rendezvous.UniversalRV()
-	// The k-agent runs go through the sweep scheduler: each case executes
-	// on a worker whose Scratch carries a pooled runner session, so the
-	// agent goroutines, channels and script buffers are reused across the
-	// cases of a shard. The session also reports each run's scheduler
-	// wakeup count — the debug stat behind the percept-streaming work,
-	// surfaced in the table notes.
-	type outcome struct {
-		res     sim.MultiResult
-		wakeups uint64
-	}
-	results := sim.Sweep(cases, 0, func(c caze) any { return c.g }, func(sc *sim.Scratch, c caze) outcome {
-		agents := make([]sim.MultiAgent, len(c.starts))
+	// The k-agent runs go through the dist dispatcher as KindMulti shard
+	// descriptors keyed by graph: each shard executes on a pooled runner
+	// session — in this process by default, in forked worker processes
+	// under `rvx --dist-workers` — with byte-identical MultiResults either
+	// way. The aggregate also carries each run's scheduler wakeup count —
+	// the debug stat behind the percept-streaming work, surfaced in the
+	// table notes.
+	plan := &dist.Planner{}
+	for _, c := range cases {
+		agents := make([]dist.AgentDesc, len(c.starts))
 		for i := range agents {
-			agents[i] = sim.MultiAgent{Program: prog, Start: c.starts[i], Appear: c.appear[i]}
+			agents[i] = dist.AgentDesc{Prog: dist.ProgDesc{Name: "universal"}, Start: c.starts[i], Appear: c.appear[i]}
 		}
-		res := sc.Session().RunMany(c.g, agents, sim.MultiConfig{Budget: c.budget})
-		return outcome{res: res, wakeups: sc.Session().Wakeups()}
-	})
+		plan.Add(c.g, c.g, dist.CaseDesc{Kind: dist.KindMulti, Agents: agents, Budget: c.budget})
+	}
+	results := runPlan(plan)
 	var cl stic.Classifier
 	for ci, c := range cases {
-		res := results[ci].res
+		res := results[ci].Multi
 		if err := sim.GatherCheck(res); err != nil {
 			t.Check(false, "%s: %v", c.g, err)
 			continue
@@ -97,7 +95,7 @@ func E17(full bool) *Table {
 		}
 		t.Notes = append(t.Notes,
 			fmt.Sprintf("%s: gathered=%v (gathering is not guaranteed by the pairwise theorem; observed only); %d rounds simulated on %d scheduler wakeups.",
-				c.g, res.Gathered, res.Rounds, results[ci].wakeups))
+				c.g, res.Gathered, res.Rounds, results[ci].Wakeups))
 	}
 	t.Notes = append(t.Notes,
 		"Agents are oblivious to each other until co-located, so each pair's execution is literally a two-agent run: the two-agent characterization transfers without modification.")

@@ -124,6 +124,10 @@ func asymmRV(w agent.World, n, delta uint64) {
 }
 
 func asymmRVWith(w agent.World, n, delta uint64, s *rvScratch) {
+	// Wakeup attribution: everything in AsymmRV outside the view walk is
+	// the label-schedule machinery (the nested viewWalkWith re-tags and
+	// restores around itself).
+	defer agent.SetPhase(w, agent.SetPhase(w, agent.PhaseSchedule))
 	// Phase 1: reconstruct the truncated view by physical DFS, padded to
 	// the input-independent budget ViewWalkTime(n). The walk carries the
 	// budget as a hard cap: under a wrong (too small) hypothesis n the
@@ -186,6 +190,7 @@ func viewWalk(w agent.World, depth int, maxRounds uint64, t *view.Tree) {
 // the script in percept-free chunks — one scheduler wakeup per chunk
 // instead of one per re-plan — and copies the cached tree.
 func viewWalkWith(w agent.World, depth int, maxRounds uint64, t *view.Tree, s *rvScratch) {
+	defer agent.SetPhase(w, agent.SetPhase(w, agent.PhaseViewWalk))
 	key := walkKey{depth: depth, budget: maxRounds}
 	if rec, ok := s.walkCache[key]; ok {
 		t.CopyFrom(&rec.tree)

@@ -84,6 +84,7 @@ func asymmRVID(w agent.World, n, delta uint64) {
 }
 
 func asymmRVIDWith(w agent.World, n, delta uint64, s *rvScratch) {
+	defer agent.SetPhase(w, agent.SetPhase(w, agent.PhaseSchedule))
 	walk := s.uxsWalkFor(n)
 	repeats := ActiveRepeats(n, delta)
 	slotLen := satMul(repeats, UXSRoundTrip(n))
@@ -116,6 +117,7 @@ func asymmRVIDWith(w agent.World, n, delta uint64, s *rvScratch) {
 // The rounds and positions are identical to the slot-by-slot submission;
 // only the script boundaries differ.
 func playSchedule(w agent.World, enc []byte, slots, repeats, slotLen uint64, walk uxsWalk) {
+	defer agent.SetPhase(w, agent.SetPhase(w, agent.PhaseSchedule))
 	encBits := uint64(len(enc)) * 8
 	pendingPassive := uint64(0)
 	var st *scriptStream

@@ -22,6 +22,7 @@ func exploreWith(w agent.World, n, d, delta uint64, s *rvScratch) {
 	if d < 1 || d > delta {
 		panic("rendezvous: explore requires 1 <= d <= delta")
 	}
+	defer agent.SetPhase(w, agent.SetPhase(w, agent.PhaseExplore))
 	budget := PathBudget(n, d)
 	perIteration := satAdd(d, delta)
 
@@ -94,6 +95,9 @@ func explore1ScriptLen(deg int, budget, delta uint64) uint64 {
 // read straight from the grant's degree stream. The fallback is the
 // split submission with identical per-round behavior.
 func exploreThenMove(w agent.World, n, d, delta uint64, s *rvScratch, port int) (entry, deg int) {
+	// The fused script is dominated by the enumeration; the appended walk
+	// step rides along under the explore tag.
+	defer agent.SetPhase(w, agent.SetPhase(w, agent.PhaseExplore))
 	if d == 1 && delta >= 1 {
 		budget := PathBudget(n, 1)
 		if explore1ScriptLen(w.Degree(), budget, delta) < maxExploreScript {

@@ -44,6 +44,9 @@ func symmRV(w agent.World, n, d, delta uint64) {
 }
 
 func symmRVWith(w agent.World, n, d, delta uint64, s *rvScratch) {
+	// The procedure body (UXS walk steps, cached replays, duration pads)
+	// counts as symmRV; the per-node explores re-tag themselves.
+	defer agent.SetPhase(w, agent.SetPhase(w, agent.PhaseSymmRV))
 	y := uxs.Generate(int(n))
 
 	// The walk R(u) is deterministic from the agent's home node, and

@@ -54,7 +54,13 @@
 // walk, path enumeration and SymmRV bookkeeping compile whole phases
 // into a handful of scripts; Session.Wakeups counts the scheduler-agent
 // interactions per run and the wakeup regression tests pin the E17
-// workload's ceiling.
+// workload's ceiling. Session.WakeupsByPhase breaks the count down by
+// the agent.Phase tag the producing procedure set (viewWalk, explore,
+// symmRV, schedule), so a batching regression names its producer; and
+// Session.ScriptLenHist records the run's script-length histogram —
+// together with the agent count, the measured pool warmup hint a
+// distributed shard descriptor carries so Session.Prewarm can pre-size a
+// remote worker's pool before its first case.
 //
 // The complementary channel is agent.RunSeq, the side-effects-only
 // script: the caller declares it will not read the percept streams, the
@@ -124,4 +130,14 @@
 // executable spec; the differential engine-equivalence suite pins
 // RunMany to it, full MultiResult equality included, across randomized
 // populations of scripts, walkers, waiters and UniversalRV agents.
+//
+// # Beyond one process
+//
+// Sweep shards cases by (graph, parameter block) within this process;
+// package dist lifts exactly those shards across process (and machine)
+// boundaries — serializable shard descriptors dispatched to rvworker
+// processes over a length-prefixed binary protocol, each worker draining
+// its shards on one pooled Session, with aggregation pinned
+// byte-identical to the in-process Sweep. See dist's package comment for
+// the protocol, the descriptor schema, and the invariant.
 package sim

@@ -91,7 +91,7 @@ func (s *Session) RunMany(g *graph.Graph, agents []MultiAgent, cfg MultiConfig) 
 	if budget == 0 {
 		budget = DefaultBudget
 	}
-	s.wakeups = 0
+	s.resetStats()
 
 	// Per-session scheduler state, reused across runs: the runner set,
 	// presence flags and the met matrix (met[i*k+j] records that pair

@@ -1,12 +1,19 @@
 package sim
 
 import (
+	"math/bits"
 	"runtime"
 	"sync"
 
 	"repro/agent"
 	"repro/graph"
 )
+
+// scriptHistBuckets sizes the script-length histogram: bucket i counts
+// scripts whose length has bits.Len == i, i.e. lengths in [2^(i-1), 2^i).
+// 33 buckets cover every 32-bit length; real scripts stay far below the
+// deferred-wait flush cap (1<<22 actions).
+const scriptHistBuckets = 33
 
 // Session owns a pool of runners — the goroutine, the request/grant
 // channel pair and the per-agent scratch buffers behind one simulated
@@ -25,8 +32,14 @@ type Session struct {
 
 	// wakeups counts, for the most recent run on this session, how many
 	// requests the scheduler fetched from agent goroutines — one per
-	// program wakeup. See Wakeups.
-	wakeups uint64
+	// program wakeup. See Wakeups. wakeupsBy is the same count broken down
+	// by the agent.Phase stamped on each request (see WakeupsByPhase), and
+	// scriptHist the per-run histogram of batched script lengths (see
+	// ScriptLenHist) — the measured source of the warmup hints that dist
+	// shard descriptors carry to remote workers.
+	wakeups    uint64
+	wakeupsBy  [agent.PhaseCount]uint64
+	scriptHist [scriptHistBuckets]uint64
 
 	// Reusable k-agent scheduler state (see multi.go).
 	mrunners   []*runner
@@ -49,6 +62,60 @@ type Session struct {
 // fall back to per-move chatter.
 func (s *Session) Wakeups() uint64 { return s.wakeups }
 
+// WakeupsByPhase breaks the most recent run's wakeup count down by the
+// agent.Phase the producing procedure tagged on each request (index the
+// array with a Phase constant; untagged requests count under
+// agent.PhaseOther). The sum over all phases equals Wakeups. It turns a
+// wakeup regression from detectable into diagnosable: the histogram names
+// the procedure that fell back to per-move chatter.
+func (s *Session) WakeupsByPhase() [agent.PhaseCount]uint64 { return s.wakeupsBy }
+
+// ScriptLenHist returns the most recent run's histogram of batched script
+// lengths: bucket i counts fetched script requests whose action count has
+// bits.Len == i (lengths in [2^(i-1), 2^i); bucket 0 is always empty —
+// empty scripts are never submitted). Together with the agent count it is
+// the measured pool warmup hint a dist shard descriptor carries, so a
+// remote worker can pre-size its runner pool and script buffers before
+// the first case arrives.
+func (s *Session) ScriptLenHist() [scriptHistBuckets]uint64 { return s.scriptHist }
+
+// resetStats clears the per-run statistics at the start of a run.
+func (s *Session) resetStats() {
+	s.wakeups = 0
+	s.wakeupsBy = [agent.PhaseCount]uint64{}
+	s.scriptHist = [scriptHistBuckets]uint64{}
+}
+
+// Prewarm ensures at least k pooled runners exist, each with script
+// entry and degree buffers of capacity at least scriptCap (both streams:
+// degree-reporting grants are the dominant script shape since the
+// percept-streaming work), so a freshly forked worker's first run pays
+// neither goroutine creation nor buffer growth. It is the consumer of
+// the warmup hints (agent count, script-length histogram) that dist
+// shard descriptors carry. Prewarming is purely an allocation warm-up:
+// runs behave identically with or without it.
+func (s *Session) Prewarm(k, scriptCap int) {
+	for len(s.free) < k {
+		r := &runner{
+			req:    make(chan request, 1),
+			grant:  make(chan grantMsg, 1),
+			assign: make(chan runAssign),
+			idle:   make(chan struct{}),
+		}
+		s.wg.Add(1)
+		go r.work(&s.wg)
+		s.free = append(s.free, r)
+	}
+	for _, r := range s.free {
+		if cap(r.scriptEntries) < scriptCap {
+			r.scriptEntries = make([]int, 0, scriptCap)
+		}
+		if cap(r.scriptDegsBuf) < scriptCap {
+			r.scriptDegsBuf = make([]int, 0, scriptCap)
+		}
+	}
+}
+
 // NewSession returns an empty session; runners are created on demand.
 func NewSession() *Session { return &Session{} }
 
@@ -70,7 +137,7 @@ func (s *Session) acquire(g *graph.Graph, prog agent.Program, start int) *runner
 		go r.work(&s.wg)
 	}
 	r.g = g
-	r.wk = &s.wakeups
+	r.sess = s
 	r.gen++
 	r.pos = start
 	r.entry = -1
@@ -163,8 +230,11 @@ type request struct {
 	// O(1) with no per-round buffer writes.
 	wantDegs bool
 	quiet    bool
-	val      any    // panic value for reqPanic
-	gen      uint64 // run generation; stale deposits are discarded by fetch
+	// phase is the agent.Phase the producing procedure had set when the
+	// request was issued — pure attribution for the wakeup histogram.
+	phase agent.Phase
+	val   any    // panic value for reqPanic
+	gen   uint64 // run generation; stale deposits are discarded by fetch
 }
 
 type grantMsg struct {
@@ -248,10 +318,10 @@ type runner struct {
 	scriptQuiet   bool
 
 	// Cold tail — touched once per script or per run, never per round:
-	// the degree buffer's capacity reservoir and the owning session's
-	// wakeup counter (incremented by fetch per request pulled).
+	// the degree buffer's capacity reservoir and the owning session,
+	// whose per-run statistics fetch updates per request pulled.
 	scriptDegsBuf []int
-	wk            *uint64
+	sess          *Session
 }
 
 // work is the pooled worker goroutine: it executes one assigned program
@@ -266,6 +336,7 @@ func (r *runner) work(wg *sync.WaitGroup) {
 		w.entry = -1
 		w.clock = 0
 		w.pendingWait = 0
+		w.phase = agent.PhaseOther
 		runProg(r, w, asg.prog)
 		// The program has unwound: hand quiescence back to release.
 		r.idle <- struct{}{}
@@ -289,9 +360,9 @@ func runProg(r *runner, w *world, prog agent.Program) {
 		if !w.flushWaitQuiet() {
 			return
 		}
-		rq := request{kind: reqDone, gen: w.gen}
+		rq := request{kind: reqDone, gen: w.gen, phase: w.phase}
 		if rec != nil {
-			rq = request{kind: reqPanic, val: rec, gen: w.gen}
+			rq = request{kind: reqPanic, val: rec, gen: w.gen, phase: w.phase}
 		}
 		// By the one-in-flight protocol the request buffer has space
 		// (the previous request was consumed before its grant), so the
@@ -334,8 +405,18 @@ recv:
 		// runner: discard and wait for the current program's request.
 		goto recv
 	}
-	if r.wk != nil {
-		*r.wk++
+	if s := r.sess; s != nil {
+		s.wakeups++
+		// agent.SetPhase accepts any Phase value; out-of-range tags
+		// attribute to PhaseOther rather than indexing out of bounds.
+		if p := rq.phase; p < agent.PhaseCount {
+			s.wakeupsBy[p]++
+		} else {
+			s.wakeupsBy[agent.PhaseOther]++
+		}
+		if rq.kind == reqScript {
+			s.scriptHist[bits.Len(uint(len(rq.script)))]++
+		}
 	}
 	switch rq.kind {
 	case reqMove:
@@ -694,6 +775,9 @@ type world struct {
 	// one-action script a Move with a pending wait turns into.
 	pendingWait uint64
 	scriptBuf   []int
+	// phase is the current agent.Phase tag, stamped on every request the
+	// world sends (agent.PhaseTagger; attribution only, no semantics).
+	phase agent.Phase
 }
 
 // flushWaitEvery bounds the deferred-wait accumulator: once the pending
@@ -706,6 +790,17 @@ const flushWaitEvery = 1 << 22
 func (w *world) Degree() int    { return w.deg }
 func (w *world) EntryPort() int { return w.entry }
 func (w *world) Clock() uint64  { return w.clock }
+
+// SetPhase implements agent.PhaseTagger: subsequent requests are stamped
+// with p for the session's wakeup histogram. Note a deferred wait is
+// stamped with the phase current when it finally rides a request out, not
+// when Wait was called — the histogram counts wakeups, and the wakeup
+// belongs to the procedure that forced the interaction.
+func (w *world) SetPhase(p agent.Phase) agent.Phase {
+	prev := w.phase
+	w.phase = p
+	return prev
+}
 
 func (w *world) Move(port int) int {
 	if port < 0 || port >= w.deg {
@@ -820,7 +915,7 @@ func (w *world) flushWaitQuiet() bool {
 	if w.pendingWait == 0 {
 		return true
 	}
-	rq := request{kind: reqWait, rounds: w.pendingWait, gen: w.gen}
+	rq := request{kind: reqWait, rounds: w.pendingWait, gen: w.gen, phase: w.phase}
 	w.pendingWait = 0
 	w.r.req <- rq
 	for {
@@ -839,6 +934,7 @@ func (w *world) send(rq request) {
 	// this send. If the current run was aborted, the deposit itself goes
 	// stale harmlessly: the next recv observes the poison grant.
 	rq.gen = w.gen
+	rq.phase = w.phase
 	w.r.req <- rq
 }
 

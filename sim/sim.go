@@ -84,7 +84,7 @@ func (s *Session) RunPrograms(g *graph.Graph, progA, progB agent.Program, u, v i
 	if budget == 0 {
 		budget = DefaultBudget
 	}
-	s.wakeups = 0
+	s.resetStats()
 	ra := s.acquire(g, progA, u)
 	var rb *runner // started when the later agent appears
 	defer func() {
@@ -136,30 +136,66 @@ func (s *Session) RunPrograms(g *graph.Graph, progA, progB agent.Program, u, v i
 		// moves, step the positions directly — no channel traffic, no
 		// goroutine wakeups — with the same per-round meeting detection
 		// and budget accounting as the general path below. Degree mode is
-		// fixed between fetches, so the degree-buffer test hoists out of
-		// the per-round step into a register-resident flag.
+		// fixed between fetches, so the plain case (no degree stream on
+		// either script — the overwhelming majority of rounds) runs the
+		// step bodies fused inline, the same burst-loop fusion as
+		// RunMany's k-agent engine (keep in sync with
+		// runner.scriptStepPlain): at this loop's intensity the
+		// per-runner call overhead is measurable.
 		if cfg.Observer == nil && rb != nil {
 			stepped := false
-			plain := ra.scriptDegs == nil && rb.scriptDegs == nil
-			for ra.scriptMoveReady() && rb.scriptMoveReady() && t < budget {
-				if plain {
-					ra.scriptStepPlain()
-					rb.scriptStepPlain()
-				} else {
+			if ra.scriptDegs == nil && rb.scriptDegs == nil {
+				for ra.scriptMoveReady() && rb.scriptMoveReady() && t < budget {
+					adj := ra.g.Adj(ra.pos)
+					p, _ := agent.ActionPort(ra.script[ra.scriptAt], ra.entry, len(adj))
+					h := adj[p]
+					ra.pos, ra.entry = h.To, h.ToPort
+					ra.moves++
+					ra.scriptEntries[ra.scriptAt] = h.ToPort
+					ra.scriptAt++
+					if ra.scriptAt == ra.segEnd {
+						ra.endSeg()
+					}
+					adj = rb.g.Adj(rb.pos)
+					p, _ = agent.ActionPort(rb.script[rb.scriptAt], rb.entry, len(adj))
+					h = adj[p]
+					rb.pos, rb.entry = h.To, h.ToPort
+					rb.moves++
+					rb.scriptEntries[rb.scriptAt] = h.ToPort
+					rb.scriptAt++
+					if rb.scriptAt == rb.segEnd {
+						rb.endSeg()
+					}
+					t++
+					stepped = true
+					if ra.pos == rb.pos {
+						return Result{
+							Outcome:       Met,
+							MeetingNode:   ra.pos,
+							MeetingRound:  t,
+							TimeFromLater: t - delay,
+							Rounds:        t,
+							MovesA:        ra.moves,
+							MovesB:        rb.moves,
+						}
+					}
+				}
+			} else {
+				for ra.scriptMoveReady() && rb.scriptMoveReady() && t < budget {
 					ra.scriptStep()
 					rb.scriptStep()
-				}
-				t++
-				stepped = true
-				if ra.pos == rb.pos {
-					return Result{
-						Outcome:       Met,
-						MeetingNode:   ra.pos,
-						MeetingRound:  t,
-						TimeFromLater: t - delay,
-						Rounds:        t,
-						MovesA:        ra.moves,
-						MovesB:        rb.moves,
+					t++
+					stepped = true
+					if ra.pos == rb.pos {
+						return Result{
+							Outcome:       Met,
+							MeetingNode:   ra.pos,
+							MeetingRound:  t,
+							TimeFromLater: t - delay,
+							Rounds:        t,
+							MovesA:        ra.moves,
+							MovesB:        rb.moves,
+						}
 					}
 				}
 			}

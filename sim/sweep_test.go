@@ -36,8 +36,8 @@ func TestSweepShardsRunSequentiallyInInputOrder(t *testing.T) {
 		}
 	}
 	var mu sync.Mutex
-	seen := map[int][]int{}    // key -> observed seq order
-	workerOf := map[int]int{}  // key -> worker that ran it
+	seen := map[int][]int{}   // key -> observed seq order
+	workerOf := map[int]int{} // key -> worker that ran it
 	Sweep(items, 4, func(it item) any { return it.key }, func(s *Scratch, it item) int {
 		mu.Lock()
 		defer mu.Unlock()

@@ -55,6 +55,65 @@ func TestE17WakeupCeiling(t *testing.T) {
 	t.Logf("E17 wakeups: %d (ceiling %d)", wk, ceiling)
 }
 
+// TestWakeupHistogramByPhase pins the by-procedure breakdown on the E17
+// workload: the histogram must sum to the total, and every procedure of
+// UniversalRV (view walk, explore, symmRV body, label schedule) must
+// account for at least one wakeup — a producer whose bucket collapses to
+// zero has stopped reaching the scheduler under its own tag, and one
+// whose bucket balloons has fallen back to per-move chatter.
+func TestWakeupHistogramByPhase(t *testing.T) {
+	prog := rendezvous.UniversalRV()
+	g := graph.Path(3)
+	agents := []sim.MultiAgent{
+		{Program: prog, Start: 0, Appear: 0},
+		{Program: prog, Start: 1, Appear: 0},
+		{Program: prog, Start: 2, Appear: 1},
+	}
+	budget := 2 * rendezvous.UniversalRVTimeBound(3, 1, 1)
+	sess := sim.NewSession()
+	defer sess.Close()
+	sess.RunMany(g, agents, sim.MultiConfig{Budget: budget})
+	by := sess.WakeupsByPhase()
+	sum := uint64(0)
+	for p, n := range by {
+		sum += n
+		t.Logf("%-8s %d", agent.Phase(p), n)
+	}
+	if total := sess.Wakeups(); sum != total {
+		t.Fatalf("phase histogram sums to %d, total wakeups %d", sum, total)
+	}
+	// PhaseExplore is deliberately absent here: on d=1 hypotheses every
+	// explore is fused into symmRV's replay streams (exploreThenMove /
+	// replaySymmRV1) and correctly attributes to the stream that carried
+	// it; the d>=2 run below is where explore drives its own requests.
+	for _, p := range []agent.Phase{agent.PhaseViewWalk, agent.PhaseSymmRV, agent.PhaseSchedule} {
+		if by[p] == 0 {
+			t.Errorf("phase %v recorded no wakeups — its producer is not tagging (or not running)", p)
+		}
+	}
+	// The script-length histogram is the other warmup-hint source: the
+	// batched E17 run must have submitted scripts, and the bucket counts
+	// must sum to the script-request count (<= total wakeups).
+	scripts := uint64(0)
+	for _, n := range sess.ScriptLenHist() {
+		scripts += n
+	}
+	if scripts == 0 || scripts > sess.Wakeups() {
+		t.Fatalf("script-length histogram sums to %d with %d wakeups", scripts, sess.Wakeups())
+	}
+
+	// A d >= 2 SymmRV run: depth-2 path enumeration goes through
+	// exploreWith itself, so the explore bucket must be populated.
+	symm, err := rendezvous.NewSymmRV(4, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.Run(graph.Cycle(4), symm, 0, 2, 2, sim.Config{Budget: 1 << 20})
+	if by := sess.WakeupsByPhase(); by[agent.PhaseExplore] == 0 {
+		t.Errorf("d=2 SymmRV run recorded no explore wakeups: %v", by)
+	}
+}
+
 // TestWakeupCounterTwoAgent sanity-checks the counter on the two-agent
 // scheduler: a scripted walk costs a handful of wakeups however many
 // rounds it spans, and the counter resets between runs on one session.
