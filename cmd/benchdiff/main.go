@@ -1,7 +1,8 @@
 // Command benchdiff compares two BENCH_PR*.json perf records (as emitted
 // by scripts/bench.sh) and exits nonzero when any benchmark present in
 // both regressed in ns/op — or, when both records carry the metric, in
-// scheduler wakeups/op — by more than the threshold. CI runs it over the
+// scheduler wakeups/op or dispatcher ns/case — by more than the
+// threshold. CI runs it over the
 // committed records so a PR cannot silently give back the perf the
 // trajectory has banked.
 //
@@ -31,6 +32,7 @@ type entry struct {
 	Bytes   *float64 `json:"bytes_per_op"`
 	Allocs  *float64 `json:"allocs_per_op"`
 	Wakeups *float64 `json:"wakeups_per_op,omitempty"`
+	NsCase  *float64 `json:"ns_per_case,omitempty"`
 }
 
 type record struct {
@@ -126,6 +128,23 @@ func main() {
 		default:
 			if *all {
 				fmt.Printf("ok      %-40s %14.1f -> %14.1f ns/op  (%+.1f%%)\n", name, o.Ns, n.Ns, 100*ratio)
+			}
+		}
+		// ns/case is the dispatcher's amortized per-case cost — the number
+		// the batch-execution work optimizes — so when both records carry
+		// it, gate it exactly like ns/op.
+		if o.NsCase != nil && n.NsCase != nil && *o.NsCase > 0 {
+			cratio := *n.NsCase / *o.NsCase - 1
+			switch {
+			case cratio > *threshold:
+				regressions++
+				fmt.Printf("REGRESS %-40s %14.1f -> %14.1f ns/case  (%+.1f%%)\n", name, *o.NsCase, *n.NsCase, 100*cratio)
+			case cratio < -*threshold:
+				fmt.Printf("faster  %-40s %14.1f -> %14.1f ns/case  (%+.1f%%)\n", name, *o.NsCase, *n.NsCase, 100*cratio)
+			default:
+				if *all {
+					fmt.Printf("ok      %-40s %14.1f -> %14.1f ns/case  (%+.1f%%)\n", name, *o.NsCase, *n.NsCase, 100*cratio)
+				}
 			}
 		}
 		// Wakeups are deterministic (no host-jitter noise floor), so when

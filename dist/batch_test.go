@@ -1,0 +1,115 @@
+package dist_test
+
+// Batch-execution pins: the ShardDesc.Batch flag survives the codec, the
+// batch execution path (ExecShardBatch / batch-flagged shards through a
+// backend) produces ShardResults identical to the per-case path —
+// per-case wakeup counts included, which is what keeps the experiment
+// tables byte-identical whichever engine ran them — and the planner's
+// SetBatch stamps the right shard.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/dist"
+	"repro/graph"
+	"repro/sim"
+)
+
+func TestShardBatchFlagRoundTrip(t *testing.T) {
+	for _, batch := range []bool{false, true} {
+		sh := &dist.ShardDesc{
+			GraphText: graph.Encode(graph.Cycle(4)),
+			Batch:     batch,
+			Cases: []dist.CaseDesc{{
+				Kind:  dist.KindTwoAgent,
+				ProgA: dist.ProgDesc{Name: "sit"},
+				ProgB: dist.ProgDesc{Name: "moveevery"},
+				U:     0, V: 2, Budget: 50,
+			}},
+		}
+		var got dist.ShardDesc
+		if err := got.Decode(sh.Encode()); err != nil {
+			t.Fatalf("batch=%v: %v", batch, err)
+		}
+		if !reflect.DeepEqual(&got, sh) {
+			t.Fatalf("batch=%v: round trip drifted\n  in:  %+v\n  out: %+v", batch, sh, &got)
+		}
+	}
+}
+
+// TestExecShardBatchMatchesPerCase runs randomized mixed-kind shards
+// through both execution paths on separate sessions and requires
+// identical ShardResults — the dist-layer restatement of the sim-layer
+// differential suite, covering the case grouping (runs of consecutive
+// same-kind cases) and the per-lane wakeup attribution.
+func TestExecShardBatchMatchesPerCase(t *testing.T) {
+	r := rand.New(rand.NewSource(0xD15B))
+	perCase := sim.NewSession()
+	defer perCase.Close()
+	batched := sim.NewSession()
+	defer batched.Close()
+	arena := sim.NewBatch()
+	for round := 0; round < 8; round++ {
+		p, _ := buildPlan(r)
+		for _, sh := range p.Shards() {
+			want, err := dist.ExecShard(perCase, sh)
+			if err != nil {
+				t.Fatalf("round %d: per-case: %v", round, err)
+			}
+			got, err := dist.ExecShardBatch(batched, arena, sh)
+			if err != nil {
+				t.Fatalf("round %d: batch: %v", round, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("round %d: batch and per-case execution disagree on %d-case shard\n  batch:    %+v\n  per-case: %+v",
+					round, len(sh.Cases), got, want)
+			}
+		}
+	}
+}
+
+// TestDifferentialBatchBackend re-runs the backend differential with
+// every shard batch-flagged: dispatched batch execution must still equal
+// the raw in-process sim.Sweep on full result equality.
+func TestDifferentialBatchBackend(t *testing.T) {
+	be := dist.NewInProcess(2)
+	defer be.Close()
+	r := rand.New(rand.NewSource(0xD15C))
+	for round := 0; round < 6; round++ {
+		p, cases := buildPlan(r)
+		for _, sh := range p.Shards() {
+			sh.Batch = true
+		}
+		want := rawSweep(t, cases)
+		got, err := p.Run(be)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		for i := range want {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Fatalf("round %d case %d: batch dispatch and in-process sweep disagree\n  dist:       %+v\n  in-process: %+v",
+					round, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestPlannerSetBatch(t *testing.T) {
+	p := &dist.Planner{}
+	g := graph.Cycle(4)
+	p.Add("a", g, dist.CaseDesc{Kind: dist.KindTwoAgent, ProgA: dist.ProgDesc{Name: "sit"}, ProgB: dist.ProgDesc{Name: "sit"}, Budget: 10})
+	p.Add("b", g, dist.CaseDesc{Kind: dist.KindTwoAgent, ProgA: dist.ProgDesc{Name: "sit"}, ProgB: dist.ProgDesc{Name: "sit"}, Budget: 10})
+	p.SetBatch("b")
+	shards := p.Shards()
+	if shards[0].Batch || !shards[1].Batch {
+		t.Fatalf("SetBatch stamped the wrong shard: %v %v", shards[0].Batch, shards[1].Batch)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetBatch on an unknown key must panic")
+		}
+	}()
+	p.SetBatch("no-such-key")
+}

@@ -14,8 +14,12 @@ import (
 )
 
 // benchPlan builds 4 shards x 8 trivial two-agent cases: sit vs
-// moveevery with a tiny budget, so each case is a handful of scheduler
-// interactions and the measured time is dispatch, not simulation.
+// moveevery at fixed starts with a tiny budget and a small delay grid,
+// so each shard is a couple of scheduler interactions total and the
+// measured time is dispatch, not simulation. The shards are
+// batch-flagged — the strategy every production sweep uses for grids of
+// this shape — so the gated number tracks the real per-case dispatch
+// floor.
 func benchPlan() *dist.Planner {
 	p := &dist.Planner{}
 	for s := 0; s < 4; s++ {
@@ -25,10 +29,12 @@ func benchPlan() *dist.Planner {
 				Kind:  dist.KindTwoAgent,
 				ProgA: dist.ProgDesc{Name: "moveevery"},
 				ProgB: dist.ProgDesc{Name: "sit"},
-				U:     c % g.N(), V: (c + 2) % g.N(),
+				U:     0, V: 2,
+				Delay:  uint64(c % 2),
 				Budget: 64,
 			})
 		}
+		p.SetBatch(s)
 	}
 	return p
 }
@@ -49,6 +55,9 @@ func BenchmarkDistDispatch(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	total := float64(p.Len()) * float64(b.N)
+	b.ReportMetric(total/b.Elapsed().Seconds(), "cases/sec")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/total, "ns/case")
 }
 
 // BenchmarkShardCodec isolates the wire codec: encode + decode of a

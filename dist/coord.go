@@ -29,7 +29,8 @@ type wconn struct {
 	r     *bufio.Reader
 	w     *bufio.Writer
 	c     io.Closer
-	hello bool // hello frame consumed and version-checked
+	hello bool       // hello frame consumed and version-checked
+	gc    graphCache // memoized graphs + expected view signatures
 }
 
 // handshake consumes the worker's hello frame once per connection.
@@ -94,11 +95,11 @@ func (c *wconn) dispatch(id int, sh *ShardDesc, scratch []byte) (*ShardResult, [
 		if len(res.Cases) != len(sh.Cases) {
 			return nil, scratch, fmt.Errorf("dist: shard %d returned %d results for %d cases", id, len(res.Cases), len(sh.Cases))
 		}
-		g, err := sh.Graph()
+		e, err := c.gc.lookup(sh)
 		if err != nil {
 			return nil, scratch, err
 		}
-		if err := verifyViewSig(g, res.ViewSig); err != nil {
+		if err := verifySigBytes(e.viewSig(), res.ViewSig); err != nil {
 			return nil, scratch, fmt.Errorf("dist: shard %d: %w", id, err)
 		}
 		return &res, scratch, nil

@@ -38,6 +38,15 @@ type ShardDesc struct {
 	// Hints pre-sizes the worker's runner pool before the first case.
 	Hints Hints
 
+	// Batch declares the shard batch-eligible: its cases are independent
+	// seed-only variations of one (graph, program-pair, parameter-block)
+	// grid, so the worker may execute runs of same-kind cases through the
+	// lockstep batch engines (sim.RunPairsBatch / sim.RunBatch) instead
+	// of the per-case loop. Results are identical either way — the batch
+	// engines are pinned to full per-case equality, wakeup counts
+	// included — so the flag only selects the execution strategy.
+	Batch bool
+
 	// Cases run sequentially, in order, on one pooled session.
 	Cases []CaseDesc
 }
@@ -117,7 +126,7 @@ func appendProg(dst []byte, p *ProgDesc) []byte {
 }
 
 func decodeProg(d *rd, p *ProgDesc) {
-	p.Name = d.str(maxNameLen, "program name")
+	p.Name = d.strInterned(maxNameLen, "program name")
 	n := d.count(maxArgs, "program arg")
 	if d.err != nil {
 		return
@@ -221,6 +230,7 @@ func (s *ShardDesc) AppendEncode(dst []byte) []byte {
 	for _, h := range s.Hints.ScriptHist {
 		dst = binary.AppendUvarint(dst, h)
 	}
+	dst = appendBool(dst, s.Batch)
 	dst = binary.AppendUvarint(dst, uint64(len(s.Cases)))
 	for i := range s.Cases {
 		dst = s.Cases[i].AppendEncode(dst)
@@ -264,6 +274,7 @@ func (s *ShardDesc) Decode(data []byte) error {
 			s.Hints.ScriptHist[i] = d.uvarint()
 		}
 	}
+	s.Batch = d.bool()
 	ncases := d.count(maxCases, "case")
 	if d.err != nil {
 		return d.err

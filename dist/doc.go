@@ -44,6 +44,25 @@
 // is: arbitrary bytes produce an error or a valid descriptor, never a
 // panic or a disproportionate allocation (pinned by FuzzShardDecode).
 //
+// # Batched shard execution
+//
+// A shard whose cases are seed-only variations of one (graph,
+// program-pair, parameter-block) grid can be flagged Batch
+// (Planner.SetBatch): the worker then executes runs of same-kind cases
+// through sim's record-and-resolve batch engines (sim.RunPairsBatch /
+// sim.RunBatch — see sim's package comment for the lane model) instead
+// of the per-case loop, and within a two-agent run it builds each
+// distinct (name, args) program descriptor once so descriptor-equal
+// cases share one program value and one recording. The flag selects an
+// execution strategy only: batched results are pinned to full per-case
+// equality, wakeup counts included, so the aggregation invariant below
+// is untouched. Alongside the pooled session and batch arena, each
+// connection keeps a small graph cache — decoded graphs plus their
+// lazily-derived view signatures, on both the worker and coordinator
+// sides — since a sweep's shards repeat a handful of graphs and the
+// decode plus signature derivation are the protocol's largest
+// per-shard costs.
+//
 // # Byte-identical aggregation
 //
 // The invariant the whole package is built around: a sweep executed

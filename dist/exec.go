@@ -2,7 +2,9 @@ package dist
 
 import (
 	"fmt"
+	"slices"
 
+	"repro/agent"
 	"repro/graph"
 	"repro/sim"
 	"repro/view"
@@ -48,15 +50,89 @@ func appendViewSig(dst []byte, g *graph.Graph, t *view.Tree) []byte {
 // verifyViewSig checks a worker-reported signature against the
 // coordinator-side graph.
 func verifyViewSig(g *graph.Graph, sig []byte) error {
-	var want, got view.Tree
-	local := appendViewSig(nil, g, &want)
+	var want view.Tree
+	return verifySigBytes(appendViewSig(nil, g, &want), sig)
+}
+
+// verifySigBytes is the byte-level half of signature verification: the
+// reported signature must decode as a view tree (the hardening round
+// trip) and match the locally derived bytes exactly. Byte equality of
+// deterministic encodings implies tree equality.
+func verifySigBytes(local, sig []byte) error {
+	var got view.Tree
 	if err := got.Decode(sig); err != nil {
 		return fmt.Errorf("dist: worker view signature does not decode: %w", err)
 	}
-	if !view.Equal(&want, &got) || string(local) != string(sig) {
+	if string(local) != string(sig) {
 		return fmt.Errorf("dist: worker view signature disagrees with the dispatched graph (graph corrupted in transit?)")
 	}
 	return nil
+}
+
+// maxGraphCache bounds a connection's graph cache: descriptors come off
+// the wire, so however many distinct graphs a stream claims, the cache
+// holds a modest number and resets — caching is an accelerant, never a
+// commitment.
+const maxGraphCache = 64
+
+// graphKey identifies a shard's graph by its wire form — the builder
+// spec or the inline encoding, whichever the descriptor carries.
+type graphKey struct{ spec, text string }
+
+// cachedGraph is one materialized graph plus its lazily derived view
+// signature.
+type cachedGraph struct {
+	g   *graph.Graph
+	sig []byte
+}
+
+func (e *cachedGraph) viewSig() []byte {
+	if e.sig == nil {
+		var t view.Tree
+		e.sig = appendViewSig(nil, e.g, &t)
+	}
+	return e.sig
+}
+
+// graphCache memoizes graph materialization and view-signature
+// derivation per connection. Production plans dispatch many shards of
+// one graph — E7's parameter blocks, E12's seed blocks — and profiles
+// showed the repeated graph decode and signature rebuild dominating the
+// per-shard protocol cost on both ends of the wire. Graphs are
+// immutable once built, so sharing the decoded *graph.Graph across
+// shard executions is free.
+type graphCache struct {
+	m map[graphKey]*cachedGraph
+}
+
+func (gc *graphCache) lookup(sh *ShardDesc) (*cachedGraph, error) {
+	k := graphKey{spec: sh.Spec, text: sh.GraphText}
+	if e, ok := gc.m[k]; ok {
+		return e, nil
+	}
+	g, err := sh.Graph()
+	if err != nil {
+		return nil, err
+	}
+	if gc.m == nil || len(gc.m) >= maxGraphCache {
+		gc.m = make(map[graphKey]*cachedGraph, 8)
+	}
+	e := &cachedGraph{g: g}
+	gc.m[k] = e
+	return e, nil
+}
+
+// shardGraph materializes sh's graph and signature through the cache
+// when one is supplied, freshly otherwise.
+func shardGraph(gc *graphCache, sh *ShardDesc) (*cachedGraph, error) {
+	if gc != nil {
+		return gc.lookup(sh)
+	}
+	g, err := sh.Graph()
+	if err != nil {
+		return nil, err
+	}
+	return &cachedGraph{g: g}, nil
 }
 
 // Warmup clamps: hints come off the wire, so however corrupt or hostile
@@ -92,12 +168,23 @@ func prewarm(sess *sim.Session, h *Hints) {
 // session and returns the per-case aggregates plus the executed graph's
 // view signature. Execution is deterministic: the same descriptor on any
 // process yields the same ShardResult, which is the whole basis of the
-// byte-identical-aggregation invariant.
+// byte-identical-aggregation invariant. Shards with the Batch flag set
+// route through ExecShardBatch (on a throwaway arena; workers that
+// execute many shards pass their pooled arena to ExecShardBatch
+// directly).
 func ExecShard(sess *sim.Session, sh *ShardDesc) (*ShardResult, error) {
-	g, err := sh.Graph()
+	if sh.Batch {
+		return ExecShardBatch(sess, sim.NewBatch(), sh)
+	}
+	return execShard(sess, sh, nil)
+}
+
+func execShard(sess *sim.Session, sh *ShardDesc, gc *graphCache) (*ShardResult, error) {
+	e, err := shardGraph(gc, sh)
 	if err != nil {
 		return nil, err
 	}
+	g := e.g
 	prewarm(sess, &sh.Hints)
 	res := &ShardResult{Cases: make([]CaseResult, len(sh.Cases))}
 	for i := range sh.Cases {
@@ -142,8 +229,121 @@ func ExecShard(sess *sim.Session, sh *ShardDesc) (*ShardResult, error) {
 		}
 		out.Wakeups = sess.Wakeups()
 	}
-	var t view.Tree
-	res.ViewSig = appendViewSig(nil, g, &t)
+	res.ViewSig = e.viewSig()
+	return res, nil
+}
+
+// progCache dedups built programs within one shard: the registry builds
+// a fresh closure per call, but the batch engine memoizes behavior
+// recordings by program VALUE, so descriptor-equal cases must hand it
+// the same func value to share a recording — which the registry's
+// determinism contract (same descriptor, same behavior, no state across
+// invocations) makes sound. Shard groups are small; a linear scan beats
+// a map here.
+type progCache struct {
+	descs []*ProgDesc
+	progs []agent.Program
+}
+
+func (pc *progCache) get(p *ProgDesc, seedLo, seedHi uint64) (agent.Program, error) {
+	for i, d := range pc.descs {
+		if d.Name == p.Name && slices.Equal(d.Args, p.Args) {
+			return pc.progs[i], nil
+		}
+	}
+	prog, err := buildProg(p, seedLo, seedHi)
+	if err != nil {
+		return nil, err
+	}
+	pc.descs = append(pc.descs, p)
+	pc.progs = append(pc.progs, prog)
+	return prog, nil
+}
+
+// ExecShardBatch executes the shard through the batch engines: maximal
+// runs of consecutive same-kind cases become one sim.RunPairsBatch /
+// sim.RunBatch call each, with per-case wakeup counts taken from the
+// batch's per-lane attribution. The ShardResult is identical to
+// ExecShard's — the batch engines are pinned to full per-case equality
+// — so batching is purely an execution strategy; b is the caller's
+// reusable arena (workers keep one per connection). Two-agent programs
+// are built once per distinct descriptor, so the engine's
+// record-and-resolve memo fires across the whole group.
+func ExecShardBatch(sess *sim.Session, b *sim.Batch, sh *ShardDesc) (*ShardResult, error) {
+	return execShardBatch(sess, b, sh, nil)
+}
+
+func execShardBatch(sess *sim.Session, b *sim.Batch, sh *ShardDesc, gc *graphCache) (*ShardResult, error) {
+	e, err := shardGraph(gc, sh)
+	if err != nil {
+		return nil, err
+	}
+	g := e.g
+	prewarm(sess, &sh.Hints)
+	res := &ShardResult{Cases: make([]CaseResult, len(sh.Cases))}
+	for i := 0; i < len(sh.Cases); {
+		j := i
+		kind := sh.Cases[i].Kind
+		for j < len(sh.Cases) && sh.Cases[j].Kind == kind {
+			j++
+		}
+		if kind == KindTwoAgent {
+			var pc progCache
+			pcs := make([]sim.PairCase, j-i)
+			for c := i; c < j; c++ {
+				cd := &sh.Cases[c]
+				if err := checkStart(g, cd.U); err != nil {
+					return nil, fmt.Errorf("dist: case %d: %w", c, err)
+				}
+				if err := checkStart(g, cd.V); err != nil {
+					return nil, fmt.Errorf("dist: case %d: %w", c, err)
+				}
+				progA, err := pc.get(&cd.ProgA, sh.SeedLo, sh.SeedHi)
+				if err != nil {
+					return nil, fmt.Errorf("dist: case %d: %w", c, err)
+				}
+				progB, err := pc.get(&cd.ProgB, sh.SeedLo, sh.SeedHi)
+				if err != nil {
+					return nil, fmt.Errorf("dist: case %d: %w", c, err)
+				}
+				pcs[c-i] = sim.PairCase{ProgA: progA, ProgB: progB, U: cd.U, V: cd.V, Delay: cd.Delay, Budget: cd.Budget}
+			}
+			two := sess.RunPairsBatch(g, pcs, b)
+			wk := b.Wakeups()
+			for c := i; c < j; c++ {
+				res.Cases[c] = CaseResult{Kind: kind, Two: two[c-i], Wakeups: wk[c-i]}
+			}
+		} else {
+			mcs := make([]sim.MultiCase, j-i)
+			for c := i; c < j; c++ {
+				cd := &sh.Cases[c]
+				agents := make([]sim.MultiAgent, len(cd.Agents))
+				for a := range cd.Agents {
+					ad := &cd.Agents[a]
+					if err := checkStart(g, ad.Start); err != nil {
+						return nil, fmt.Errorf("dist: case %d agent %d: %w", c, a, err)
+					}
+					prog, err := buildProg(&ad.Prog, sh.SeedLo, sh.SeedHi)
+					if err != nil {
+						return nil, fmt.Errorf("dist: case %d agent %d: %w", c, a, err)
+					}
+					agents[a] = sim.MultiAgent{Program: prog, Start: ad.Start, Appear: ad.Appear}
+				}
+				mcs[c-i] = sim.MultiCase{Agents: agents, Cfg: sim.MultiConfig{
+					Budget:             cd.Budget,
+					StopOnGather:       cd.StopOnGather,
+					StopOnFirstMeeting: cd.StopOnFirstMeeting,
+				}}
+			}
+			multi := sess.RunBatch(g, mcs, b)
+			wk := b.Wakeups()
+			for c := i; c < j; c++ {
+				res.Cases[c] = CaseResult{Kind: kind, Multi: multi[c-i], Wakeups: wk[c-i]}
+			}
+		}
+		i = j
+	}
+	res.ViewSig = e.viewSig()
 	return res, nil
 }
 
@@ -152,6 +352,16 @@ func checkStart(g *graph.Graph, v int) error {
 		return fmt.Errorf("start node %d outside graph of %d nodes", v, g.N())
 	}
 	return nil
+}
+
+// execShardOn routes a shard to the engine its Batch flag selects,
+// reusing the caller's pooled arena for batch shards and its graph
+// cache either way (the per-connection execution path of Serve).
+func execShardOn(sess *sim.Session, b *sim.Batch, sh *ShardDesc, gc *graphCache) (*ShardResult, error) {
+	if sh.Batch {
+		return execShardBatch(sess, b, sh, gc)
+	}
+	return execShard(sess, sh, gc)
 }
 
 // MeasureHints runs the shard's first case on a throwaway session and

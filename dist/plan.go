@@ -70,6 +70,17 @@ func (p *Planner) SetHints(key any, h Hints) {
 	sh.Hints.ScriptHist = h.ScriptHist
 }
 
+// SetBatch declares the key's shard batch-eligible (see
+// ShardDesc.Batch): workers execute it through the lockstep batch
+// engines. The shard must already exist.
+func (p *Planner) SetBatch(key any) {
+	si, ok := p.byKey[key]
+	if !ok {
+		panic(fmt.Sprintf("dist: SetBatch for unknown shard key %v", key))
+	}
+	p.shards[si].Batch = true
+}
+
 // Shards exposes the accumulated descriptors (shared, not copied) for
 // callers that want to run them directly or stamp extra metadata.
 func (p *Planner) Shards() []*ShardDesc { return p.shards }

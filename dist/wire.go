@@ -97,6 +97,10 @@ const (
 type rd struct {
 	data []byte
 	err  error
+
+	// interned is the most-recent ring behind strInterned.
+	interned [4]string
+	nintern  uint8
 }
 
 func (d *rd) fail(format string, args ...any) {
@@ -160,6 +164,24 @@ func (d *rd) bytes(max uint64, what string) []byte {
 }
 
 func (d *rd) str(max uint64, what string) string { return string(d.bytes(max, what)) }
+
+// strInterned is str for fields whose values repeat heavily within one
+// decode pass — program names above all: a shard's cases cite the same
+// one or two registry entries over and over. A tiny most-recent ring
+// turns the repeats into pointer reuse instead of a per-case string
+// allocation (the == against string(b) compiles allocation-free).
+func (d *rd) strInterned(max uint64, what string) string {
+	b := d.bytes(max, what)
+	for _, s := range d.interned {
+		if s == string(b) {
+			return s
+		}
+	}
+	s := string(b)
+	d.interned[d.nintern&3] = s
+	d.nintern++
+	return s
+}
 
 // rest reports how many undecoded bytes remain.
 func (d *rd) rest() int { return len(d.data) }

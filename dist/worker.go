@@ -33,6 +33,14 @@ func Serve(r io.Reader, w io.Writer) error {
 	}
 	sess := sim.NewSession()
 	defer sess.Close()
+	// One batch arena per connection: batch-eligible shards reuse its
+	// lane arrays across the whole connection, the same warm-state story
+	// as the pooled session. The graph cache is per-connection for the
+	// same reason: a sweep's shards repeat a handful of graphs, and the
+	// decode plus view-signature derivation are the protocol's largest
+	// per-shard costs.
+	batch := sim.NewBatch()
+	var gc graphCache
 	var inBuf, outBuf []byte
 	for {
 		payload, err := readFrame(br, inBuf)
@@ -59,7 +67,7 @@ func Serve(r io.Reader, w io.Writer) error {
 			var sh ShardDesc
 			if err := sh.Decode(d.data); err != nil {
 				outBuf = appendErrorFrame(outBuf, id, err)
-			} else if res, err := ExecShard(sess, &sh); err != nil {
+			} else if res, err := execShardOn(sess, batch, &sh, &gc); err != nil {
 				outBuf = appendErrorFrame(outBuf, id, err)
 			} else {
 				outBuf = append(outBuf, frameResult)

@@ -47,8 +47,9 @@ func symmCases() []symmCase {
 
 // E4 exercises Lemma 3.2: SymmRV(n, Shrink(u,v), δ) achieves rendezvous
 // for every symmetric STIC with δ >= Shrink(u,v), within the Lemma 3.3
-// budget T(n,d,δ). Runs execute in parallel with sim.Sweep, sharded by
-// graph: one graph's delay sweep stays on one worker.
+// budget T(n,d,δ). Runs execute through sim.SweepPairs, sharded by
+// graph: one graph's delay sweep becomes one lockstep batch on one
+// worker.
 func E4() *Table {
 	t := &Table{
 		ID:       "E4",
@@ -57,15 +58,21 @@ func E4() *Table {
 		Columns:  []string{"graph", "pair", "d=Shrink", "δ", "met", "time from later", "T(n,d,δ)", "moves/agent"},
 	}
 	cases := symmCases()
-	results := sim.Sweep(cases, 0, func(c symmCase) any { return c.g }, func(sc *sim.Scratch, c symmCase) sim.Result {
+	items := make([]sim.PairItem, len(cases))
+	for i, c := range cases {
 		n := uint64(c.g.N())
 		prog, err := rendezvous.NewSymmRV(n, c.d, c.dlt)
 		if err != nil {
 			panic(err)
 		}
 		bound := rendezvous.SymmRVTime(n, c.d, c.dlt)
-		return sc.Session().Run(c.g, prog, c.u, c.v, c.dlt, sim.Config{Budget: c.dlt + 2*bound})
-	})
+		items[i] = sim.PairItem{G: c.g, Case: sim.PairCase{
+			ProgA: prog, ProgB: prog,
+			U: c.u, V: c.v, Delay: c.dlt,
+			Budget: c.dlt + 2*bound,
+		}}
+	}
+	results := sim.SweepPairs(items, 0)
 	for i, c := range cases {
 		n := uint64(c.g.N())
 		bound := rendezvous.SymmRVTime(n, c.d, c.dlt)
@@ -77,7 +84,7 @@ func E4() *Table {
 	}
 	t.Notes = append(t.Notes,
 		"d is set to the true Shrink(u,v) computed by pair-product BFS; Lemma 3.2's hypothesis δ >= Shrink is satisfied by construction.",
-		"Runs execute concurrently via a worker pool; each run is single-threaded and deterministic.")
+		"Runs execute concurrently via a worker pool, each graph's cases advancing in lockstep as lanes of one batch; every lane is deterministic.")
 	return t
 }
 

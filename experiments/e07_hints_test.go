@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/dist"
+	"repro/graph"
+	"repro/sim"
+	"repro/stic"
+)
+
+// TestE7PlanHintsMeasuredAndConsumed pins the warmup pipeline on the
+// real workload: every E7 shard descriptor carries measured, nonzero
+// warmup hints (K and a populated script-length histogram from an actual
+// UniversalRV probe run) and is declared batch-eligible — and a worker
+// session that executes such a shard really consumes the hints, holding
+// at least Hints.K pooled runners before its first case needs them.
+func TestE7PlanHintsMeasuredAndConsumed(t *testing.T) {
+	k2 := graph.TwoNode()
+	p3 := graph.Path(3)
+	cases := []e7Case{
+		{k2, 0, 1, 1},
+		{k2, 0, 1, 2},
+		{p3, 0, 2, 0},
+		{p3, 0, 2, 1},
+	}
+	var cl stic.Classifier
+	reps := make([]stic.Report, len(cases))
+	for i, c := range cases {
+		reps[i] = cl.Classify(stic.STIC{G: c.g, U: c.u, V: c.v, Delay: c.delta})
+	}
+	plan := e7Plan(cases, reps)
+	for si, sh := range plan.Shards() {
+		if sh.Hints.K < 2 {
+			t.Fatalf("shard %d: measured hint K = %d, want >= 2", si, sh.Hints.K)
+		}
+		if len(sh.Hints.ScriptHist) == 0 {
+			t.Fatalf("shard %d: empty measured script-length histogram for a script-batched program", si)
+		}
+		if !sh.Batch {
+			t.Fatalf("shard %d: E7 grid not declared batch-eligible", si)
+		}
+	}
+
+	// Consumption: a distinctive K must survive into Session.Prewarm —
+	// after executing the shard, the pool holds at least that many
+	// runners, more than the two the cases alone would have created.
+	sh := *plan.Shards()[0]
+	sh.Hints.K = 6
+	sess := sim.NewSession()
+	defer sess.Close()
+	if _, err := dist.ExecShard(sess, &sh); err != nil {
+		t.Fatal(err)
+	}
+	if got := sess.Pooled(); got < 6 {
+		t.Fatalf("session pools %d runners after a K=6-hinted shard; hints not consumed", got)
+	}
+}

@@ -26,16 +26,11 @@ func E7(full bool) *Table {
 		PaperRef: "Theorem 3.1, Corollary 3.1 (Algorithm 3)",
 		Columns:  []string{"graph", "pair", "δ", "class", "feasible", "outcome", "time from later", "guarantee bound"},
 	}
-	type caze struct {
-		g     *graph.Graph
-		u, v  int
-		delta uint64
-	}
 	k2 := graph.TwoNode()
 	p3 := graph.Path(3)
 	p4 := graph.Path(4)
 	st1 := graph.SymmetricTree(graph.ChainShape(1))
-	cases := []caze{
+	cases := []e7Case{
 		{k2, 0, 1, 0}, // infeasible: symmetric, δ < Shrink=1
 		{k2, 0, 1, 1},
 		{k2, 0, 1, 2},
@@ -50,8 +45,8 @@ func E7(full bool) *Table {
 	}
 	if full {
 		cases = append(cases,
-			caze{graph.Cycle(4), 0, 2, 1}, // infeasible: Shrink 2
-			caze{graph.Cycle(4), 0, 2, 2}, // feasible; target phase 134
+			e7Case{graph.Cycle(4), 0, 2, 1}, // infeasible: Shrink 2
+			e7Case{graph.Cycle(4), 0, 2, 2}, // feasible; target phase 134
 		)
 	}
 
@@ -63,22 +58,7 @@ func E7(full bool) *Table {
 	for i, c := range cases {
 		reps[i] = cl.Classify(stic.STIC{G: c.g, U: c.u, V: c.v, Delay: c.delta})
 	}
-	// The runs go through the dist dispatcher as shard descriptors keyed
-	// by graph — in-process protocol workers by default, forked worker
-	// processes under `rvx --dist-workers` — with byte-identical results
-	// either way. Budgets are computed coordinator-side from the
-	// classification; the descriptor carries them explicitly.
-	plan := &dist.Planner{}
-	for i, c := range cases {
-		plan.Add(c.g, c.g, dist.CaseDesc{
-			Kind:  dist.KindTwoAgent,
-			ProgA: dist.ProgDesc{Name: "universal"},
-			ProgB: dist.ProgDesc{Name: "universal"},
-			U:     c.u, V: c.v, Delay: c.delta,
-			Budget: universalBudget(c.g, reps[i], c.delta),
-		})
-	}
-	results := runPlan(plan)
+	results := runPlan(e7Plan(cases, reps))
 	for i, c := range cases {
 		rep := reps[i]
 		res := results[i].Two
@@ -107,6 +87,65 @@ func E7(full bool) *Table {
 		"The guarantee bound is the total duration of all phases up to the one whose hypothesis matches the true parameters — the quantity Proposition 4.1 bounds by O(n+δ)^O(n+δ).",
 		"Infeasible rows exhaust a budget past their would-be guarantee phase without meeting.")
 	return t
+}
+
+// e7Case is one STIC of the E7 suite.
+type e7Case struct {
+	g     *graph.Graph
+	u, v  int
+	delta uint64
+}
+
+// e7MeasureBudgetCap bounds the budget of the probe case MeasureHints
+// executes: hints only need the workload's script-length shape, and the
+// early phases expose it without paying an infeasible case's full
+// budget-exhausting run.
+const e7MeasureBudgetCap = 1 << 14
+
+// e7Plan builds E7's dispatch plan: shard descriptors keyed by graph —
+// in-process protocol workers by default, forked worker processes under
+// `rvx --dist-workers` — with byte-identical results either way. Budgets
+// are computed coordinator-side from the classification; the descriptor
+// carries them explicitly. Every shard is stamped with measured warmup
+// hints (dist.MeasureHints on a budget-capped probe of its first case,
+// so Session.Prewarm sizes the worker pool from the real workload) and
+// declared batch-eligible: the grid is seed-free parameter variation of
+// one program pair, exactly what the lockstep batch engine wants.
+func e7Plan(cases []e7Case, reps []stic.Report) *dist.Planner {
+	plan := &dist.Planner{}
+	for i, c := range cases {
+		plan.Add(c.g, c.g, dist.CaseDesc{
+			Kind:  dist.KindTwoAgent,
+			ProgA: dist.ProgDesc{Name: "universal"},
+			ProgB: dist.ProgDesc{Name: "universal"},
+			U:     c.u, V: c.v, Delay: c.delta,
+			Budget: universalBudget(c.g, reps[i], c.delta),
+		})
+	}
+	seen := map[*graph.Graph]bool{}
+	for _, c := range cases {
+		if seen[c.g] {
+			continue
+		}
+		seen[c.g] = true
+		plan.SetBatch(c.g)
+	}
+	for _, sh := range plan.Shards() {
+		probe := *sh
+		probe.Cases = append([]dist.CaseDesc(nil), sh.Cases[:1]...)
+		if probe.Cases[0].Budget > e7MeasureBudgetCap {
+			probe.Cases[0].Budget = e7MeasureBudgetCap
+		}
+		h, err := dist.MeasureHints(&probe)
+		if err != nil {
+			panic(err)
+		}
+		if h.K > sh.Hints.K {
+			sh.Hints.K = h.K
+		}
+		sh.Hints.ScriptHist = h.ScriptHist
+	}
+	return plan
 }
 
 // guaranteeBound computes the Theorem 3.1 guarantee for a feasible STIC:

@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # bench.sh — run the benchmark suite and emit a JSON perf record
 # (ns/op, B/op, allocs/op, and — where reported — scheduler wakeups/op
-# per benchmark) for the PR perf trajectory.
+# and dispatcher ns/case per benchmark) for the PR perf trajectory.
 #
-# Usage: scripts/bench.sh [output.json]   (default: BENCH_PR5.json)
+# Usage: scripts/bench.sh [output.json]   (default: BENCH_PR6.json)
 #
 # The emitted file contains a "baseline" section (the seed engine's
 # numbers, recorded in scripts/seed-baseline.json) and a "current" section
@@ -16,7 +16,7 @@
 # Compare two records with: go run ./cmd/benchdiff old.json new.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_PR5.json}"
+out="${1:-BENCH_PR6.json}"
 count="${BENCH_COUNT:-5}"
 # go test appends "-$GOMAXPROCS" to benchmark names — but only when
 # GOMAXPROCS > 1. Resolve the actual value so the name extraction below
@@ -33,6 +33,8 @@ echo "== root experiment suite (count=$count)" >&2
 go test -run '^$' -bench . -benchtime 1x -count "$count" -benchmem . | tee -a "$tmp"
 echo "== sim engine microbenchmarks (incl. k-agent scheduler)" >&2
 go test -run '^$' -bench 'BenchmarkScriptedWalk|BenchmarkPerMoveWalk|BenchmarkRoundThroughput|BenchmarkFastForward|BenchmarkMultiScriptedWalk' -count 3 -benchmem ./sim/ | tee -a "$tmp"
+echo "== batch shard engine (record-and-resolve vs per-case loop)" >&2
+go test -run '^$' -bench 'BenchmarkBatchShard' -count 3 -benchmem ./sim/ | tee -a "$tmp"
 echo "== view + rendezvous + uxs microbenchmarks" >&2
 go test -run '^$' -bench 'BenchmarkClasses' -count 3 -benchmem ./view/ | tee -a "$tmp"
 go test -run '^$' -bench 'BenchmarkViewWalkBatched' -count 3 -benchmem ./rendezvous/ | tee -a "$tmp"
@@ -57,19 +59,20 @@ go test -run '^$' -bench 'BenchmarkDistDispatch|BenchmarkShardCodec' -count 3 -b
           name = substr(name, 1, length(name) - length(suffix))
         }
       }
-      ns = ""; bytes = "null"; allocs = "null"; wakeups = "null"
+      ns = ""; bytes = "null"; allocs = "null"; wakeups = "null"; nscase = "null"
       for (i = 2; i <= NF; i++) {
         if ($i == "ns/op") ns = $(i-1)
         if ($i == "B/op") bytes = $(i-1)
         if ($i == "allocs/op") allocs = $(i-1)
         if ($i == "wakeups/op") wakeups = $(i-1)
+        if ($i == "ns/case") nscase = $(i-1)
       }
       if (ns != "") {
         if (!(name in minNs)) {
           order[++n] = name
-          minNs[name] = ns + 0; minBytes[name] = bytes; minAllocs[name] = allocs; minWakeups[name] = wakeups
+          minNs[name] = ns + 0; minBytes[name] = bytes; minAllocs[name] = allocs; minWakeups[name] = wakeups; minNsCase[name] = nscase
         } else if (ns + 0 < minNs[name]) {
-          minNs[name] = ns + 0; minBytes[name] = bytes; minAllocs[name] = allocs; minWakeups[name] = wakeups
+          minNs[name] = ns + 0; minBytes[name] = bytes; minAllocs[name] = allocs; minWakeups[name] = wakeups; minNsCase[name] = nscase
         }
       }
     }
@@ -77,7 +80,7 @@ go test -run '^$' -bench 'BenchmarkDistDispatch|BenchmarkShardCodec' -count 3 -b
       for (i = 1; i <= n; i++) {
         name = order[i]
         if (i > 1) printf ",\n"
-        printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"wakeups_per_op\": %s}", name, minNs[name], minBytes[name], minAllocs[name], minWakeups[name]
+        printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"wakeups_per_op\": %s, \"ns_per_case\": %s}", name, minNs[name], minBytes[name], minAllocs[name], minWakeups[name], minNsCase[name]
       }
       printf "\n"
     }

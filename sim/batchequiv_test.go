@@ -1,0 +1,344 @@
+package sim_test
+
+// Differential equivalence suite for the lockstep batch engines: every
+// lane of RunPairsBatch must return exactly what Session.RunPrograms
+// returns for its case, every lane of RunBatch exactly what
+// Session.RunMany returns — full Result/MultiResult equality (Meetings
+// order and slice nil-ness included) AND per-lane scheduler wakeup
+// counts equal to the per-case engine's Session.Wakeups — across
+// hundreds of randomized cases mixing graph families, program shapes,
+// delays, budgets and lane counts, plus the adversarial shapes the lane
+// model is most likely to get wrong: whole batches retiring on one
+// round, W=1 degenerate batches, budgets expiring inside a script
+// burst, and concurrent batches sharing one Session.
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/agent"
+	"repro/graph"
+	"repro/sim"
+)
+
+// randPairCases builds one batchable shard: w cases on g with mixed
+// program shapes, starts, delays and budgets.
+func randPairCases(r *rand.Rand, g *graph.Graph, w int) ([]sim.PairCase, []string) {
+	cases := make([]sim.PairCase, w)
+	names := make([]string, w)
+	for i := range cases {
+		pa, na := randProgram(r)
+		pb, nb := randProgram(r)
+		var delay uint64
+		switch r.Intn(3) {
+		case 0: // simultaneous start
+		case 1:
+			delay = uint64(r.Intn(50))
+		default:
+			delay = uint64(r.Intn(2000))
+		}
+		cases[i] = sim.PairCase{
+			ProgA: pa, ProgB: pb,
+			U: r.Intn(g.N()), V: r.Intn(g.N()),
+			Delay:  delay,
+			Budget: uint64(1 + r.Intn(3000)),
+		}
+		names[i] = fmt.Sprintf("%s/%s u=%d v=%d d=%d b=%d", na, nb, cases[i].U, cases[i].V, delay, cases[i].Budget)
+	}
+	return cases, names
+}
+
+func TestBatchEquivalenceRunPairsRandomized(t *testing.T) {
+	r := rand.New(rand.NewSource(0xBA7C4))
+	sess := sim.NewSession()
+	defer sess.Close()
+	ref := sim.NewSession()
+	defer ref.Close()
+	b := sim.NewBatch()
+	total := 0
+	for total < 320 {
+		g := randGraph(r)
+		w := 1 + r.Intn(24)
+		cases, names := randPairCases(r, g, w)
+		got := sess.RunPairsBatch(g, cases, b)
+		wk := b.Wakeups()
+		for i, c := range cases {
+			want := ref.RunPrograms(g, c.ProgA, c.ProgB, c.U, c.V, c.Delay, sim.Config{Budget: c.Budget})
+			if got[i] != want {
+				t.Fatalf("lane %d/%d on %s (%s): engines disagree\n  batch:    %+v\n  per-case: %+v",
+					i, w, g, names[i], got[i], want)
+			}
+			if wk[i] != ref.Wakeups() {
+				t.Fatalf("lane %d/%d on %s (%s): wakeups disagree: batch %d, per-case %d",
+					i, w, g, names[i], wk[i], ref.Wakeups())
+			}
+		}
+		total += w
+	}
+}
+
+func TestBatchEquivalenceRunBatchRandomized(t *testing.T) {
+	r := rand.New(rand.NewSource(0xBA7C5))
+	sess := sim.NewSession()
+	defer sess.Close()
+	ref := sim.NewSession()
+	defer ref.Close()
+	b := sim.NewBatch()
+	total := 0
+	for total < 300 {
+		g := randGraph(r)
+		w := 1 + r.Intn(10)
+		cases := make([]sim.MultiCase, w)
+		for i := range cases {
+			k := r.Intn(5) // 0 included: the empty-lane contract
+			agents := make([]sim.MultiAgent, k)
+			for j := range agents {
+				prog, _ := randProgram(r)
+				appear := uint64(0)
+				if r.Intn(2) == 1 {
+					appear = uint64(r.Intn(40))
+				}
+				agents[j] = sim.MultiAgent{Program: prog, Start: r.Intn(g.N()), Appear: appear}
+			}
+			cases[i] = sim.MultiCase{Agents: agents, Cfg: sim.MultiConfig{
+				Budget:             uint64(1 + r.Intn(3000)),
+				StopOnGather:       r.Intn(2) == 1,
+				StopOnFirstMeeting: r.Intn(3) == 0,
+			}}
+		}
+		got := sess.RunBatch(g, cases, b)
+		wk := b.Wakeups()
+		for i := range cases {
+			want := ref.RunMany(g, cases[i].Agents, cases[i].Cfg)
+			if !reflect.DeepEqual(got[i], want) {
+				t.Fatalf("lane %d/%d on %s (k=%d): engines disagree\n  batch:    %+v\n  per-case: %+v",
+					i, w, g, len(cases[i].Agents), got[i], want)
+			}
+			if err := sim.GatherCheck(got[i]); err != nil {
+				t.Fatalf("lane %d/%d: %v", i, w, err)
+			}
+			if len(cases[i].Agents) == 0 {
+				// RunMany's k == 0 early return doesn't touch the session,
+				// so its Wakeups are stale; the lane's count must be zero.
+				if wk[i] != 0 {
+					t.Fatalf("lane %d/%d: empty lane reported %d wakeups", i, w, wk[i])
+				}
+				continue
+			}
+			if wk[i] != ref.Wakeups() {
+				t.Fatalf("lane %d/%d on %s: wakeups disagree: batch %d, per-case %d",
+					i, w, g, wk[i], ref.Wakeups())
+			}
+		}
+		total += w
+	}
+}
+
+// TestBatchEquivalenceRunBatchLargeK mixes bucketed-scan lanes
+// (k >= 32) with small lanes in one batch: the shared bhead/bnext
+// scratch must be correctly sized for the largest lane and restored to
+// all -1 between lane steps.
+func TestBatchEquivalenceRunBatchLargeK(t *testing.T) {
+	r := rand.New(rand.NewSource(0xB17B))
+	sess := sim.NewSession()
+	defer sess.Close()
+	ref := sim.NewSession()
+	defer ref.Close()
+	b := sim.NewBatch()
+	for ci := 0; ci < 6; ci++ {
+		g := randGraph(r)
+		cases := make([]sim.MultiCase, 4)
+		for i := range cases {
+			k := 2 + r.Intn(3)
+			if i%2 == 0 {
+				k = 32 + r.Intn(9) // bucketed path
+			}
+			agents := make([]sim.MultiAgent, k)
+			for j := range agents {
+				prog, _ := randProgram(r)
+				agents[j] = sim.MultiAgent{Program: prog, Start: r.Intn(g.N()), Appear: uint64(r.Intn(20))}
+			}
+			cases[i] = sim.MultiCase{Agents: agents, Cfg: sim.MultiConfig{Budget: uint64(1 + r.Intn(800))}}
+		}
+		got := sess.RunBatch(g, cases, b)
+		for i := range cases {
+			want := ref.RunMany(g, cases[i].Agents, cases[i].Cfg)
+			if !reflect.DeepEqual(got[i], want) {
+				t.Fatalf("case %d lane %d (k=%d) on %s: engines disagree\n  batch:    %+v\n  per-case: %+v",
+					ci, i, len(cases[i].Agents), g, got[i], want)
+			}
+		}
+	}
+}
+
+// TestBatchLanesRetireSameRound: a whole batch of identical lanes must
+// retire on the same sweep — the in-place compaction's worst case (every
+// live lane drops at once).
+func TestBatchLanesRetireSameRound(t *testing.T) {
+	g := graph.Cycle(6)
+	sess := sim.NewSession()
+	defer sess.Close()
+	cases := make([]sim.PairCase, 64)
+	for i := range cases {
+		cases[i] = sim.PairCase{ProgA: agent.MoveEveryRound, ProgB: agent.Sit, U: 0, V: 3, Budget: 100}
+	}
+	got := sess.RunPairsBatch(g, cases, sim.NewBatch())
+	want := sim.RunPrograms(g, agent.MoveEveryRound, agent.Sit, 0, 3, 0, sim.Config{Budget: 100})
+	for i, res := range got {
+		if res != want {
+			t.Fatalf("lane %d: %+v, want %+v", i, res, want)
+		}
+	}
+	if want.Outcome != sim.Met {
+		t.Fatalf("test premise broken: %+v", want)
+	}
+}
+
+// TestBatchSingleLane: the W=1 degenerate batch is just a slow spelling
+// of RunPrograms / RunMany.
+func TestBatchSingleLane(t *testing.T) {
+	r := rand.New(rand.NewSource(0x1A2E))
+	sess := sim.NewSession()
+	defer sess.Close()
+	ref := sim.NewSession()
+	defer ref.Close()
+	b := sim.NewBatch()
+	for ci := 0; ci < 20; ci++ {
+		g := randGraph(r)
+		cases, names := randPairCases(r, g, 1)
+		got := sess.RunPairsBatch(g, cases, b)
+		c := cases[0]
+		want := ref.RunPrograms(g, c.ProgA, c.ProgB, c.U, c.V, c.Delay, sim.Config{Budget: c.Budget})
+		if got[0] != want {
+			t.Fatalf("case %d on %s (%s): %+v, want %+v", ci, g, names[0], got[0], want)
+		}
+		prog, _ := randProgram(r)
+		mc := []sim.MultiCase{{Agents: []sim.MultiAgent{{Program: prog, Start: 0}, {Program: prog, Start: g.N() - 1}},
+			Cfg: sim.MultiConfig{Budget: 500}}}
+		gotM := sess.RunBatch(g, mc, b)
+		wantM := ref.RunMany(g, mc[0].Agents, mc[0].Cfg)
+		if !reflect.DeepEqual(gotM[0], wantM) {
+			t.Fatalf("case %d on %s: multi W=1 disagree\n  batch:    %+v\n  per-case: %+v", ci, g, gotM[0], wantM)
+		}
+	}
+}
+
+// TestBatchBudgetExpiresMidScript: budgets that run out inside the fused
+// script burst — the burst loop's t < budget guard — must stop lanes at
+// exactly the per-case round, not at the script boundary.
+func TestBatchBudgetExpiresMidScript(t *testing.T) {
+	g := graph.Cycle(9)
+	sess := sim.NewSession()
+	defer sess.Close()
+	ref := sim.NewSession()
+	defer ref.Close()
+	script := make([]int, 400)
+	prog := agent.Script(script) // 400 scripted moves, budgets far shorter
+	cases := make([]sim.PairCase, 32)
+	for i := range cases {
+		cases[i] = sim.PairCase{ProgA: prog, ProgB: prog, U: 0, V: 4, Delay: uint64(i % 3), Budget: uint64(5 + i*7)}
+	}
+	got := sess.RunPairsBatch(g, cases, sim.NewBatch())
+	for i, c := range cases {
+		want := ref.RunPrograms(g, c.ProgA, c.ProgB, c.U, c.V, c.Delay, sim.Config{Budget: c.Budget})
+		if got[i] != want {
+			t.Fatalf("lane %d: %+v, want %+v", i, got[i], want)
+		}
+	}
+}
+
+// TestBatchConcurrentOnOneSession exercises the documented concurrency
+// contract under -race: multiple goroutines each drive their own Batch
+// arena against ONE shared Session (the runner pool is the only shared
+// state), mixing the pair and multi engines, and every lane must still
+// equal its per-case reference.
+func TestBatchConcurrentOnOneSession(t *testing.T) {
+	sess := sim.NewSession()
+	defer sess.Close()
+	var wg sync.WaitGroup
+	for wk := 0; wk < 4; wk++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			ref := sim.NewSession()
+			defer ref.Close()
+			b := sim.NewBatch()
+			for iter := 0; iter < 8; iter++ {
+				g := randGraph(r)
+				if iter%2 == 0 {
+					cases, names := randPairCases(r, g, 1+r.Intn(12))
+					got := sess.RunPairsBatch(g, cases, b)
+					for i, c := range cases {
+						want := ref.RunPrograms(g, c.ProgA, c.ProgB, c.U, c.V, c.Delay, sim.Config{Budget: c.Budget})
+						if got[i] != want {
+							t.Errorf("seed %d iter %d lane %d (%s): %+v, want %+v", seed, iter, i, names[i], got[i], want)
+							return
+						}
+					}
+					continue
+				}
+				cases := make([]sim.MultiCase, 1+r.Intn(4))
+				for i := range cases {
+					agents := make([]sim.MultiAgent, 2+r.Intn(3))
+					for j := range agents {
+						prog, _ := randProgram(r)
+						agents[j] = sim.MultiAgent{Program: prog, Start: r.Intn(g.N()), Appear: uint64(r.Intn(10))}
+					}
+					cases[i] = sim.MultiCase{Agents: agents, Cfg: sim.MultiConfig{Budget: uint64(1 + r.Intn(1000))}}
+				}
+				got := sess.RunBatch(g, cases, b)
+				for i := range cases {
+					want := ref.RunMany(g, cases[i].Agents, cases[i].Cfg)
+					if !reflect.DeepEqual(got[i], want) {
+						t.Errorf("seed %d iter %d multi lane %d: %+v, want %+v", seed, iter, i, got[i], want)
+						return
+					}
+				}
+			}
+		}(int64(wk))
+	}
+	wg.Wait()
+}
+
+// TestBatchSteadyStateAllocs pins the acceptance criterion: a warm
+// Batch arena executes a whole pair shard with ZERO allocations per
+// batch — the pool, the lane arrays and every script buffer are
+// recycled.
+func TestBatchSteadyStateAllocs(t *testing.T) {
+	g := graph.Cycle(8)
+	sess := sim.NewSession()
+	defer sess.Close()
+	b := sim.NewBatch()
+	script := make([]int, 0, 160)
+	for i := 0; i < 120; i++ {
+		script = append(script, 0)
+	}
+	for i := 0; i < 16; i++ {
+		script = append(script, agent.ScriptWait)
+	}
+	prog := func(w agent.World) {
+		for {
+			w.MoveSeq(script)
+			w.Wait(100)
+		}
+	}
+	cases := make([]sim.PairCase, 64)
+	for i := range cases {
+		cases[i] = sim.PairCase{ProgA: prog, ProgB: prog, U: i % 8, V: (i + 3) % 8, Delay: uint64(i % 5), Budget: 4096}
+	}
+	run := func() sim.Result { return sess.RunPairsBatch(g, cases, b)[0] }
+	want := run() // warm the pool, the arena and all script buffers
+	run()
+	avg := testing.AllocsPerRun(10, func() {
+		if got := run(); got != want {
+			panic(fmt.Sprintf("results drifted: %+v != %+v", got, want))
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("warm batch allocates %.1f allocs/op in steady state, want 0", avg)
+	}
+}

@@ -131,6 +131,98 @@ func BenchmarkFastForward(b *testing.B) {
 	}
 }
 
+// batchShardCases builds the BenchmarkBatchShard workload: w short
+// two-agent cases on g, the delay/budget grid of one program pair at
+// fixed starts — the shard shape every production sweep emits (E7's
+// grid varies delay and budget over a fixed instance; E12 sweeps delays
+// per seed). The pair is the paper's "waiting for Mommy" reduction: a
+// UXS-style scripted searcher against agent.Sit. The per-case engine
+// pays full scheduling freight — acquire/release handshakes, fetch
+// latency — for every grid point; the batch engine records the pair
+// once and resolves the whole grid against it, which is exactly the
+// amortization being measured. The searcher alternates one application
+// with an equal hold (the enhanced-trajectory discipline the rendezvous
+// algorithms use to tolerate unknown delay).
+func batchShardCases(w int, g *graph.Graph, script []int) []PairCase {
+	prog := func(wd agent.World) {
+		for {
+			wd.MoveSeq(script)
+			wd.Wait(uint64(len(script)))
+		}
+	}
+	cases := make([]PairCase, w)
+	for i := range cases {
+		cases[i] = PairCase{
+			ProgA: prog, ProgB: agent.Sit,
+			U: 0, V: 17,
+			Delay:  uint64(i % 7),
+			Budget: uint64(48 + 4*(i%5)),
+		}
+	}
+	return cases
+}
+
+// reportCases adds the per-case metrics benchdiff gates: how many cases
+// per second the engine sustains, and what one case costs.
+func reportCases(b *testing.B, casesPerOp int) {
+	total := float64(casesPerOp) * float64(b.N)
+	b.ReportMetric(total/b.Elapsed().Seconds(), "cases/sec")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/total, "ns/case")
+}
+
+// BenchmarkBatchShard measures the record-and-resolve batch engine on a
+// whole shard of W cases per op — the batch analogue of the per-case
+// loop in BenchmarkBatchShardPerCase, same workload, same session
+// pattern. The cases/sec ratio between the two is the batch speedup.
+func BenchmarkBatchShard(b *testing.B) {
+	g := graph.Cycle(32)
+	script := uxsStyleScript(32, 32)
+	for _, w := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("W=%d", w), func(b *testing.B) {
+			cases := batchShardCases(w, g, script)
+			sess := NewSession()
+			defer sess.Close()
+			batch := NewBatch()
+			sess.RunPairsBatch(g, cases, batch) // warm the pool and arena
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sess.RunPairsBatch(g, cases, batch)
+			}
+			reportCases(b, w)
+		})
+	}
+}
+
+// BenchmarkBatchShardPerCase is the identical shard through the per-case
+// engine: one Session.RunPrograms call per case on the same pooled
+// session — the pre-batch execution strategy, kept as the speedup
+// baseline.
+func BenchmarkBatchShardPerCase(b *testing.B) {
+	g := graph.Cycle(32)
+	script := uxsStyleScript(32, 32)
+	for _, w := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("W=%d", w), func(b *testing.B) {
+			cases := batchShardCases(w, g, script)
+			sess := NewSession()
+			defer sess.Close()
+			for i := range cases {
+				c := &cases[i]
+				sess.RunPrograms(g, c.ProgA, c.ProgB, c.U, c.V, c.Delay, Config{Budget: c.Budget})
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range cases {
+					c := &cases[j]
+					sess.RunPrograms(g, c.ProgA, c.ProgB, c.U, c.V, c.Delay, Config{Budget: c.Budget})
+				}
+			}
+			reportCases(b, w)
+		})
+	}
+}
+
 // BenchmarkParallelSweep measures the experiment-harness pattern: many
 // independent runs fanned out over the worker pool, at several pool
 // sizes, so the speedup curve is visible in the bench output.

@@ -87,10 +87,6 @@ func (s *Session) RunMany(g *graph.Graph, agents []MultiAgent, cfg MultiConfig) 
 	if k == 0 {
 		return MultiResult{}
 	}
-	budget := cfg.Budget
-	if budget == 0 {
-		budget = DefaultBudget
-	}
 	s.resetStats()
 
 	// Per-session scheduler state, reused across runs: the runner set,
@@ -101,18 +97,8 @@ func (s *Session) RunMany(g *graph.Graph, agents []MultiAgent, cfg MultiConfig) 
 		s.mrunners = make([]*runner, k)
 		s.mpresent = make([]bool, k)
 	}
-	runners := s.mrunners[:k]
-	present := s.mpresent[:k]
-	for i := range runners {
-		runners[i] = nil
-		present[i] = false
-	}
 	if cap(s.mmet) < k*k {
 		s.mmet = make([]bool, k*k)
-	}
-	met := s.mmet[:k*k]
-	for i := range met {
-		met[i] = false
 	}
 	// Compact active set, rebuilt at each boundary (presence only changes
 	// there) so the per-round loops run branch-free over present agents.
@@ -120,352 +106,449 @@ func (s *Session) RunMany(g *graph.Graph, agents []MultiAgent, cfg MultiConfig) 
 		s.mactive = make([]*runner, k)
 		s.mactiveIdx = make([]int, k)
 	}
-	active := s.mactive[:0]
-	activeIdx := s.mactiveIdx[:0]
 	if cap(s.mmoved) < k {
 		s.mmoved = make([]bool, k)
 	}
-	movedBuf := s.mmoved[:k]
+	m := multiRun{
+		s:         s,
+		g:         g,
+		agents:    agents,
+		cfg:       cfg,
+		stats:     &s.stats,
+		runners:   s.mrunners[:k],
+		present:   s.mpresent[:k],
+		met:       s.mmet[:k*k],
+		active:    s.mactive[:0],
+		activeIdx: s.mactiveIdx[:0],
+		moved:     s.mmoved[:k],
+	}
 	// Large k: the O(k²) pairwise scans are replaced by position-bucketed
 	// detection — per-node singly linked lists over the active set, built
 	// and torn down in O(k) per scanned round. head is indexed by node id
 	// and kept all -1 between uses.
-	useBuckets := k >= bucketScanMinK
-	var bhead, bnext []int32
-	if useBuckets {
+	if m.useBuckets = k >= bucketScanMinK; m.useBuckets {
 		if cap(s.mbhead) < g.N() {
 			s.mbhead = make([]int32, g.N())
 		}
 		if cap(s.mbnext) < k {
 			s.mbnext = make([]int32, k)
 		}
-		bhead = s.mbhead[:g.N()]
-		for i := range bhead {
-			bhead[i] = -1
+		m.bhead = s.mbhead[:g.N()]
+		for i := range m.bhead {
+			m.bhead[i] = -1
 		}
-		bnext = s.mbnext[:k]
+		m.bnext = s.mbnext[:k]
 	}
+	m.begin()
 	defer func() {
-		for i, r := range runners {
+		for i, r := range m.runners {
 			if r != nil {
 				s.release(r)
-				runners[i] = nil
+				m.runners[i] = nil
 			}
 		}
 	}()
-
-	var res MultiResult
-	res.Moves = make([]uint64, k)
-	finalize := func(t uint64) MultiResult {
-		res.Rounds = t
-		for i, r := range runners {
-			if r != nil {
-				res.Moves[i] = r.moves
-			}
-		}
-		return res
+	for !m.step() {
 	}
+	return m.res
+}
 
-	// detect records the first meeting of every co-located pair at round
-	// t and the first gathering round, in deterministic (i, j) scan
-	// order over the active set (which is index-sorted by construction);
-	// it reports whether a stop condition fired. moved, when non-nil,
-	// restricts the scan to pairs with at least one member that moved
-	// this round — a pair of stationary agents cannot newly co-locate,
-	// and gathering can only begin on a round somebody moved (or at a
-	// boundary, which passes nil for a full scan). It is idempotent at a
-	// fixed round, so the boundary re-check after an in-horizon
-	// detection is harmless.
-	presentCount := 0
-	detect := func(t uint64, moved []bool) bool {
-		coloc := false
-		if useBuckets {
-			// Bucket the active set by position, lists ascending by active
-			// index (built in reverse), then emit co-located pairs by
-			// walking each agent's tail — the identical (i, j) lexicographic
-			// order, and the identical moved-pair filter, as the quadratic
-			// scan below.
-			for a := len(active) - 1; a >= 0; a-- {
-				p := active[a].pos
-				bnext[a] = bhead[p]
-				bhead[p] = int32(a)
-			}
-			for a := 0; a < len(active); a++ {
-				i := activeIdx[a]
-				aMoved := moved == nil || moved[a]
-				for b := bnext[a]; b >= 0; b = bnext[b] {
-					if !aMoved && !moved[b] {
-						continue
-					}
-					coloc = true
-					if met[i*k+activeIdx[b]] {
-						continue
-					}
-					met[i*k+activeIdx[b]] = true
-					res.Meetings = append(res.Meetings, Meeting{A: i, B: activeIdx[b], Node: active[a].pos, Round: t})
-				}
-			}
-			for a := range active {
-				bhead[active[a].pos] = -1
-			}
-		} else {
-			for a := 0; a < len(active); a++ {
-				pi := active[a].pos
-				i := activeIdx[a]
-				aMoved := moved == nil || moved[a]
-				for b := a + 1; b < len(active); b++ {
-					if !aMoved && !moved[b] {
-						continue
-					}
-					if active[b].pos != pi {
-						continue
-					}
-					coloc = true
-					if met[i*k+activeIdx[b]] {
-						continue
-					}
-					met[i*k+activeIdx[b]] = true
-					res.Meetings = append(res.Meetings, Meeting{A: i, B: activeIdx[b], Node: pi, Round: t})
-				}
-			}
-		}
-		if (coloc || k == 1) && presentCount == k && !res.Gathered {
-			gathered := true
-			for i := 1; i < k; i++ {
-				if runners[i].pos != runners[0].pos {
-					gathered = false
-					break
-				}
-			}
-			if gathered {
-				res.Gathered = true
-				res.GatherNode = runners[0].pos
-				res.GatherRound = t
-			}
-		}
-		return (res.Gathered && cfg.StopOnGather) ||
-			(cfg.StopOnFirstMeeting && len(res.Meetings) > 0)
+// multiRun is one k-agent run's complete scheduler state, factored out of
+// RunMany so it can be suspended between scheduler iterations: the solo
+// path drives one to completion in a plain loop, and RunBatch interleaves
+// W of them lane by lane, each lane's state parked in the Batch arena
+// while the others advance. All backing slices are caller-provided — the
+// session's reusable m* buffers for solo runs, flat arena carvings for
+// batch lanes.
+type multiRun struct {
+	s      *Session
+	g      *graph.Graph
+	agents []MultiAgent
+	cfg    MultiConfig
+	budget uint64
+	// stats and lane are the wakeup sinks threaded into every acquire
+	// (see Session.acquireFor); lane is nil for solo runs.
+	stats *runStats
+	lane  *uint64
+
+	runners   []*runner
+	present   []bool
+	met       []bool
+	active    []*runner
+	activeIdx []int
+	// Per-step scratch: nothing in it survives one step call, so batch
+	// lanes share one set sized for the largest lane. bhead is indexed by
+	// node id and must be all -1 between uses (every user restores it).
+	moved      []bool
+	bhead      []int32
+	bnext      []int32
+	useBuckets bool
+
+	res          MultiResult
+	presentCount int
+	t            uint64
+	first        bool
+	// rebuild forces the next step's active-set rebuild: set when agents
+	// were pre-acquired outside a boundary (the batch engine's
+	// assign-overlap pre-pass).
+	rebuild bool
+	done    bool
+}
+
+// begin resets the run state for a fresh run over the configured agents.
+// The backing slices must already have their per-run lengths.
+func (m *multiRun) begin() {
+	m.budget = m.cfg.Budget
+	if m.budget == 0 {
+		m.budget = DefaultBudget
 	}
+	for i := range m.runners {
+		m.runners[i] = nil
+		m.present[i] = false
+	}
+	for i := range m.met {
+		m.met[i] = false
+	}
+	m.active = m.active[:0]
+	m.activeIdx = m.activeIdx[:0]
+	m.res = MultiResult{Moves: make([]uint64, len(m.agents))}
+	m.presentCount = 0
+	m.t = 0
+	m.first = true
+	m.rebuild = false
+	m.done = false
+}
 
-	t := uint64(0)
-	first := true
-	for {
-		// Event boundary: start newly-appearing agents and pull the next
-		// request from every agent that finished its previous action.
-		// States can only change here — inside a horizon no runner ever
-		// reaches stNeedReq before the horizon's final round.
-		appeared := false
-		for i := range agents {
-			if !present[i] && t >= agents[i].Appear {
-				runners[i] = s.acquire(g, agents[i].Program, agents[i].Start)
-				present[i] = true
-				presentCount++
-				appeared = true
-			}
-			if present[i] {
-				runners[i].fetch()
-			}
+// finish stamps the final round count and per-agent move totals and
+// marks the run complete. It always returns true (step's "done" value).
+func (m *multiRun) finish() bool {
+	m.res.Rounds = m.t
+	for i, r := range m.runners {
+		if r != nil {
+			m.res.Moves[i] = r.moves
 		}
-		if appeared {
-			active = active[:0]
-			activeIdx = activeIdx[:0]
-			for i := 0; i < k; i++ {
-				if present[i] {
-					active = append(active, runners[i])
-					activeIdx = append(activeIdx, i)
+	}
+	m.done = true
+	return true
+}
+
+// detect records the first meeting of every co-located pair at round
+// t and the first gathering round, in deterministic (i, j) scan
+// order over the active set (which is index-sorted by construction);
+// it reports whether a stop condition fired. moved, when non-nil,
+// restricts the scan to pairs with at least one member that moved
+// this round — a pair of stationary agents cannot newly co-locate,
+// and gathering can only begin on a round somebody moved (or at a
+// boundary, which passes nil for a full scan). It is idempotent at a
+// fixed round, so the boundary re-check after an in-horizon
+// detection is harmless.
+func (m *multiRun) detect(t uint64, moved []bool) bool {
+	active, activeIdx, met, k := m.active, m.activeIdx, m.met, len(m.agents)
+	coloc := false
+	if m.useBuckets {
+		// Bucket the active set by position, lists ascending by active
+		// index (built in reverse), then emit co-located pairs by
+		// walking each agent's tail — the identical (i, j) lexicographic
+		// order, and the identical moved-pair filter, as the quadratic
+		// scan below.
+		bhead, bnext := m.bhead, m.bnext
+		for a := len(active) - 1; a >= 0; a-- {
+			p := active[a].pos
+			bnext[a] = bhead[p]
+			bhead[p] = int32(a)
+		}
+		for a := 0; a < len(active); a++ {
+			i := activeIdx[a]
+			aMoved := moved == nil || moved[a]
+			for b := bnext[a]; b >= 0; b = bnext[b] {
+				if !aMoved && !moved[b] {
+					continue
 				}
-			}
-		}
-
-		// Positions only change in the horizon's moving rounds, each of
-		// which re-detects; a boundary needs its own detection pass only
-		// when a new agent materialized (or on round 0).
-		if (appeared || first) && detect(t, nil) {
-			return finalize(t)
-		}
-		first = false
-		if t >= budget {
-			return finalize(t)
-		}
-		// All programs done and scattered: nothing can change.
-		allDone := presentCount == k
-		for i := 0; allDone && i < k; i++ {
-			if runners[i].state != stDone {
-				allDone = false
-			}
-		}
-		if allDone {
-			return finalize(t)
-		}
-
-		// Event horizon: how far every agent can be driven without any
-		// goroutine interaction — bounded by the budget, the next
-		// appearance, and each runner's channel-free runway.
-		horizon := budget - t
-		for i := range agents {
-			if !present[i] {
-				if d := agents[i].Appear - t; d < horizon {
-					horizon = d
+				coloc = true
+				if met[i*k+activeIdx[b]] {
+					continue
 				}
-				continue
-			}
-			if rw := runners[i].runway(); rw < horizon {
-				horizon = rw
+				met[i*k+activeIdx[b]] = true
+				m.res.Meetings = append(m.res.Meetings, Meeting{A: i, B: activeIdx[b], Node: active[a].pos, Round: t})
 			}
 		}
-		// When the horizon ends exactly at an appearance round, the
-		// detection for that round belongs to the boundary (after the
-		// new agents materialize): the reference engine processes
-		// appearances before scanning pairs, and the scan order of a
-		// round's meetings must match it exactly.
-		appearBound := false
-		for i := range agents {
-			if !present[i] && agents[i].Appear == t+horizon {
-				appearBound = true
+		for a := range active {
+			bhead[active[a].pos] = -1
+		}
+	} else {
+		for a := 0; a < len(active); a++ {
+			pi := active[a].pos
+			i := activeIdx[a]
+			aMoved := moved == nil || moved[a]
+			for b := a + 1; b < len(active); b++ {
+				if !aMoved && !moved[b] {
+					continue
+				}
+				if active[b].pos != pi {
+					continue
+				}
+				coloc = true
+				if met[i*k+activeIdx[b]] {
+					continue
+				}
+				met[i*k+activeIdx[b]] = true
+				m.res.Meetings = append(m.res.Meetings, Meeting{A: i, B: activeIdx[b], Node: pi, Round: t})
+			}
+		}
+	}
+	if (coloc || k == 1) && m.presentCount == k && !m.res.Gathered {
+		runners := m.runners
+		gathered := true
+		for i := 1; i < k; i++ {
+			if runners[i].pos != runners[0].pos {
+				gathered = false
 				break
 			}
 		}
+		if gathered {
+			m.res.Gathered = true
+			m.res.GatherNode = runners[0].pos
+			m.res.GatherRound = t
+		}
+	}
+	return (m.res.Gathered && m.cfg.StopOnGather) ||
+		(m.cfg.StopOnFirstMeeting && len(m.res.Meetings) > 0)
+}
 
-		// Drive the horizon: skip stretches where nobody moves in bulk,
-		// step rounds with movement one by one with exact per-round
-		// meeting detection.
-		for horizon > 0 {
-			// One classification pass over the active set: how long until
-			// anyone moves (quiet), and whether EVERY next round is a
-			// scripted move (the burst case).
-			quiet := horizon
-			allScript := len(active) > 0
-			anyMover := false
-			for _, r := range active {
-				if r.scriptMoveReady() {
-					anyMover = true
-					continue
-				}
-				allScript = false
-				q := r.roundsUntilMove()
-				if q == 0 {
-					anyMover = true
-				} else if q < quiet {
-					quiet = q
-				}
-			}
-			if allScript {
-				// Burst: while every active agent's next round is a
-				// scripted move there is nothing else to scan for — step
-				// them all directly (the k-agent analogue of the
-				// two-agent engine's tight lock-step loop), with an
-				// inline co-location pre-check so the full detect
-				// (closure, met matrix, gather logic) only runs when two
-				// positions actually coincide. Degree mode is fixed
-				// between fetches, so the degree-buffer test hoists out
-				// of the per-round step into a register-resident flag.
-				for ai := range active {
-					movedBuf[ai] = true
-				}
-				plainScripts := true
-				for _, r := range active {
-					if r.scriptDegs != nil {
-						plainScripts = false
-						break
-					}
-				}
-				for {
-					// The scripted step, fused inline (keep in sync with
-					// runner.scriptStep): the per-runner call overhead is
-					// measurable at this loop's intensity, and degree mode
-					// is fixed between fetches so the plainScripts flag
-					// short-circuits the degree-buffer test.
-					for _, r := range active {
-						adj := r.g.Adj(r.pos)
-						p, _ := agent.ActionPort(r.script[r.scriptAt], r.entry, len(adj))
-						h := adj[p]
-						r.pos, r.entry = h.To, h.ToPort
-						r.moves++
-						r.scriptEntries[r.scriptAt] = h.ToPort
-						if !plainScripts && r.scriptDegs != nil {
-							r.scriptDegs[r.scriptAt] = r.g.Degree(h.To)
-						}
-						r.scriptAt++
-						if r.scriptAt == r.segEnd {
-							r.endSeg()
-						}
-					}
-					t++
-					horizon--
-					if horizon == 0 && appearBound {
-						break
-					}
-					hit := false
-					if useBuckets {
-						// O(k) collision probe via the position buckets
-						// (insert all, then clear all — a collision is any
-						// second insert into an occupied bucket).
-						for a := 0; a < len(active); a++ {
-							p := active[a].pos
-							if bhead[p] >= 0 {
-								hit = true
-							}
-							bhead[p] = int32(a)
-						}
-						for a := range active {
-							bhead[active[a].pos] = -1
-						}
-					} else {
-						for a := 0; a < len(active) && !hit; a++ {
-							pi := active[a].pos
-							for b := a + 1; b < len(active); b++ {
-								if active[b].pos == pi {
-									hit = true
-									break
-								}
-							}
-						}
-					}
-					if hit && detect(t, movedBuf) {
-						return finalize(t)
-					}
-					if horizon == 0 {
-						break
-					}
-					still := true
-					for _, r := range active {
-						if !r.scriptMoveReady() {
-							still = false
-							break
-						}
-					}
-					if !still {
-						break
-					}
-				}
-				continue
-			}
-			if !anyMover {
-				// Nobody moves for quiet rounds: positions are static and
-				// every co-located pair was already recorded at round t,
-				// so no meeting or gathering can newly occur inside.
-				for _, r := range active {
-					r.advance(quiet)
-				}
-				t += quiet
-				horizon -= quiet
-				continue
-			}
-			// Mixed round, at least one mover: advance every present
-			// agent exactly one round, then re-detect the moved pairs.
-			for ai, r := range active {
-				movedBuf[ai] = r.stepOne()
-			}
-			t++
-			horizon--
-			if horizon == 0 && appearBound {
-				break // detection at t runs at the boundary, post-appearance
-			}
-			if detect(t, movedBuf) {
-				return finalize(t)
+// step runs one scheduler iteration — an event boundary followed by one
+// full event-horizon drive — and reports whether the run ended (res is
+// then final). Boundary fetches may block on agent goroutines; inside a
+// horizon the engine is channel-free by construction.
+func (m *multiRun) step() bool {
+	s, g, agents := m.s, m.g, m.agents
+	k := len(agents)
+	runners, present := m.runners, m.present
+	budget := m.budget
+	t := m.t
+
+	// Event boundary: start newly-appearing agents and pull the next
+	// request from every agent that finished its previous action.
+	// States can only change here — inside a horizon no runner ever
+	// reaches stNeedReq before the horizon's final round.
+	appeared := m.rebuild
+	m.rebuild = false
+	for i := range agents {
+		if !present[i] && t >= agents[i].Appear {
+			runners[i] = s.acquireFor(g, agents[i].Program, agents[i].Start, m.stats, m.lane)
+			present[i] = true
+			m.presentCount++
+			appeared = true
+		}
+		if present[i] {
+			runners[i].fetch()
+		}
+	}
+	if appeared {
+		m.active = m.active[:0]
+		m.activeIdx = m.activeIdx[:0]
+		for i := 0; i < k; i++ {
+			if present[i] {
+				m.active = append(m.active, runners[i])
+				m.activeIdx = append(m.activeIdx, i)
 			}
 		}
 	}
+	active := m.active
+
+	// Positions only change in the horizon's moving rounds, each of
+	// which re-detects; a boundary needs its own detection pass only
+	// when a new agent materialized (or on round 0).
+	if (appeared || m.first) && m.detect(t, nil) {
+		return m.finish()
+	}
+	m.first = false
+	if t >= budget {
+		return m.finish()
+	}
+	// All programs done and scattered: nothing can change.
+	allDone := m.presentCount == k
+	for i := 0; allDone && i < k; i++ {
+		if runners[i].state != stDone {
+			allDone = false
+		}
+	}
+	if allDone {
+		return m.finish()
+	}
+
+	// Event horizon: how far every agent can be driven without any
+	// goroutine interaction — bounded by the budget, the next
+	// appearance, and each runner's channel-free runway.
+	horizon := budget - t
+	for i := range agents {
+		if !present[i] {
+			if d := agents[i].Appear - t; d < horizon {
+				horizon = d
+			}
+			continue
+		}
+		if rw := runners[i].runway(); rw < horizon {
+			horizon = rw
+		}
+	}
+	// When the horizon ends exactly at an appearance round, the
+	// detection for that round belongs to the boundary (after the
+	// new agents materialize): the reference engine processes
+	// appearances before scanning pairs, and the scan order of a
+	// round's meetings must match it exactly.
+	appearBound := false
+	for i := range agents {
+		if !present[i] && agents[i].Appear == t+horizon {
+			appearBound = true
+			break
+		}
+	}
+
+	// Drive the horizon: skip stretches where nobody moves in bulk,
+	// step rounds with movement one by one with exact per-round
+	// meeting detection.
+	movedBuf := m.moved
+	for horizon > 0 {
+		// One classification pass over the active set: how long until
+		// anyone moves (quiet), and whether EVERY next round is a
+		// scripted move (the burst case).
+		quiet := horizon
+		allScript := len(active) > 0
+		anyMover := false
+		for _, r := range active {
+			if r.scriptMoveReady() {
+				anyMover = true
+				continue
+			}
+			allScript = false
+			q := r.roundsUntilMove()
+			if q == 0 {
+				anyMover = true
+			} else if q < quiet {
+				quiet = q
+			}
+		}
+		if allScript {
+			// Burst: while every active agent's next round is a
+			// scripted move there is nothing else to scan for — step
+			// them all directly (the k-agent analogue of the
+			// two-agent engine's tight lock-step loop), with an
+			// inline co-location pre-check so the full detect
+			// (method, met matrix, gather logic) only runs when two
+			// positions actually coincide. Degree mode is fixed
+			// between fetches, so the degree-buffer test hoists out
+			// of the per-round step into a register-resident flag.
+			for ai := range active {
+				movedBuf[ai] = true
+			}
+			plainScripts := true
+			for _, r := range active {
+				if r.scriptDegs != nil {
+					plainScripts = false
+					break
+				}
+			}
+			for {
+				// The scripted step, fused inline (keep in sync with
+				// runner.scriptStep): the per-runner call overhead is
+				// measurable at this loop's intensity, and degree mode
+				// is fixed between fetches so the plainScripts flag
+				// short-circuits the degree-buffer test.
+				for _, r := range active {
+					adj := r.g.Adj(r.pos)
+					p, _ := agent.ActionPort(r.script[r.scriptAt], r.entry, len(adj))
+					h := adj[p]
+					r.pos, r.entry = h.To, h.ToPort
+					r.moves++
+					r.scriptEntries[r.scriptAt] = h.ToPort
+					if !plainScripts && r.scriptDegs != nil {
+						r.scriptDegs[r.scriptAt] = r.g.Degree(h.To)
+					}
+					r.scriptAt++
+					if r.scriptAt == r.segEnd {
+						r.endSeg()
+					}
+				}
+				t++
+				horizon--
+				if horizon == 0 && appearBound {
+					break
+				}
+				hit := false
+				if m.useBuckets {
+					// O(k) collision probe via the position buckets
+					// (insert all, then clear all — a collision is any
+					// second insert into an occupied bucket).
+					bhead := m.bhead
+					for a := 0; a < len(active); a++ {
+						p := active[a].pos
+						if bhead[p] >= 0 {
+							hit = true
+						}
+						bhead[p] = int32(a)
+					}
+					for a := range active {
+						bhead[active[a].pos] = -1
+					}
+				} else {
+					for a := 0; a < len(active) && !hit; a++ {
+						pi := active[a].pos
+						for b := a + 1; b < len(active); b++ {
+							if active[b].pos == pi {
+								hit = true
+								break
+							}
+						}
+					}
+				}
+				if hit && m.detect(t, movedBuf) {
+					m.t = t
+					return m.finish()
+				}
+				if horizon == 0 {
+					break
+				}
+				still := true
+				for _, r := range active {
+					if !r.scriptMoveReady() {
+						still = false
+						break
+					}
+				}
+				if !still {
+					break
+				}
+			}
+			continue
+		}
+		if !anyMover {
+			// Nobody moves for quiet rounds: positions are static and
+			// every co-located pair was already recorded at round t,
+			// so no meeting or gathering can newly occur inside.
+			for _, r := range active {
+				r.advance(quiet)
+			}
+			t += quiet
+			horizon -= quiet
+			continue
+		}
+		// Mixed round, at least one mover: advance every present
+		// agent exactly one round, then re-detect the moved pairs.
+		for ai, r := range active {
+			movedBuf[ai] = r.stepOne()
+		}
+		t++
+		horizon--
+		if horizon == 0 && appearBound {
+			break // detection at t runs at the boundary, post-appearance
+		}
+		if m.detect(t, movedBuf) {
+			m.t = t
+			return m.finish()
+		}
+	}
+	m.t = t
+	return false
 }
 
 // RunManyReference is the retained round-by-round k-agent engine: one

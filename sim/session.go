@@ -15,6 +15,18 @@ import (
 // deferred-wait flush cap (1<<22 actions).
 const scriptHistBuckets = 33
 
+// runStats is one run's scheduler statistics: the wakeup count, its
+// per-phase breakdown, and the batched-script-length histogram. Solo runs
+// accumulate into the session's own instance; batch runs (RunPairsBatch,
+// RunBatch) accumulate into their Batch arena's instance — each runner
+// carries a pointer to the instance its current run feeds, which is what
+// lets concurrent batches on one Session count without racing.
+type runStats struct {
+	wakeups    uint64
+	wakeupsBy  [agent.PhaseCount]uint64
+	scriptHist [scriptHistBuckets]uint64
+}
+
 // Session owns a pool of runners — the goroutine, the request/grant
 // channel pair and the per-agent scratch buffers behind one simulated
 // agent — and reuses them across runs. Creating those per run is the
@@ -22,24 +34,27 @@ const scriptHistBuckets = 33
 // session itself"), so the experiment sweeps thread a Session through
 // each worker's Scratch and run every case of a shard on warm runners.
 //
-// A Session is NOT safe for concurrent use: exactly one run may be active
-// on it at a time (sweeps use one Session per worker). Close releases the
-// pooled goroutines; a Session used via Scratch.Session is closed by
+// A Session is NOT safe for concurrent SOLO use: exactly one
+// Run/RunPrograms/RunMany may be active on it at a time (sweeps use one
+// Session per worker). Batch runs are the exception: any number of
+// concurrent RunPairsBatch/RunBatch calls may share one Session as long
+// as each brings its own Batch arena — the runner pool itself is
+// mutex-guarded, and all per-run state lives in the arena. Close releases
+// the pooled goroutines; a Session used via Scratch.Session is closed by
 // Sweep itself when the worker retires.
 type Session struct {
+	// mu guards the runner free list and the goroutine WaitGroup
+	// registration — the only state shared between concurrent batch runs.
+	mu   sync.Mutex
 	free []*runner
 	wg   sync.WaitGroup
 
-	// wakeups counts, for the most recent run on this session, how many
-	// requests the scheduler fetched from agent goroutines — one per
-	// program wakeup. See Wakeups. wakeupsBy is the same count broken down
-	// by the agent.Phase stamped on each request (see WakeupsByPhase), and
-	// scriptHist the per-run histogram of batched script lengths (see
-	// ScriptLenHist) — the measured source of the warmup hints that dist
-	// shard descriptors carry to remote workers.
-	wakeups    uint64
-	wakeupsBy  [agent.PhaseCount]uint64
-	scriptHist [scriptHistBuckets]uint64
+	// stats holds the most recent run's scheduler statistics (see
+	// Wakeups, WakeupsByPhase, ScriptLenHist) — the measured source of
+	// the warmup hints that dist shard descriptors carry to remote
+	// workers. A batch run copies its arena's totals here when it
+	// finishes, so "most recent run" means the whole batch.
+	stats runStats
 
 	// Reusable k-agent scheduler state (see multi.go).
 	mrunners   []*runner
@@ -60,7 +75,7 @@ type Session struct {
 // statistic: the batching work lives or dies by this number, and the
 // wakeup regression tests pin it so a producer change cannot silently
 // fall back to per-move chatter.
-func (s *Session) Wakeups() uint64 { return s.wakeups }
+func (s *Session) Wakeups() uint64 { return s.stats.wakeups }
 
 // WakeupsByPhase breaks the most recent run's wakeup count down by the
 // agent.Phase the producing procedure tagged on each request (index the
@@ -68,7 +83,7 @@ func (s *Session) Wakeups() uint64 { return s.wakeups }
 // agent.PhaseOther). The sum over all phases equals Wakeups. It turns a
 // wakeup regression from detectable into diagnosable: the histogram names
 // the procedure that fell back to per-move chatter.
-func (s *Session) WakeupsByPhase() [agent.PhaseCount]uint64 { return s.wakeupsBy }
+func (s *Session) WakeupsByPhase() [agent.PhaseCount]uint64 { return s.stats.wakeupsBy }
 
 // ScriptLenHist returns the most recent run's histogram of batched script
 // lengths: bucket i counts fetched script requests whose action count has
@@ -77,13 +92,11 @@ func (s *Session) WakeupsByPhase() [agent.PhaseCount]uint64 { return s.wakeupsBy
 // the measured pool warmup hint a dist shard descriptor carries, so a
 // remote worker can pre-size its runner pool and script buffers before
 // the first case arrives.
-func (s *Session) ScriptLenHist() [scriptHistBuckets]uint64 { return s.scriptHist }
+func (s *Session) ScriptLenHist() [scriptHistBuckets]uint64 { return s.stats.scriptHist }
 
 // resetStats clears the per-run statistics at the start of a run.
 func (s *Session) resetStats() {
-	s.wakeups = 0
-	s.wakeupsBy = [agent.PhaseCount]uint64{}
-	s.scriptHist = [scriptHistBuckets]uint64{}
+	s.stats = runStats{}
 }
 
 // Prewarm ensures at least k pooled runners exist, each with script
@@ -95,6 +108,8 @@ func (s *Session) resetStats() {
 // shard descriptors carry. Prewarming is purely an allocation warm-up:
 // runs behave identically with or without it.
 func (s *Session) Prewarm(k, scriptCap int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for len(s.free) < k {
 		r := &runner{
 			req:    make(chan request, 1),
@@ -119,13 +134,35 @@ func (s *Session) Prewarm(k, scriptCap int) {
 // NewSession returns an empty session; runners are created on demand.
 func NewSession() *Session { return &Session{} }
 
+// Pooled returns the number of idle runners currently in the pool —
+// every runner Prewarm or past runs created that is not assigned to an
+// active run. It is a warmup observability hook: the dist tests use it
+// to assert that a shard's warmup hints were actually consumed.
+func (s *Session) Pooled() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.free)
+}
+
 // acquire hands out a warm runner (or spawns one) and assigns it the
-// given program. The runner's worker goroutine starts executing prog
-// immediately; the scheduler picks up its first request at fetch.
+// given program, counting its wakeups against the session's own stats —
+// the solo-run form of acquireFor.
 func (s *Session) acquire(g *graph.Graph, prog agent.Program, start int) *runner {
+	return s.acquireFor(g, prog, start, &s.stats, nil)
+}
+
+// acquireFor hands out a warm runner (or spawns one) and assigns it the
+// given program. The runner's worker goroutine starts executing prog
+// immediately; the scheduler picks up its first request at fetch. Every
+// request the run consumes is counted into st, and additionally into
+// *lane when lane is non-nil — the per-lane wakeup attribution of the
+// batch engines.
+func (s *Session) acquireFor(g *graph.Graph, prog agent.Program, start int, st *runStats, lane *uint64) *runner {
 	var r *runner
+	s.mu.Lock()
 	if n := len(s.free); n > 0 {
 		r, s.free = s.free[n-1], s.free[:n-1]
+		s.mu.Unlock()
 	} else {
 		r = &runner{
 			req:    make(chan request, 1),
@@ -134,10 +171,12 @@ func (s *Session) acquire(g *graph.Graph, prog agent.Program, start int) *runner
 			idle:   make(chan struct{}),
 		}
 		s.wg.Add(1)
+		s.mu.Unlock()
 		go r.work(&s.wg)
 	}
 	r.g = g
-	r.sess = s
+	r.stats = st
+	r.laneWakeups = lane
 	r.gen++
 	r.pos = start
 	r.entry = -1
@@ -166,22 +205,47 @@ func (s *Session) acquire(g *graph.Graph, prog agent.Program, start int) *runner
 // callers may read state the program wrote (traces) with no data race
 // the moment Run*/RunMany return.
 func (s *Session) release(r *runner) {
+	s.releaseAsync(r)
+	s.collect(r)
+}
+
+// releaseAsync sends the abort token (when the program is still running)
+// without waiting for the goroutine to unwind. The batch engines retire
+// lanes through it and collect the runners in one pass at the end of the
+// batch, so W goroutine unwinds overlap instead of serializing W idle
+// handshakes. Every releaseAsync must be paired with a later collect.
+func (s *Session) releaseAsync(r *runner) {
 	if r.state != stDone {
+		// The send blocks behind any real grant already in the buffer, so
+		// the agent always processes every grant it earned first (see
+		// release).
 		r.grant <- grantMsg{degree: poisonDegree, gen: r.gen}
 	}
+}
+
+// collect completes a releaseAsync: wait for the goroutine's idle
+// handshake, then return the runner to the pool.
+func (s *Session) collect(r *runner) {
 	<-r.idle
 	r.script = nil
 	r.scriptDegs = nil
+	r.stats = nil
+	r.laneWakeups = nil
+	s.mu.Lock()
 	s.free = append(s.free, r)
+	s.mu.Unlock()
 }
 
 // Close shuts down every pooled runner goroutine and waits for them to
 // exit. All runs on the session must have finished first.
 func (s *Session) Close() {
-	for _, r := range s.free {
+	s.mu.Lock()
+	free := s.free
+	s.free = nil
+	s.mu.Unlock()
+	for _, r := range free {
 		close(r.assign)
 	}
-	s.free = nil
 	s.wg.Wait()
 }
 
@@ -318,10 +382,14 @@ type runner struct {
 	scriptQuiet   bool
 
 	// Cold tail — touched once per script or per run, never per round:
-	// the degree buffer's capacity reservoir and the owning session,
-	// whose per-run statistics fetch updates per request pulled.
+	// the degree buffer's capacity reservoir and the statistics sinks of
+	// the current run, updated per request pulled. stats points at the
+	// session's own runStats for solo runs and at the Batch arena's for
+	// batch runs; laneWakeups additionally attributes each consumed
+	// request to one batch lane (nil outside batches).
 	scriptDegsBuf []int
-	sess          *Session
+	stats         *runStats
+	laneWakeups   *uint64
 }
 
 // work is the pooled worker goroutine: it executes one assigned program
@@ -405,7 +473,39 @@ recv:
 		// runner: discard and wait for the current program's request.
 		goto recv
 	}
-	if s := r.sess; s != nil {
+	r.consume(rq)
+}
+
+// tryFetch is the non-blocking fetch of the batch engines: pull the
+// agent's next request if one is already deposited, reporting whether the
+// runner is ready to be advanced (which it trivially is when no request
+// is needed). A false return means the lane is blocked on its agent
+// goroutine — the batch sweep moves on to another lane instead of
+// parking, which is where the lockstep engine hides the per-case
+// scheduling latency the solo path pays in full.
+func (r *runner) tryFetch() bool {
+	if r.state != stNeedReq {
+		return true
+	}
+	for {
+		select {
+		case rq := <-r.req:
+			if rq.gen != r.gen {
+				continue // stale deposit from an aborted previous run
+			}
+			r.consume(rq)
+			return true
+		default:
+			return false
+		}
+	}
+}
+
+// consume applies one gen-matched request to the runner's scheduler
+// state, counting it into the run's statistics sinks — the shared tail
+// of fetch and tryFetch.
+func (r *runner) consume(rq request) {
+	if s := r.stats; s != nil {
 		s.wakeups++
 		// agent.SetPhase accepts any Phase value; out-of-range tags
 		// attribute to PhaseOther rather than indexing out of bounds.
@@ -417,6 +517,9 @@ recv:
 		if rq.kind == reqScript {
 			s.scriptHist[bits.Len(uint(len(rq.script)))]++
 		}
+	}
+	if r.laneWakeups != nil {
+		*r.laneWakeups++
 	}
 	switch rq.kind {
 	case reqMove:
