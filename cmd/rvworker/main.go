@@ -2,7 +2,7 @@
 // distributed sweep dispatcher (package dist): it executes shard
 // descriptors — (graph, parameter-block) shards of simulator cases — on
 // a pooled sim.Session and streams the aggregates back to the
-// coordinator.
+// coordinator as bounded result chunks, heartbeating while it computes.
 //
 // Usage:
 //
@@ -13,10 +13,18 @@
 //	                      accept TCP coordinator connections, each served
 //	                      with its own session (the multi-machine mode
 //	                      behind dist.Dial / `rvx --dist-addrs`)
+//	rvworker -capacity 8  announce a deeper pipeline window in the hello
+//	rvworker -crash-after 3
+//	                      fault injection: crash while executing the 3rd
+//	                      shard of a connection — exit 3 in stdio mode,
+//	                      sever the connection in TCP mode. The chaos
+//	                      smoke test forks these to prove a sweep
+//	                      survives real worker deaths.
 //	rvworker -programs    list the registered program names and exit
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -28,6 +36,8 @@ import (
 func main() {
 	listen := flag.String("listen", "", "TCP address to accept coordinator connections on (default: serve stdin/stdout)")
 	programs := flag.Bool("programs", false, "list registered program names and exit")
+	capacity := flag.Int("capacity", 0, "pipeline window announced in the hello frame (default: protocol default)")
+	crashAfter := flag.Int("crash-after", 0, "fault injection: crash while executing the Nth shard of each connection (0 disables)")
 	flag.Parse()
 
 	if *programs {
@@ -36,8 +46,20 @@ func main() {
 		}
 		return
 	}
+	var opts []dist.ServeOption
+	if *capacity > 0 {
+		opts = append(opts, dist.WithCapacity(*capacity))
+	}
+	if *crashAfter > 0 {
+		opts = append(opts, dist.WithCrashAfterShards(*crashAfter))
+	}
 	if *listen == "" {
-		if err := dist.Serve(os.Stdin, os.Stdout); err != nil {
+		if err := dist.Serve(os.Stdin, os.Stdout, opts...); err != nil {
+			if errors.Is(err, dist.ErrCrashInjected) {
+				// The scheduled death: distinct exit code, quiet exit —
+				// the coordinator's requeue path is what's under test.
+				os.Exit(3)
+			}
 			fmt.Fprintf(os.Stderr, "rvworker: %v\n", err)
 			os.Exit(1)
 		}
@@ -49,7 +71,7 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "rvworker: listening on %s\n", l.Addr())
-	if err := dist.ListenAndServe(l); err != nil {
+	if err := dist.ListenAndServe(l, opts...); err != nil {
 		fmt.Fprintf(os.Stderr, "rvworker: %v\n", err)
 		os.Exit(1)
 	}

@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	rvx [-full] [-markdown] [-only E4,E7] [-dist-workers N] [-dist-worker-bin path] [-dist-addrs host:port,...]
+//	rvx [-full] [-markdown] [-only E4,E7] [-dist-workers N] [-dist-worker-bin "path args..."]
+//	    [-dist-addrs host:port,...] [-dist-respawn N] [-dist-max-attempts N]
 //
 // -full enables the heavier variants (ring-4 UniversalRV in E7, the
 // million-node Q̂12 build in E9). -markdown emits GitHub tables (the format
@@ -13,11 +14,17 @@
 // The distributable sweeps (E7, E12, E17) run on in-process protocol
 // workers by default. -dist-workers N forks N worker processes on this
 // machine instead — rvx re-execs itself as the worker unless
-// -dist-worker-bin points at cmd/rvworker — and -dist-addrs connects to
+// -dist-worker-bin names a worker command (split on whitespace, so
+// `rvworker -crash-after 2` works) — and -dist-addrs connects to
 // already-running `rvworker -listen` processes (one connection per
-// address; repeat an address for more parallelism on one host). The
-// dispatcher's aggregation is byte-identical across all modes, so the
-// tables come out the same however the sweeps were executed.
+// address; repeat an address for more parallelism on one host).
+// -dist-respawn lets the local fleet fork up to N replacement workers
+// when one dies mid-sweep, and -dist-max-attempts bounds how many times
+// one shard may be redispatched after worker deaths. The dispatcher's
+// aggregation is byte-identical across all modes, faults and requeues
+// included, so the tables come out the same however the sweeps were
+// executed — the CI chaos smoke pins exactly that, with crash-injected
+// workers being respawned under a real rvx run.
 package main
 
 import (
@@ -39,13 +46,19 @@ func main() {
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavored markdown")
 	only := flag.String("only", "", "comma-separated experiment IDs (e.g. E4,E7); default all")
 	distWorkers := flag.Int("dist-workers", 0, "fork this many local worker processes for the distributable sweeps")
-	distWorkerBin := flag.String("dist-worker-bin", "", "worker binary for -dist-workers (default: re-exec rvx itself)")
+	distWorkerBin := flag.String("dist-worker-bin", "", "worker command for -dist-workers, split on whitespace (default: re-exec rvx itself)")
 	distAddrs := flag.String("dist-addrs", "", "comma-separated rvworker -listen addresses to dispatch sweeps to")
+	distRespawn := flag.Int("dist-respawn", 0, "fork up to this many replacement workers when one dies mid-sweep (local workers only)")
+	distMaxAttempts := flag.Int("dist-max-attempts", 0, "redispatch a shard at most this many times after worker deaths (default: protocol default)")
 	flag.Parse()
 
+	var distOpts []dist.Option
+	if *distMaxAttempts > 0 {
+		distOpts = append(distOpts, dist.WithTuning(dist.Tuning{MaxAttempts: *distMaxAttempts}))
+	}
 	switch {
 	case *distAddrs != "":
-		be, err := dist.Dial(strings.Split(*distAddrs, ","))
+		be, err := dist.Dial(strings.Split(*distAddrs, ","), distOpts...)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rvx: %v\n", err)
 			os.Exit(1)
@@ -53,11 +66,13 @@ func main() {
 		defer be.Close()
 		experiments.SetDistBackend(be)
 	case *distWorkers > 0:
-		var argv []string
-		if *distWorkerBin != "" {
-			argv = []string{*distWorkerBin}
+		// The worker flag is a command line, not just a binary: splitting
+		// on whitespace lets the chaos smoke pass `rvworker -crash-after 2`.
+		argv := strings.Fields(*distWorkerBin)
+		if *distRespawn > 0 {
+			distOpts = append(distOpts, dist.WithRespawn(*distRespawn))
 		}
-		be, err := dist.NewLocal(*distWorkers, argv)
+		be, err := dist.NewLocal(*distWorkers, argv, distOpts...)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rvx: %v\n", err)
 			os.Exit(1)

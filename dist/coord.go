@@ -3,6 +3,7 @@ package dist
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -11,6 +12,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 )
 
 // Backend executes shard descriptors and returns their aggregates. Run is
@@ -19,21 +21,121 @@ import (
 // analogue of sim.Sweep's disjoint-region aggregation. A Backend is safe
 // for sequential reuse across many Run calls (worker processes and
 // connections stay warm in between); Close releases the workers.
+//
+// Failure is a normal event: a connection that errors, hangs past its
+// progress deadline, or dies mid-stream has its in-flight shards
+// requeued onto surviving (or late-joining) connections, and a sweep
+// only fails outright when no live workers remain or a shard exhausts
+// its bounded attempt budget. Deterministic per-shard errors (unknown
+// program, corrupt graph) are never retried — they would fail
+// identically anywhere — and surface as the Run error.
 type Backend interface {
 	Run(shards []*ShardDesc) ([]*ShardResult, error)
 	Close() error
 }
 
-// wconn is one coordinator-held worker connection.
-type wconn struct {
-	r     *bufio.Reader
-	w     *bufio.Writer
-	c     io.Closer
-	hello bool       // hello frame consumed and version-checked
-	gc    graphCache // memoized graphs + expected view signatures
+// ConnAdder is the optional elastic side of a backend: connection-backed
+// backends accept extra worker connections at any time, including while
+// a Run is in flight — the late-joining worker picks up queued and
+// requeued shards immediately.
+type ConnAdder interface {
+	AddConn(rw io.ReadWriter, closer io.Closer)
 }
 
-// handshake consumes the worker's hello frame once per connection.
+// Tuning is the failure-handling knob block of a connection backend.
+// Zero fields take the defaults; the values only affect scheduling and
+// liveness, never results.
+type Tuning struct {
+	// MaxAttempts bounds how many times one shard may be dispatched. A
+	// poison shard that kills every worker it lands on surfaces as a
+	// per-shard error after MaxAttempts dispatches instead of looping
+	// forever. Default 3.
+	MaxAttempts int
+
+	// BaseDeadline + PerCase*inflightCases is a connection's progress
+	// deadline: if no frame (heartbeat, chunk) arrives from a connection
+	// holding in-flight shards for that long, the coordinator severs it
+	// and requeues. Defaults 10s + 50ms/case. NoDeadline disables the
+	// watchdog entirely — the run then only notices a dead worker when
+	// its transport errors out.
+	BaseDeadline time.Duration
+	PerCase      time.Duration
+
+	// MaxWindow caps the per-connection pipeline depth below what the
+	// worker's hello capacity allows. 0 means the worker capacity rules.
+	MaxWindow int
+}
+
+// NoDeadline as Tuning.BaseDeadline disables the liveness watchdog. The
+// in-process backend defaults to it: a worker goroutine cannot vanish
+// without closing its pipe (which the frame reader notices immediately),
+// and keeping a watchdog timer armed for the whole run makes every
+// scheduler pass in a channel-heavy sweep pay for the timer heap.
+const NoDeadline time.Duration = -1
+
+func (t Tuning) withDefaults() Tuning {
+	if t.MaxAttempts <= 0 {
+		t.MaxAttempts = 3
+	}
+	if t.BaseDeadline == 0 {
+		t.BaseDeadline = 10 * time.Second
+	}
+	if t.PerCase <= 0 {
+		t.PerCase = 50 * time.Millisecond
+	}
+	return t
+}
+
+// watchdogOff reports whether the liveness watchdog is disabled.
+func (t Tuning) watchdogOff() bool { return t.BaseDeadline < 0 }
+
+// RunStats summarizes the failure handling of the most recent Run — how
+// elastic the sweep actually had to be.
+type RunStats struct {
+	Shards      int // shards dispatched
+	Requeues    int // shard re-deals after a connection was lost
+	DeadConns   int // connections lost during the run
+	Joined      int // connections that joined mid-run
+	MaxAttempts int // highest dispatch count of any shard
+	Chunks      int // result-chunk frames aggregated
+	Heartbeats  int // heartbeat frames received
+}
+
+// Option configures a connection backend at construction.
+type Option func(*connBackend)
+
+// WithTuning replaces the backend's failure-handling tuning.
+func WithTuning(t Tuning) Option {
+	return func(b *connBackend) { b.tun = t.withDefaults() }
+}
+
+// LastRunStats reports the failure-handling statistics of be's most
+// recent Run, when be is a connection backend (every backend this
+// package constructs is).
+func LastRunStats(be Backend) (RunStats, bool) {
+	b, ok := be.(*connBackend)
+	if !ok {
+		return RunStats{}, false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats, true
+}
+
+// wconn is one coordinator-held worker connection.
+type wconn struct {
+	r        *bufio.Reader
+	w        *bufio.Writer
+	c        io.Closer
+	wmu      sync.Mutex // serializes frame writes (dispatch vs shutdown)
+	hello    bool       // hello frame consumed and version-checked
+	capacity int        // pipeline depth from the hello frame
+	broken   bool       // connection failed; skip in future Runs (run.mu of the failing run, then only read)
+	gc       graphCache // memoized graphs + expected view signatures
+}
+
+// handshake consumes the worker's hello frame once per connection,
+// recording the announced pipeline capacity.
 func (c *wconn) handshake() error {
 	if c.hello {
 		return nil
@@ -42,171 +144,610 @@ func (c *wconn) handshake() error {
 	if err != nil {
 		return fmt.Errorf("dist: waiting for worker hello: %w", err)
 	}
-	if len(payload) != 2 || payload[0] != frameHello {
+	if len(payload) < 2 || payload[0] != frameHello {
 		return fmt.Errorf("dist: bad hello frame from worker")
 	}
 	if payload[1] != ProtoVersion {
 		return fmt.Errorf("dist: worker speaks protocol v%d, coordinator v%d", payload[1], ProtoVersion)
 	}
+	d := &rd{data: payload[2:]}
+	capacity := d.uvarint()
+	if d.err != nil || capacity == 0 || d.rest() != 0 {
+		return fmt.Errorf("dist: bad capacity in worker hello")
+	}
+	if capacity > maxWorkerCapacity {
+		capacity = maxWorkerCapacity
+	}
+	c.capacity = int(capacity)
 	c.hello = true
 	return nil
 }
 
-// dispatch sends one shard and decodes its answer, verifying the view
-// signature against the coordinator's own reading of the descriptor.
-func (c *wconn) dispatch(id int, sh *ShardDesc, scratch []byte) (*ShardResult, []byte, error) {
-	if err := c.handshake(); err != nil {
-		return nil, scratch, err
-	}
+// sendShard writes one shard frame under the connection's write mutex.
+func (c *wconn) sendShard(id int, sh *ShardDesc, scratch []byte) ([]byte, error) {
 	scratch = append(scratch[:0], frameShard)
 	scratch = binary.AppendUvarint(scratch, uint64(id))
 	scratch = sh.AppendEncode(scratch)
-	if err := writeFrame(c.w, scratch); err != nil {
-		return nil, scratch, err
-	}
-	payload, err := readFrame(c.r, scratch[:0])
-	if err != nil {
-		return nil, scratch, err
-	}
-	scratch = payload[:0]
-	if len(payload) == 0 {
-		return nil, scratch, fmt.Errorf("dist: empty frame from worker")
-	}
-	d := &rd{data: payload[1:]}
-	gotID := d.uvarint()
-	if d.err != nil {
-		return nil, scratch, d.err
-	}
-	if gotID != uint64(id) {
-		return nil, scratch, fmt.Errorf("dist: worker answered shard %d, expected %d", gotID, id)
-	}
-	switch payload[0] {
-	case frameError:
-		msg := d.str(maxErrStrLen, "error message")
-		if d.err != nil {
-			return nil, scratch, d.err
-		}
-		return nil, scratch, fmt.Errorf("dist: shard %d failed on worker: %s", id, msg)
-	case frameResult:
-		var res ShardResult
-		if err := res.Decode(d.data); err != nil {
-			return nil, scratch, err
-		}
-		if len(res.Cases) != len(sh.Cases) {
-			return nil, scratch, fmt.Errorf("dist: shard %d returned %d results for %d cases", id, len(res.Cases), len(sh.Cases))
-		}
-		e, err := c.gc.lookup(sh)
-		if err != nil {
-			return nil, scratch, err
-		}
-		if err := verifySigBytes(e.viewSig(), res.ViewSig); err != nil {
-			return nil, scratch, fmt.Errorf("dist: shard %d: %w", id, err)
-		}
-		return &res, scratch, nil
-	default:
-		return nil, scratch, fmt.Errorf("dist: unexpected frame type %d from worker", payload[0])
-	}
+	c.wmu.Lock()
+	err := writeFrameSum(c.w, scratch)
+	c.wmu.Unlock()
+	return scratch, err
 }
 
-// runOnConns is the coordinator core shared by every backend: deal the
-// shards largest-first (the same policy as sim.Sweep — long shards start
-// early) to whichever connection is free, and place each decoded result
-// at its shard's index. The first failure cancels the dispatch loop and
-// is returned; position stability is by construction, since results are
-// stored by shard index and never in completion order.
-func runOnConns(conns []*wconn, shards []*ShardDesc) ([]*ShardResult, error) {
-	out := make([]*ShardResult, len(shards))
-	if len(shards) == 0 {
-		return out, nil
+// connState is one connection's per-run view: the shards in flight on it
+// and the partial aggregations their chunks have built so far.
+type connState struct {
+	c            *wconn
+	inflight     map[int]*partialResult
+	dead         bool
+	helloed      bool  // handshake completed; pre-hello conns are on the watchdog clock too
+	deadReason   error // set before severing (watchdog) to annotate the read error
+	lastProgress time.Time
+}
+
+// partialResult accumulates one shard's chunks.
+type partialResult struct {
+	res ShardResult
+	got int // cases received so far
+}
+
+var errBackendClosed = errors.New("dist: backend closed")
+
+// run is one Run call's coordinator state: the shard queue, per-shard
+// attempt counts, per-connection windows, and the liveness watchdog.
+type run struct {
+	be     *connBackend
+	tun    Tuning
+	shards []*ShardDesc
+	out    []*ShardResult
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []int
+	attempts []int   // dispatches so far, per shard
+	lastFail []error // last connection-level failure, per shard (attempt exhaustion message)
+	shardErr []error // terminal per-shard error (deterministic failure or attempts exhausted)
+
+	conns     []*connState
+	live      int
+	remaining int
+	aborted   error
+	stats     RunStats
+
+	wg sync.WaitGroup
+}
+
+func newRun(be *connBackend, shards []*ShardDesc) *run {
+	r := &run{
+		be:       be,
+		tun:      be.tun,
+		shards:   shards,
+		out:      make([]*ShardResult, len(shards)),
+		attempts: make([]int, len(shards)),
+		lastFail: make([]error, len(shards)),
+		shardErr: make([]error, len(shards)),
+
+		remaining: len(shards),
 	}
-	order := make([]int, len(shards))
+	r.cond = sync.NewCond(&r.mu)
+	r.stats.Shards = len(shards)
+	return r
+}
+
+func (r *run) finishedLocked() bool { return r.remaining == 0 || r.aborted != nil }
+
+// execute drives the run to completion on the given starting connections
+// (more may join via addConn).
+func (r *run) execute(conns []*wconn) ([]*ShardResult, error) {
+	// Deal largest-first, the same policy as sim.Sweep: long shards
+	// start early. The queue is consumed from the front.
+	order := make([]int, len(r.shards))
 	for i := range order {
 		order[i] = i
 	}
 	sort.SliceStable(order, func(a, b int) bool {
-		return len(shards[order[a]].Cases) > len(shards[order[b]].Cases)
+		return len(r.shards[order[a]].Cases) > len(r.shards[order[b]].Cases)
 	})
-	nw := len(conns)
-	if nw > len(shards) {
-		nw = len(shards)
+	r.queue = order
+
+	if len(conns) == 0 {
+		return nil, errors.New("dist: no usable worker connections")
+	}
+	// live is pre-counted before any loop starts so an instantly-dying
+	// first connection cannot see live==0 while others are still being
+	// spawned.
+	r.live = len(conns)
+	for _, c := range conns {
+		cs := &connState{c: c, inflight: map[int]*partialResult{}, lastProgress: time.Now()}
+		r.conns = append(r.conns, cs)
+	}
+	for _, cs := range r.conns {
+		r.wg.Add(1)
+		go r.connLoop(cs)
+	}
+	var watchStop chan struct{}
+	if !r.tun.watchdogOff() {
+		watchStop = make(chan struct{})
+		go r.watch(watchStop)
+	}
+	r.wg.Wait()
+	if watchStop != nil {
+		close(watchStop)
 	}
 
-	next := make(chan int)
-	done := make(chan struct{})
-	var (
-		mu       sync.Mutex
-		firstErr error
-		failOnce sync.Once
-	)
-	fail := func(err error) {
-		mu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		mu.Unlock()
-		failOnce.Do(func() { close(done) }) // unblocks the feeder
-	}
-	var wg sync.WaitGroup
-	for _, c := range conns[:nw] {
-		wg.Add(1)
-		go func(c *wconn) {
-			defer wg.Done()
-			var scratch []byte
-			for si := range next {
-				res, sc, err := c.dispatch(si, shards[si], scratch)
-				scratch = sc
-				if err != nil {
-					fail(err)
-					return
-				}
-				out[si] = res
-			}
-		}(c)
-	}
-	go func() {
-		defer close(next)
-		for _, si := range order {
-			select {
-			case next <- si:
-			case <-done:
-				return
-			}
-		}
-	}()
-	wg.Wait()
-	if firstErr == nil {
-		for _, si := range order {
-			if out[si] == nil {
-				fail(fmt.Errorf("dist: shard %d never completed", si))
-				break
-			}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, a := range r.attempts {
+		if a > r.stats.MaxAttempts {
+			r.stats.MaxAttempts = a
 		}
 	}
-	return out, firstErr
+	if r.aborted != nil {
+		return nil, r.aborted
+	}
+	for si, err := range r.shardErr {
+		if err != nil {
+			return nil, fmt.Errorf("dist: shard %d: %w", si, err)
+		}
+	}
+	for si, res := range r.out {
+		if res == nil {
+			return nil, fmt.Errorf("dist: shard %d never completed", si)
+		}
+	}
+	return r.out, nil
 }
 
-// connBackend is the shared backend body: a fixed set of worker
+// deadlineLocked is cs's current progress deadline: the base plus the
+// per-case allowance for everything in flight on it. Heartbeats arrive
+// between cases, so a healthy connection is never silent for longer than
+// one case plus the heartbeat interval — the deadline only trips on a
+// genuinely hung or unreachable worker.
+func (r *run) deadlineLocked(cs *connState) time.Duration {
+	d := r.tun.BaseDeadline
+	for si := range cs.inflight {
+		d += time.Duration(len(r.shards[si].Cases)) * r.tun.PerCase
+	}
+	return d
+}
+
+// watch is the liveness watchdog: it periodically severs any connection
+// whose in-flight shards have seen no progress frames past the deadline.
+// Severing the transport makes the connection's reader fail, which funnels
+// the requeue through the ordinary connDead path.
+func (r *run) watch(stop chan struct{}) {
+	tick := r.tun.BaseDeadline / 8
+	if tick < 5*time.Millisecond {
+		tick = 5 * time.Millisecond
+	}
+	if tick > 500*time.Millisecond {
+		tick = 500 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case now := <-t.C:
+			var sever []*connState
+			r.mu.Lock()
+			for _, cs := range r.conns {
+				// A conn with work in flight must show progress; a conn
+				// that never finished its handshake (hello lost or the
+				// worker wedged on connect) is on the same clock — an
+				// idle post-hello conn is the only state with no deadline.
+				if cs.dead || (cs.helloed && len(cs.inflight) == 0) {
+					continue
+				}
+				if gap := now.Sub(cs.lastProgress); gap > r.deadlineLocked(cs) {
+					cs.deadReason = fmt.Errorf("dist: worker made no progress for %v (deadline %v) with %d shards in flight",
+						gap.Round(time.Millisecond), r.deadlineLocked(cs), len(cs.inflight))
+					sever = append(sever, cs)
+				}
+			}
+			r.mu.Unlock()
+			for _, cs := range sever {
+				if cs.c.c != nil {
+					_ = cs.c.c.Close()
+				}
+			}
+		}
+	}
+}
+
+// connLoop is one connection's dispatch driver: handshake, spawn the
+// frame reader, then feed the connection shards whenever its pipeline
+// window has room and the queue has work.
+func (r *run) connLoop(cs *connState) {
+	defer r.wg.Done()
+	c := cs.c
+	if err := c.handshake(); err != nil {
+		r.connDead(cs, err)
+		return
+	}
+	r.mu.Lock()
+	cs.helloed = true
+	cs.lastProgress = time.Now()
+	r.mu.Unlock()
+	window := c.capacity
+	if r.tun.MaxWindow > 0 && window > r.tun.MaxWindow {
+		window = r.tun.MaxWindow
+	}
+	var rwg sync.WaitGroup
+	rwg.Add(1)
+	go func() {
+		defer rwg.Done()
+		r.readLoop(cs)
+	}()
+	var scratch []byte
+	r.mu.Lock()
+	for {
+		if r.finishedLocked() || cs.dead {
+			break
+		}
+		if len(cs.inflight) < window && len(r.queue) > 0 {
+			si := r.queue[0]
+			r.queue = r.queue[1:]
+			r.attempts[si]++
+			cs.inflight[si] = &partialResult{}
+			cs.lastProgress = time.Now()
+			sh := r.shards[si]
+			r.mu.Unlock()
+			// Wake a reader idling on an empty window before the send:
+			// frames may start arriving immediately.
+			r.cond.Broadcast()
+			sc, err := c.sendShard(si, sh, scratch)
+			scratch = sc
+			if err != nil {
+				r.connDead(cs, err)
+				r.mu.Lock()
+				break
+			}
+			r.mu.Lock()
+			continue
+		}
+		r.cond.Wait()
+	}
+	r.mu.Unlock()
+	rwg.Wait()
+}
+
+// readLoop consumes a connection's frames — heartbeats, result chunks,
+// error frames — while shards are in flight, and idles between sweeps of
+// work. It is the sole mutator of the connection's per-run state, which
+// is what keeps requeue/completion races trivially absent: a connection
+// completes or requeues each of its shards exactly once.
+func (r *run) readLoop(cs *connState) {
+	c := cs.c
+	var buf []byte
+	for {
+		r.mu.Lock()
+		for len(cs.inflight) == 0 && !r.finishedLocked() && !cs.dead {
+			r.cond.Wait()
+		}
+		if cs.dead || (len(cs.inflight) == 0 && r.finishedLocked()) {
+			r.mu.Unlock()
+			return
+		}
+		r.mu.Unlock()
+		payload, err := readFrameSum(c.r, buf)
+		if err != nil {
+			r.connDead(cs, err)
+			return
+		}
+		buf = payload[:0]
+		if err := r.handleFrame(cs, payload); err != nil {
+			r.connDead(cs, err)
+			return
+		}
+	}
+}
+
+// handleFrame processes one worker frame; a non-nil error means the
+// stream is no longer trustworthy and the connection must die.
+func (r *run) handleFrame(cs *connState, payload []byte) error {
+	if len(payload) == 0 {
+		return fmt.Errorf("dist: empty frame from worker")
+	}
+	d := &rd{data: payload[1:]}
+	id := d.uvarint()
+	if d.err != nil {
+		return d.err
+	}
+	si := int(id)
+	r.mu.Lock()
+	part, inflight := cs.inflight[si]
+	r.mu.Unlock()
+	if !inflight {
+		return fmt.Errorf("dist: worker sent frame type %d for shard %d not in flight here", payload[0], si)
+	}
+	switch payload[0] {
+	case frameHeartbeat:
+		done := d.uvarint()
+		if d.err != nil {
+			return d.err
+		}
+		if done > uint64(len(r.shards[si].Cases)) {
+			return fmt.Errorf("dist: heartbeat claims %d/%d cases done on shard %d", done, len(r.shards[si].Cases), si)
+		}
+		r.mu.Lock()
+		cs.lastProgress = time.Now()
+		r.stats.Heartbeats++
+		r.mu.Unlock()
+		return nil
+
+	case frameResultChunk:
+		var ck ResultChunk
+		if err := ck.Decode(d.data); err != nil {
+			return err
+		}
+		sh := r.shards[si]
+		if ck.Start != part.got {
+			return fmt.Errorf("dist: shard %d chunk starts at case %d, expected %d", si, ck.Start, part.got)
+		}
+		if part.got+len(ck.Cases) > len(sh.Cases) {
+			return fmt.Errorf("dist: shard %d chunks overflow %d cases", si, len(sh.Cases))
+		}
+		part.res.Cases = append(part.res.Cases, ck.Cases...)
+		part.got += len(ck.Cases)
+		if ck.Terminal {
+			if part.got != len(sh.Cases) {
+				return fmt.Errorf("dist: shard %d terminal chunk after %d of %d cases", si, part.got, len(sh.Cases))
+			}
+			e, err := cs.c.gc.lookup(sh)
+			if err != nil {
+				// The coordinator cannot materialize its own descriptor's
+				// graph: deterministic, not a transport fault.
+				r.completeShard(cs, si, nil, err)
+				return nil
+			}
+			if err := verifySigBytes(e.viewSig(), ck.ViewSig); err != nil {
+				return fmt.Errorf("dist: shard %d: %w", si, err)
+			}
+			part.res.ViewSig = ck.ViewSig
+			done := part.res
+			r.completeShard(cs, si, &done, nil)
+			r.mu.Lock()
+			r.stats.Chunks++
+			r.mu.Unlock()
+			return nil
+		}
+		r.mu.Lock()
+		cs.lastProgress = time.Now()
+		r.stats.Chunks++
+		r.mu.Unlock()
+		return nil
+
+	case frameError:
+		msg := d.str(maxErrStrLen, "error message")
+		if d.err != nil {
+			return d.err
+		}
+		// Worker-reported execution errors are deterministic — the same
+		// descriptor fails the same way on every worker — so they are
+		// terminal for the shard, never requeued.
+		r.completeShard(cs, si, nil, fmt.Errorf("failed on worker: %s", msg))
+		return nil
+
+	default:
+		return fmt.Errorf("dist: unexpected frame type %d from worker", payload[0])
+	}
+}
+
+// completeShard retires one in-flight shard — with its aggregate, or
+// with a terminal per-shard error.
+func (r *run) completeShard(cs *connState, si int, res *ShardResult, err error) {
+	r.mu.Lock()
+	delete(cs.inflight, si)
+	cs.lastProgress = time.Now()
+	if err != nil {
+		r.shardErr[si] = err
+	} else {
+		r.out[si] = res
+	}
+	r.remaining--
+	r.mu.Unlock()
+	r.cond.Broadcast()
+}
+
+// connDead retires a connection: its in-flight shards go back to the
+// queue (or to per-shard errors once their attempt budgets are spent),
+// the backend gets a chance to replace the worker (NewLocal respawn),
+// and if no live connection remains the run aborts.
+func (r *run) connDead(cs *connState, cause error) {
+	r.mu.Lock()
+	if cs.dead {
+		r.mu.Unlock()
+		return
+	}
+	cs.dead = true
+	cs.c.broken = true
+	if cs.deadReason != nil {
+		cause = fmt.Errorf("%v (%w)", cs.deadReason, cause)
+	}
+	r.stats.DeadConns++
+	for si := range cs.inflight {
+		delete(cs.inflight, si)
+		r.lastFail[si] = cause
+		if r.attempts[si] >= r.tun.MaxAttempts {
+			r.shardErr[si] = fmt.Errorf("failed after %d dispatch attempts: last worker error: %w", r.attempts[si], cause)
+			r.remaining--
+		} else {
+			r.stats.Requeues++
+			r.queue = append(r.queue, si)
+		}
+	}
+	r.live--
+	r.mu.Unlock()
+	if cs.c.c != nil {
+		_ = cs.c.c.Close()
+	}
+	// Give the backend a chance to refill the fleet (NewLocal respawn)
+	// BEFORE deciding the sweep is dead: a synchronous replacement joins
+	// the run inside notifyDead, so live is already refreshed below.
+	r.be.notifyDead()
+	r.mu.Lock()
+	if r.live == 0 && r.remaining > 0 && r.aborted == nil {
+		done := len(r.shards) - r.remaining
+		r.aborted = fmt.Errorf("dist: no live workers remain (%d/%d shards done): last connection error: %w",
+			done, len(r.shards), cause)
+	}
+	r.mu.Unlock()
+	r.cond.Broadcast()
+}
+
+// addConn joins one more connection to the running sweep.
+func (r *run) addConn(c *wconn) {
+	r.mu.Lock()
+	if r.finishedLocked() {
+		r.mu.Unlock()
+		return
+	}
+	cs := &connState{c: c, inflight: map[int]*partialResult{}, lastProgress: time.Now()}
+	r.conns = append(r.conns, cs)
+	r.live++
+	r.stats.Joined++
+	r.wg.Add(1)
+	r.mu.Unlock()
+	go r.connLoop(cs)
+}
+
+// connBackend is the shared backend body: a growable set of worker
 // connections plus a closer for whatever owns them.
 type connBackend struct {
-	conns []*wconn
-	stop  func() error
+	tun Tuning
+
+	mu      sync.Mutex
+	conns   []*wconn
+	active  *run
+	closing bool
+	stats   RunStats
+
+	runWG sync.WaitGroup // outstanding Run calls
+
+	stop       func() error
+	onConnDead func() // respawn hook (NewLocal); called outside mu
+	fleet      any    // *localFleet for NewLocal backends (WithRespawn's target)
+}
+
+func newConnBackend(conns []*wconn, stop func() error, opts ...Option) *connBackend {
+	b := &connBackend{conns: conns, stop: stop, tun: Tuning{}.withDefaults()}
+	for _, o := range opts {
+		o(b)
+	}
+	return b
 }
 
 func (b *connBackend) Run(shards []*ShardDesc) ([]*ShardResult, error) {
-	return runOnConns(b.conns, shards)
+	b.mu.Lock()
+	if b.closing {
+		b.mu.Unlock()
+		return nil, errBackendClosed
+	}
+	if b.active != nil {
+		b.mu.Unlock()
+		return nil, errors.New("dist: concurrent Run calls on one backend")
+	}
+	if len(shards) == 0 {
+		b.mu.Unlock()
+		return make([]*ShardResult, 0), nil
+	}
+	r := newRun(b, shards)
+	b.active = r
+	b.runWG.Add(1)
+	usable := make([]*wconn, 0, len(b.conns))
+	for _, c := range b.conns {
+		if !c.broken {
+			usable = append(usable, c)
+		}
+	}
+	b.mu.Unlock()
+	defer func() {
+		b.mu.Lock()
+		b.active = nil
+		b.stats = r.stats
+		b.mu.Unlock()
+		b.runWG.Done()
+	}()
+	// Spare connections beyond the shard count still join: after a
+	// failure they are the surviving workers the requeued shards need.
+	return r.execute(usable)
 }
 
-// Close sends every used worker a shutdown frame (best effort) and
-// releases the underlying processes/connections. A connection whose
-// hello was never consumed is just closed: its worker may still be
-// blocked writing the hello into an unbuffered transport (net.Pipe), in
-// which case writing the shutdown frame from this side would deadlock —
-// closing unblocks it with an error instead, which Serve treats as the
-// end of the stream.
+// AddConn attaches one more worker connection to the backend. If a Run
+// is in flight the connection joins it immediately, picking up queued
+// and requeued shards; otherwise it waits for the next Run.
+func (b *connBackend) AddConn(rw io.ReadWriter, closer io.Closer) {
+	c := newWconn(rw, closer)
+	b.mu.Lock()
+	if b.closing {
+		b.mu.Unlock()
+		if closer != nil {
+			_ = closer.Close()
+		}
+		return
+	}
+	b.conns = append(b.conns, c)
+	r := b.active
+	b.mu.Unlock()
+	if r != nil {
+		r.addConn(c)
+	}
+}
+
+// notifyDead invokes the respawn hook, if any, unless the backend is
+// shutting down (a worker dying because Close severed it must not be
+// replaced).
+func (b *connBackend) notifyDead() {
+	b.mu.Lock()
+	hook := b.onConnDead
+	closing := b.closing
+	b.mu.Unlock()
+	if hook != nil && !closing {
+		hook()
+	}
+}
+
+// Close drains and releases the backend. An in-flight Run is aborted by
+// severing its connections, then awaited — Close never returns while a
+// dispatch goroutine can still touch a connection, so a Close racing an
+// active Run cannot leak blocked readers. Quiescent workers are sent a
+// shutdown frame (best effort) before their transports close; a
+// connection whose hello was never consumed is just closed — its worker
+// may still be blocked writing the hello into an unbuffered transport
+// (net.Pipe), in which case writing the shutdown frame from this side
+// would deadlock, and closing unblocks it with an error instead.
 func (b *connBackend) Close() error {
-	for _, c := range b.conns {
-		if c.hello {
-			_ = writeFrame(c.w, []byte{frameShutdown})
+	b.mu.Lock()
+	if b.closing {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closing = true
+	active := b.active
+	b.mu.Unlock()
+	if active != nil {
+		// Sever every connection the active run may be using; its
+		// readers and writers fail out, the run aborts, Run returns.
+		b.mu.Lock()
+		conns := append([]*wconn(nil), b.conns...)
+		b.mu.Unlock()
+		for _, c := range conns {
+			if c.c != nil {
+				_ = c.c.Close()
+			}
+		}
+	}
+	b.runWG.Wait()
+	b.mu.Lock()
+	conns := append([]*wconn(nil), b.conns...)
+	b.mu.Unlock()
+	for _, c := range conns {
+		if c.hello && !c.broken {
+			c.wmu.Lock()
+			_ = writeFrameSum(c.w, []byte{frameShutdown})
+			c.wmu.Unlock()
 		}
 		if c.c != nil {
 			_ = c.c.Close()
@@ -233,7 +774,7 @@ func newWconn(rw io.ReadWriter, closer io.Closer) *wconn {
 // GOMAXPROCS. Descriptors and results still round-trip through the full
 // wire codec, so the in-process and multi-process paths run byte-for-byte
 // the same protocol; only the transport differs.
-func NewInProcess(workers int) Backend {
+func NewInProcess(workers int, opts ...Option) Backend {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -251,7 +792,23 @@ func NewInProcess(workers int) Backend {
 		}()
 		conns[i] = newWconn(coord, coord)
 	}
-	return &connBackend{conns: conns, stop: func() error { wg.Wait(); return nil }}
+	// Watchdog off by default (see NoDeadline): an in-process worker
+	// dying is a pipe close, not a silent hang. WithTuning still arms it.
+	opts = append([]Option{WithTuning(Tuning{BaseDeadline: NoDeadline})}, opts...)
+	return newConnBackend(conns, func() error { wg.Wait(); return nil }, opts...)
+}
+
+// NewFromStreams returns a backend over caller-supplied byte streams,
+// one worker connection per stream — the seam the fault-injection suite
+// and the pipelining benchmarks drive custom transports (FaultConn
+// wrappers, delayed pipes) through. The caller owns the worker side of
+// each stream.
+func NewFromStreams(streams []io.ReadWriteCloser, opts ...Option) Backend {
+	conns := make([]*wconn, len(streams))
+	for i, s := range streams {
+		conns[i] = newWconn(s, s)
+	}
+	return newConnBackend(conns, nil, opts...)
 }
 
 // rwPair joins a subprocess's stdin/stdout pipes into one ReadWriter.
@@ -260,70 +817,140 @@ type rwPair struct {
 	io.Writer
 }
 
+// localFleet is the process-management state behind NewLocal: the forked
+// worker commands, their reapers, and the respawn budget.
+type localFleet struct {
+	argv     []string
+	selfExec bool
+
+	mu        sync.Mutex
+	respawns  int
+	maxSpawns int
+	wg        sync.WaitGroup
+	firstErr  error
+}
+
+func (l *localFleet) spawn() (*exec.Cmd, io.ReadWriter, io.Closer, error) {
+	cmd := exec.Command(l.argv[0], l.argv[1:]...)
+	if l.selfExec {
+		cmd.Env = append(os.Environ(), WorkerEnv+"=1")
+	}
+	cmd.Stderr = os.Stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, nil, nil, fmt.Errorf("dist: starting worker %v: %w", l.argv, err)
+	}
+	l.wg.Add(1)
+	go func() {
+		defer l.wg.Done()
+		err := cmd.Wait()
+		l.mu.Lock()
+		if err != nil && l.firstErr == nil {
+			l.firstErr = fmt.Errorf("dist: worker exit: %w", err)
+		}
+		l.mu.Unlock()
+	}()
+	return cmd, rwPair{stdout, stdin}, stdin, nil
+}
+
+// WithRespawn lets a NewLocal backend fork up to max replacement worker
+// processes: whenever a connection dies mid-sweep (worker crashed, was
+// killed, hit a poison shard), a fresh process is spawned and joins the
+// running sweep — the elastic half of the fault-tolerant fleet. The
+// budget bounds fork storms from a systematically-crashing binary.
+func WithRespawn(max int) Option {
+	return func(b *connBackend) {
+		if fl, ok := b.stopOwner(); ok {
+			fl.maxSpawns = max
+		}
+	}
+}
+
+// stopOwner digs the localFleet out of a NewLocal backend (nil, false on
+// every other backend kind).
+func (b *connBackend) stopOwner() (*localFleet, bool) {
+	fl, ok := b.fleet.(*localFleet)
+	return fl, ok && fl != nil
+}
+
 // NewLocal returns a backend that forks `workers` OS worker processes on
 // this machine and speaks the protocol over their stdin/stdout — the
 // single-machine scale-out mode behind `rvx --dist-workers`. argv names
 // the worker binary and its arguments (typically cmd/rvworker); a nil
 // argv re-execs the current binary with WorkerEnv set, which any binary
 // that calls RunWorkerIfChild first thing in main supports. Worker
-// stderr passes through to the coordinator's stderr.
-func NewLocal(workers int, argv []string) (Backend, error) {
+// stderr passes through to the coordinator's stderr. With WithRespawn,
+// crashed workers are replaced mid-sweep.
+func NewLocal(workers int, argv []string, opts ...Option) (Backend, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	selfExec := len(argv) == 0
-	if selfExec {
+	fl := &localFleet{argv: argv, selfExec: len(argv) == 0}
+	if fl.selfExec {
 		self, err := os.Executable()
 		if err != nil {
 			return nil, fmt.Errorf("dist: resolving own binary for self-exec workers: %w", err)
 		}
-		argv = []string{self}
+		fl.argv = []string{self}
 	}
 	cmds := make([]*exec.Cmd, 0, workers)
 	conns := make([]*wconn, 0, workers)
 	fail := func(err error) (Backend, error) {
 		for _, cmd := range cmds {
 			_ = cmd.Process.Kill()
-			_ = cmd.Wait()
 		}
+		fl.wg.Wait()
 		return nil, err
 	}
 	for i := 0; i < workers; i++ {
-		cmd := exec.Command(argv[0], argv[1:]...)
-		if selfExec {
-			cmd.Env = append(os.Environ(), WorkerEnv+"=1")
-		}
-		cmd.Stderr = os.Stderr
-		stdin, err := cmd.StdinPipe()
+		cmd, rw, closer, err := fl.spawn()
 		if err != nil {
 			return fail(err)
-		}
-		stdout, err := cmd.StdoutPipe()
-		if err != nil {
-			return fail(err)
-		}
-		if err := cmd.Start(); err != nil {
-			return fail(fmt.Errorf("dist: starting worker %v: %w", argv, err))
 		}
 		cmds = append(cmds, cmd)
-		conns = append(conns, newWconn(rwPair{stdout, stdin}, stdin))
+		conns = append(conns, newWconn(rw, closer))
 	}
-	return &connBackend{conns: conns, stop: func() error {
-		var first error
-		for _, cmd := range cmds {
-			if err := cmd.Wait(); err != nil && first == nil {
-				first = fmt.Errorf("dist: worker exit: %w", err)
-			}
+	b := newConnBackend(conns, func() error {
+		fl.wg.Wait()
+		fl.mu.Lock()
+		defer fl.mu.Unlock()
+		return fl.firstErr
+	}, opts...)
+	b.fleet = fl
+	for _, o := range opts {
+		o(b) // re-apply so WithRespawn sees the fleet
+	}
+	b.onConnDead = func() {
+		fl.mu.Lock()
+		if fl.respawns >= fl.maxSpawns {
+			fl.mu.Unlock()
+			return
 		}
-		return first
-	}}, nil
+		fl.respawns++
+		fl.mu.Unlock()
+		_, rw, closer, err := fl.spawn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dist: respawning worker: %v\n", err)
+			return
+		}
+		b.AddConn(rw, closer)
+	}
+	return b, nil
 }
 
 // Dial returns a backend over TCP connections to already-running
 // protocol workers (`rvworker -listen`), one connection per address —
 // the multi-machine mode. Addresses may repeat to open several
-// connections to one worker host.
-func Dial(addrs []string) (Backend, error) {
+// connections to one worker host; DialAdd joins more workers later,
+// including mid-sweep.
+func Dial(addrs []string, opts ...Option) (Backend, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("dist: Dial needs at least one worker address")
 	}
@@ -338,5 +965,20 @@ func Dial(addrs []string) (Backend, error) {
 		}
 		conns = append(conns, newWconn(c, c))
 	}
-	return &connBackend{conns: conns}, nil
+	return newConnBackend(conns, nil, opts...), nil
+}
+
+// DialAdd dials one more `rvworker -listen` address into a Dial (or any
+// connection) backend, joining an in-flight sweep if one is running.
+func DialAdd(be Backend, addr string) error {
+	adder, ok := be.(ConnAdder)
+	if !ok {
+		return fmt.Errorf("dist: backend does not accept extra connections")
+	}
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("dist: dialing worker %s: %w", addr, err)
+	}
+	adder.AddConn(c, c)
+	return nil
 }

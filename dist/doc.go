@@ -4,28 +4,92 @@
 // on one machine (NewLocal, `rvx --dist-workers`), TCP-connected
 // `rvworker -listen` processes on other machines (Dial), or protocol
 // workers inside this process (NewInProcess, the reference everything
-// else is pinned against) — over a length-prefixed binary protocol.
+// else is pinned against) — over a length-prefixed binary protocol
+// (v2) built around failure as a normal event: shards requeue off dead
+// connections, workers heartbeat while they compute, dispatch is
+// pipelined, and workers may join (AddConn, DialAdd) or be respawned
+// (WithRespawn) mid-sweep.
 //
-// # Protocol framing
+// # Protocol framing (v2)
 //
 // A connection carries varint length-prefixed frames in both directions:
 // each frame is binary.AppendUvarint(len(payload)) followed by the
 // payload, whose first byte is the frame type. Payloads are capped (64
-// MiB) so a corrupt length cannot demand unbounded memory. The
-// conversation is strictly request/response:
+// MiB) so a corrupt length cannot demand unbounded memory. Every frame
+// except the hello additionally carries a trailing 32-bit FNV-1a
+// checksum of its payload inside the length-prefixed region (the hello
+// keeps v1 framing so version negotiation never depends on v2 rules).
 //
-//	worker → coordinator   hello    {version}           once, on connect
-//	coordinator → worker   shard    {id, ShardDesc}
-//	worker → coordinator   result   {id, ShardResult}   answers shard
-//	worker → coordinator   error    {id, message}       answers shard
-//	coordinator → worker   shutdown {}                  drain and exit
+//	worker → coordinator   hello     {version, capacity}          once, on connect; no checksum
+//	coordinator → worker   shard     {id, ShardDesc}              up to `capacity` in flight per connection
+//	worker → coordinator   heartbeat {id, casesDone}              liveness while a shard executes
+//	worker → coordinator   chunk     {id, ResultChunk}            bounded case batch; terminal chunk carries the view signature
+//	worker → coordinator   error     {id, message}                deterministic per-shard failure; never retried
+//	coordinator → worker   shutdown  {}                           drain and exit
 //
-// A worker serves shards sequentially on one pooled sim.Session, so its
-// runner goroutines, channels and script buffers stay warm across every
-// shard it drains — the cross-process analogue of one sim.Sweep worker.
+// The v1 whole-shard result frame (type 3) is retired; results travel
+// exclusively as chunk frames. The checksum is the line between the two
+// failure classes: a frame that fails its checksum (or desyncs the
+// stream) means the CONNECTION can no longer be trusted — it is severed
+// and its in-flight shards requeue — while a frame that decodes cleanly
+// but names an unknown program or an out-of-range start is a
+// deterministic per-shard error that would fail identically on any
+// worker, so it surfaces as the sweep error instead of being retried.
+//
+// # Pipelined dispatch and elastic membership
+//
+// The hello frame announces the worker's capacity: how many shard
+// frames it is willing to hold decoded ahead of execution (a reader
+// goroutine decodes into a capacity-bounded queue while the executor
+// drains it). The coordinator keeps up to min(capacity, Tuning.MaxWindow)
+// shards outstanding per connection and matches frames to shards by id,
+// which hides dispatch latency on high-RTT links — the next shard is
+// already on the worker when the previous one finishes (pinned by
+// BenchmarkDistPipelined against a delayed transport). Connections may
+// join at any time: AddConn / DialAdd attach a new worker to an
+// in-flight sweep, and a NewLocal backend built WithRespawn forks a
+// replacement process whenever a connection dies, within a bounded
+// respawn budget.
+//
+// A worker serves shards on one pooled sim.Session, so its runner
+// goroutines, channels and script buffers stay warm across every shard
+// it drains — the cross-process analogue of one sim.Sweep worker.
 // cmd/rvworker is the standalone worker binary (stdin/stdout or TCP);
 // any other binary becomes a worker pool for itself by calling
 // RunWorkerIfChild first thing in main.
+//
+// # Requeue, attempts, liveness
+//
+// The coordinator holds one shard queue per Run (dealt largest-first,
+// sim.Sweep's policy). When a connection dies — read error, checksum
+// failure, stream desync, transport cut — its in-flight shards return
+// to the queue and re-deal to the surviving (or newly joined)
+// connections; partial chunk aggregations from the dead connection are
+// discarded, which is sound because descriptors are self-contained and
+// execution is deterministic. A sweep fails outright only when no live
+// connection remains. Each shard's dispatch count is bounded by
+// Tuning.MaxAttempts, so a poison shard that kills every worker it
+// lands on surfaces as a per-shard error after MaxAttempts dispatches
+// instead of cycling forever.
+//
+// Liveness is measured on progress, never on wall-clock silence: a
+// worker emits heartbeat frames between cases whenever it has been
+// silent longer than its heartbeat interval, and every frame touches
+// its connection's progress clock. A connection holding in-flight work
+// whose clock goes stale past Tuning.BaseDeadline plus Tuning.PerCase
+// per in-flight case is severed by the watchdog and handled exactly
+// like a death. RunStats (via LastRunStats) reports how much of this
+// machinery a sweep actually exercised.
+//
+// # Chunked results
+//
+// Workers stream each shard's results as bounded ResultChunk frames
+// (chunkCases cases per frame) rather than one monolithic result: the
+// coordinator aggregates incrementally, a huge shard never demands a
+// proportionate frame, and every chunk doubles as a progress signal.
+// Chunks of one shard arrive in order (Start must equal the cases
+// already received); the terminal chunk closes the shard and is the
+// only one carrying the view signature.
 //
 // # Descriptor schema
 //
@@ -42,7 +106,8 @@
 // args) resolved identically on both sides, the classic task-registry
 // shape. Descriptor decoding is hardened the same way view.Tree.Decode
 // is: arbitrary bytes produce an error or a valid descriptor, never a
-// panic or a disproportionate allocation (pinned by FuzzShardDecode).
+// panic or a disproportionate allocation (pinned by FuzzShardDecode and
+// FuzzResultChunkDecode).
 //
 // # Batched shard execution
 //
@@ -73,11 +138,31 @@
 // (never in completion order), so the flattened output of Planner.Run is
 // indistinguishable from running sim.Sweep in-process. This holds
 // because every run is deterministic, the result codec is lossless, and
-// aggregation is position-stable by construction; the randomized
-// differential suite pins it across mixed graphs, parameter blocks,
-// case kinds and worker counts, and the CI smoke job re-checks it
-// end-to-end through real forked worker processes (`rvx --dist-workers 2`
-// must reproduce the in-process experiment tables byte-for-byte).
+// aggregation is position-stable by construction — and it must keep
+// holding with faults injected: requeued shards re-execute from their
+// self-contained descriptors, partial chunks are discarded whole, and
+// duplicated work is harmless because both executions produce the same
+// bytes. The randomized differential suite pins it across mixed graphs,
+// parameter blocks, case kinds and worker counts; the fault-injection
+// suite re-pins it across seeded schedules of dropped, delayed and
+// garbled frames, severed connections, crashing workers (a kill-matrix
+// over every worker × crash-point pair) and hung workers reaped by the
+// deadline watchdog; and the CI smoke jobs re-check it end-to-end
+// through real forked worker processes (`rvx --dist-workers 2` must
+// reproduce the in-process experiment tables byte-for-byte, with and
+// without crash-injected workers being respawned mid-sweep).
+//
+// # Fault injection contract
+//
+// FaultConn is the transport seam the suite drives: a seeded
+// deterministic wrapper applying write-side faults at frame granularity
+// (the protocol flushes once per frame) — drop, delay, single-byte
+// garble, sever-after-N-writes — to whichever direction of a link a
+// test wraps. WithCrashAfterShards (and cmd/rvworker's -crash-after
+// flag, or CrashEnv for forked workers) makes a worker execute its n-th
+// shard, stream its non-terminal chunks, withhold the terminal chunk
+// and sever — the crashed-process shape. Same seed, same schedule:
+// every failing fault run is replayable.
 //
 // # View exchange
 //

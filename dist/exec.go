@@ -164,6 +164,13 @@ func prewarm(sess *sim.Session, h *Hints) {
 	}
 }
 
+// progressFn is the between-cases progress hook of the execution paths:
+// called with the number of cases completed so far, it is what lets a
+// worker emit heartbeat frames while a long shard executes (liveness is
+// measured on progress, never on wall-clock silence). Progress never
+// influences results — a nil hook is always valid.
+type progressFn func(done int)
+
 // ExecShard runs every case of the shard, in order, on the given pooled
 // session and returns the per-case aggregates plus the executed graph's
 // view signature. Execution is deterministic: the same descriptor on any
@@ -176,10 +183,10 @@ func ExecShard(sess *sim.Session, sh *ShardDesc) (*ShardResult, error) {
 	if sh.Batch {
 		return ExecShardBatch(sess, sim.NewBatch(), sh)
 	}
-	return execShard(sess, sh, nil)
+	return execShard(sess, sh, nil, nil)
 }
 
-func execShard(sess *sim.Session, sh *ShardDesc, gc *graphCache) (*ShardResult, error) {
+func execShard(sess *sim.Session, sh *ShardDesc, gc *graphCache, progress progressFn) (*ShardResult, error) {
 	e, err := shardGraph(gc, sh)
 	if err != nil {
 		return nil, err
@@ -228,6 +235,9 @@ func execShard(sess *sim.Session, sh *ShardDesc, gc *graphCache) (*ShardResult, 
 			})
 		}
 		out.Wakeups = sess.Wakeups()
+		if progress != nil {
+			progress(i + 1)
+		}
 	}
 	res.ViewSig = e.viewSig()
 	return res, nil
@@ -270,10 +280,10 @@ func (pc *progCache) get(p *ProgDesc, seedLo, seedHi uint64) (agent.Program, err
 // are built once per distinct descriptor, so the engine's
 // record-and-resolve memo fires across the whole group.
 func ExecShardBatch(sess *sim.Session, b *sim.Batch, sh *ShardDesc) (*ShardResult, error) {
-	return execShardBatch(sess, b, sh, nil)
+	return execShardBatch(sess, b, sh, nil, nil)
 }
 
-func execShardBatch(sess *sim.Session, b *sim.Batch, sh *ShardDesc, gc *graphCache) (*ShardResult, error) {
+func execShardBatch(sess *sim.Session, b *sim.Batch, sh *ShardDesc, gc *graphCache, progress progressFn) (*ShardResult, error) {
 	e, err := shardGraph(gc, sh)
 	if err != nil {
 		return nil, err
@@ -342,6 +352,9 @@ func execShardBatch(sess *sim.Session, b *sim.Batch, sh *ShardDesc, gc *graphCac
 			}
 		}
 		i = j
+		if progress != nil {
+			progress(j)
+		}
 	}
 	res.ViewSig = e.viewSig()
 	return res, nil
@@ -357,11 +370,11 @@ func checkStart(g *graph.Graph, v int) error {
 // execShardOn routes a shard to the engine its Batch flag selects,
 // reusing the caller's pooled arena for batch shards and its graph
 // cache either way (the per-connection execution path of Serve).
-func execShardOn(sess *sim.Session, b *sim.Batch, sh *ShardDesc, gc *graphCache) (*ShardResult, error) {
+func execShardOn(sess *sim.Session, b *sim.Batch, sh *ShardDesc, gc *graphCache, progress progressFn) (*ShardResult, error) {
 	if sh.Batch {
-		return execShardBatch(sess, b, sh, gc)
+		return execShardBatch(sess, b, sh, gc, progress)
 	}
-	return execShard(sess, sh, gc)
+	return execShard(sess, sh, gc, progress)
 }
 
 // MeasureHints runs the shard's first case on a throwaway session and

@@ -1,0 +1,395 @@
+package dist_test
+
+// The fault-injection differential suite: the byte-identical-aggregation
+// invariant must survive dropped, delayed and garbled frames, severed
+// connections, crashing workers and hung workers — every recovery path
+// (requeue, deadline reaping, respawn, mid-sweep joins) is pinned by
+// full-equality comparison against the plain in-process sim.Sweep.
+// Fault schedules are seeded and deterministic, so a failing run
+// replays.
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/dist"
+)
+
+// workerLink is one protocol worker running over an in-memory pipe,
+// with optional fault wrappers on either side of the link.
+type workerLink struct {
+	coord io.ReadWriteCloser
+	done  chan error
+}
+
+// startServeWorker runs a real protocol worker over net.Pipe. workerPlan
+// faults the worker→coordinator direction, coordPlan the
+// coordinator→worker direction; nil means a clean side.
+func startServeWorker(workerPlan, coordPlan *dist.FaultPlan, opts ...dist.ServeOption) workerLink {
+	cp, wp := net.Pipe()
+	var wt io.ReadWriteCloser = wp
+	if workerPlan != nil {
+		wt = dist.NewFaultConn(wp, *workerPlan)
+	}
+	done := make(chan error, 1)
+	go func() {
+		err := dist.Serve(wt, wt, opts...)
+		wt.Close()
+		done <- err
+	}()
+	var ct io.ReadWriteCloser = cp
+	if coordPlan != nil {
+		ct = dist.NewFaultConn(cp, *coordPlan)
+	}
+	return workerLink{coord: ct, done: done}
+}
+
+// startHungWorker is a worker that completes the handshake and then
+// swallows every frame without ever answering — the shape of a wedged
+// process the deadline watchdog exists for.
+func startHungWorker() io.ReadWriteCloser {
+	cp, wp := net.Pipe()
+	go func() {
+		defer wp.Close()
+		// Hand-rolled v2 hello: 3-byte frame {hello, version, capacity 1}.
+		if _, err := wp.Write([]byte{3, 1, byte(dist.ProtoVersion), 1}); err != nil {
+			return
+		}
+		_, _ = io.Copy(io.Discard, wp)
+	}()
+	return cp
+}
+
+// plannerWithShards builds a randomized plan with at least minShards
+// shards, deterministically from the seed (scanning forward as needed).
+func plannerWithShards(seed int64, minShards int) (*dist.Planner, []planCase) {
+	for s := seed; ; s++ {
+		r := rand.New(rand.NewSource(s))
+		p, cases := buildPlan(r)
+		if len(p.Shards()) >= minShards {
+			return p, cases
+		}
+	}
+}
+
+func assertEqualResults(t *testing.T, label string, got, want []dist.CaseResult) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results for %d cases", label, len(got), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Fatalf("%s: case %d disagrees with in-process sweep\n  dist:       %+v\n  in-process: %+v",
+				label, i, got[i], want[i])
+		}
+	}
+}
+
+// faultTuning is the suite's aggressive-recovery tuning: short deadlines
+// so severed and stalled paths resolve in test time, a generous attempt
+// budget so shards bounced off two faulty connections still land on the
+// clean one.
+func faultTuning() dist.Tuning {
+	return dist.Tuning{
+		MaxAttempts:  6,
+		BaseDeadline: 150 * time.Millisecond,
+		PerCase:      2 * time.Millisecond,
+	}
+}
+
+// TestDifferentialUnderFaults is the randomized heart of the suite: one
+// clean worker plus two faulty links (worker→coord faults on one,
+// coord→worker faults on the other, alternating sever schedules), small
+// result chunks and fast heartbeats so every protocol path fires, and
+// full-equality aggregation asserted across seeds. Whatever the fault
+// schedule does — drop a shard frame (watchdog), garble a chunk
+// (checksum sever + requeue), delay everything, cut a link mid-stream —
+// the sweep must complete with at least one survivor and the results
+// must be byte-identical to the in-process engine.
+func TestDifferentialUnderFaults(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			p, cases := plannerWithShards(100*seed, 2)
+			want := rawSweep(t, cases)
+
+			wopts := []dist.ServeOption{
+				dist.WithHeartbeatInterval(time.Millisecond),
+				dist.WithChunkCases(2),
+			}
+			clean := startServeWorker(nil, nil, wopts...)
+			workerFaults := &dist.FaultPlan{
+				Seed:       uint64(seed)*7 + 1,
+				DropProb:   0.08,
+				GarbleProb: 0.08,
+				DelayProb:  0.3,
+				Delay:      2 * time.Millisecond,
+			}
+			if seed%2 == 0 {
+				workerFaults.SeverAfterWrites = 9
+			}
+			faultyUp := startServeWorker(workerFaults, nil, wopts...)
+			coordFaults := &dist.FaultPlan{
+				Seed:       uint64(seed)*13 + 5,
+				DropProb:   0.1,
+				GarbleProb: 0.1,
+				DelayProb:  0.2,
+				Delay:      time.Millisecond,
+			}
+			faultyDown := startServeWorker(nil, coordFaults, wopts...)
+
+			be := dist.NewFromStreams(
+				[]io.ReadWriteCloser{clean.coord, faultyUp.coord, faultyDown.coord},
+				dist.WithTuning(faultTuning()),
+			)
+			defer be.Close()
+			got, err := p.Run(be)
+			if err != nil {
+				t.Fatalf("sweep failed under faults (clean worker survived): %v", err)
+			}
+			assertEqualResults(t, "faulted sweep", got, want)
+			if stats, ok := dist.LastRunStats(be); ok {
+				t.Logf("stats: %+v", stats)
+				if stats.MaxAttempts > faultTuning().MaxAttempts {
+					t.Fatalf("shard dispatched %d times, budget %d", stats.MaxAttempts, faultTuning().MaxAttempts)
+				}
+			}
+		})
+	}
+}
+
+// TestKillScheduleMatrix kills worker i after it has executed j shards,
+// for every (i, j) pair — the seeded kill-schedule matrix. The crash
+// fires mid-shard (non-terminal chunks sent, terminal withheld, link
+// cut), the survivor absorbs the requeued work, aggregation stays
+// byte-identical, and the attempt budget is never exceeded.
+func TestKillScheduleMatrix(t *testing.T) {
+	p, cases := plannerWithShards(9000, 4)
+	want := rawSweep(t, cases)
+	tun := faultTuning()
+	for i := 0; i < 2; i++ {
+		for j := 1; j <= 3; j++ {
+			t.Run(fmt.Sprintf("kill-worker%d-after%d", i, j), func(t *testing.T) {
+				links := make([]workerLink, 2)
+				streams := make([]io.ReadWriteCloser, 2)
+				for w := range links {
+					opts := []dist.ServeOption{dist.WithChunkCases(2)}
+					if w == i {
+						opts = append(opts, dist.WithCrashAfterShards(j))
+					}
+					links[w] = startServeWorker(nil, nil, opts...)
+					streams[w] = links[w].coord
+				}
+				be := dist.NewFromStreams(streams, dist.WithTuning(tun))
+				defer be.Close()
+				got, err := p.Run(be)
+				if err != nil {
+					t.Fatalf("sweep failed with one worker killed: %v", err)
+				}
+				assertEqualResults(t, "post-kill sweep", got, want)
+				stats, ok := dist.LastRunStats(be)
+				if !ok {
+					t.Fatal("no run stats from a connection backend")
+				}
+				if stats.MaxAttempts > tun.MaxAttempts {
+					t.Fatalf("shard dispatched %d times, budget %d", stats.MaxAttempts, tun.MaxAttempts)
+				}
+				if stats.DeadConns > 0 && stats.Requeues == 0 {
+					t.Fatalf("a connection died holding work but nothing requeued: %+v", stats)
+				}
+				// When the schedule fired (the worker executed enough
+				// shards), its Serve must have reported the injected
+				// crash. If it never fired, Serve is still draining and
+				// only returns at Close.
+				if stats.DeadConns > 0 {
+					if w := <-links[i].done; w == nil {
+						t.Fatal("killed worker's Serve returned nil, want ErrCrashInjected")
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestHungWorkerReaped pins the liveness half: a worker that handshakes
+// and then swallows shards forever is severed by the progress watchdog,
+// its shards requeue onto the healthy worker, and the sweep completes
+// byte-identically.
+func TestHungWorkerReaped(t *testing.T) {
+	p, cases := plannerWithShards(7000, 2)
+	want := rawSweep(t, cases)
+	healthy := startServeWorker(nil, nil, dist.WithHeartbeatInterval(time.Millisecond))
+	tun := faultTuning()
+	tun.BaseDeadline = 60 * time.Millisecond
+	tun.PerCase = time.Millisecond
+	be := dist.NewFromStreams(
+		[]io.ReadWriteCloser{startHungWorker(), healthy.coord},
+		dist.WithTuning(tun),
+	)
+	defer be.Close()
+	start := time.Now()
+	got, err := p.Run(be)
+	if err != nil {
+		t.Fatalf("sweep failed with a hung worker: %v", err)
+	}
+	assertEqualResults(t, "post-reap sweep", got, want)
+	stats, _ := dist.LastRunStats(be)
+	if stats.DeadConns == 0 {
+		t.Fatalf("hung worker was never reaped: %+v (elapsed %v)", stats, time.Since(start))
+	}
+}
+
+// TestLateJoinAddConn pins elastic membership: a sweep started on a
+// single wedged worker is rescued by a healthy worker joining mid-run
+// through AddConn.
+func TestLateJoinAddConn(t *testing.T) {
+	p, cases := plannerWithShards(5000, 2)
+	want := rawSweep(t, cases)
+	tun := faultTuning()
+	tun.BaseDeadline = 200 * time.Millisecond
+	be := dist.NewFromStreams([]io.ReadWriteCloser{startHungWorker()}, dist.WithTuning(tun))
+	defer be.Close()
+	adder, ok := be.(dist.ConnAdder)
+	if !ok {
+		t.Fatal("connection backend does not implement ConnAdder")
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(20 * time.Millisecond)
+		healthy := startServeWorker(nil, nil, dist.WithHeartbeatInterval(time.Millisecond))
+		adder.AddConn(healthy.coord, healthy.coord)
+	}()
+	got, err := p.Run(be)
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("sweep failed despite a healthy late join: %v", err)
+	}
+	assertEqualResults(t, "late-join sweep", got, want)
+	stats, _ := dist.LastRunStats(be)
+	if stats.Joined != 1 {
+		t.Fatalf("expected exactly one mid-run join, got %+v", stats)
+	}
+	if stats.DeadConns != 1 {
+		t.Fatalf("expected the wedged worker reaped, got %+v", stats)
+	}
+}
+
+// TestNoSurvivorsFails pins the failure floor: when every worker dies
+// and nothing replaces them, the sweep reports the fleet's death rather
+// than hanging or fabricating results.
+func TestNoSurvivorsFails(t *testing.T) {
+	p, _ := plannerWithShards(3000, 2)
+	streams := make([]io.ReadWriteCloser, 2)
+	for w := range streams {
+		// Crash while executing the very first shard: no worker ever
+		// completes anything.
+		streams[w] = startServeWorker(nil, nil, dist.WithCrashAfterShards(1)).coord
+	}
+	be := dist.NewFromStreams(streams, dist.WithTuning(faultTuning()))
+	defer be.Close()
+	_, err := p.Run(be)
+	if err == nil {
+		t.Fatal("sweep succeeded with every worker dead")
+	}
+	if !strings.Contains(err.Error(), "no live workers") {
+		t.Fatalf("want a no-live-workers error, got: %v", err)
+	}
+}
+
+// TestCloseDuringRun (the -race half of the Close contract): closing the
+// backend while a Run is in flight must abort the run, await every
+// dispatch goroutine, and leave the backend returning a closed error —
+// no leaked readers touching closed connections.
+func TestCloseDuringRun(t *testing.T) {
+	p, _ := plannerWithShards(1000, 2)
+	slow := dist.FaultPlan{Seed: 11, DelayProb: 1, Delay: 3 * time.Millisecond}
+	streams := make([]io.ReadWriteCloser, 2)
+	for w := range streams {
+		plan := slow
+		plan.Seed = uint64(w) + 11
+		streams[w] = startServeWorker(&plan, nil, dist.WithChunkCases(1)).coord
+	}
+	be := dist.NewFromStreams(streams, dist.WithTuning(faultTuning()))
+	runDone := make(chan error, 1)
+	go func() {
+		_, err := p.Run(be)
+		runDone <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := be.Close(); err != nil {
+		t.Fatalf("Close during Run: %v", err)
+	}
+	// Run must have returned by the time Close did (Close awaits it); the
+	// error may be nil if the sweep won the race.
+	select {
+	case err := <-runDone:
+		t.Logf("in-flight Run returned: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run still in flight after Close returned")
+	}
+	if _, err := p.Run(be); err == nil {
+		t.Fatal("Run succeeded on a closed backend")
+	}
+}
+
+// TestRespawnCompletesSweep pins the elastic NewLocal fleet end-to-end
+// with real forked processes: every worker process crashes while
+// executing its second shard (CrashEnv), the respawn hook keeps
+// replacing them, and the sweep still completes byte-identically.
+func TestRespawnCompletesSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("forks many worker processes")
+	}
+	t.Setenv(dist.CrashEnv, "2")
+	p, cases := plannerWithShards(400, 3)
+	want := rawSweep(t, cases)
+	tun := dist.Tuning{MaxAttempts: 8, MaxWindow: 1, BaseDeadline: 10 * time.Second}
+	be, err := dist.NewLocal(2, nil, dist.WithTuning(tun), dist.WithRespawn(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Close reports the injected crash exits; that is the point.
+	defer be.Close()
+	got, err := p.Run(be)
+	if err != nil {
+		t.Fatalf("sweep failed despite respawns: %v", err)
+	}
+	assertEqualResults(t, "respawned sweep", got, want)
+	stats, _ := dist.LastRunStats(be)
+	if stats.Joined == 0 {
+		t.Fatalf("no respawned worker ever joined: %+v", stats)
+	}
+}
+
+// TestPoisonShardExhaustsAttempts pins the attempt bound with real
+// processes: when every worker (original and respawned alike) dies on
+// its first shard, the shard's dispatch budget runs out and the sweep
+// fails with a per-shard attempts error instead of respawning forever.
+func TestPoisonShardExhaustsAttempts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("forks worker processes")
+	}
+	t.Setenv(dist.CrashEnv, "1")
+	p, _ := plannerWithShards(600, 1)
+	tun := dist.Tuning{MaxAttempts: 2, BaseDeadline: 10 * time.Second}
+	be, err := dist.NewLocal(1, nil, dist.WithTuning(tun), dist.WithRespawn(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer be.Close()
+	_, err = p.Run(be)
+	if err == nil {
+		t.Fatal("sweep succeeded though every dispatch crashed")
+	}
+	if !strings.Contains(err.Error(), "dispatch attempts") {
+		t.Fatalf("want an attempts-exhausted error, got: %v", err)
+	}
+}

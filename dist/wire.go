@@ -19,8 +19,10 @@ import (
 // ProtoVersion is the wire protocol version. A worker announces its
 // version in the hello frame and the coordinator refuses mismatches:
 // descriptors are not self-describing, so cross-version traffic would
-// misdecode rather than degrade.
-const ProtoVersion = 1
+// misdecode rather than degrade. v2 added the hello capacity field,
+// heartbeat frames, chunked result frames and per-frame checksums (see
+// doc.go for the full v2 schema).
+const ProtoVersion = 2
 
 // maxFrame bounds one frame's payload (64 MiB): far above any real shard
 // descriptor or aggregate, low enough that a corrupt length prefix cannot
@@ -29,11 +31,13 @@ const maxFrame = 1 << 26
 
 // Frame type tags (first payload byte).
 const (
-	frameHello    byte = 1 // worker → coordinator, once, on connect
-	frameShard    byte = 2 // coordinator → worker: shard id + descriptor
-	frameResult   byte = 3 // worker → coordinator: shard id + aggregates
-	frameError    byte = 4 // worker → coordinator: shard id + message
-	frameShutdown byte = 5 // coordinator → worker: drain and exit
+	frameHello       byte = 1 // worker → coordinator, once, on connect: version + capacity
+	frameShard       byte = 2 // coordinator → worker: shard id + descriptor
+	frameResult      byte = 3 // v1 whole-shard result; retired in v2 (results travel as chunks)
+	frameError       byte = 4 // worker → coordinator: shard id + message (deterministic failure)
+	frameShutdown    byte = 5 // coordinator → worker: drain and exit
+	frameHeartbeat   byte = 6 // worker → coordinator: shard id + cases done (liveness, between cases)
+	frameResultChunk byte = 7 // worker → coordinator: shard id + ResultChunk (bounded case batch)
 )
 
 // writeFrame emits one length-prefixed frame and flushes.
@@ -50,6 +54,65 @@ func writeFrame(w *bufio.Writer, payload []byte) error {
 		return err
 	}
 	return w.Flush()
+}
+
+// Every frame except the hello carries a trailing 32-bit FNV-1a checksum
+// of its payload (inside the length-prefixed region). The checksum is
+// what lets both ends tell "corrupted in transit" apart from "well-formed
+// but semantically bad": a frame whose checksum fails kills the
+// CONNECTION (the stream can no longer be trusted; the coordinator
+// requeues the connection's in-flight shards), while a frame that decodes
+// cleanly but names an unknown program or an out-of-range start is a
+// deterministic per-shard error that would fail identically on any
+// worker. The hello stays checksum-free so version negotiation keeps the
+// v1 framing — a v1 peer is refused by the version byte, not by a
+// checksum desync.
+func frameSum(payload []byte) uint32 {
+	h := uint32(2166136261)
+	for _, c := range payload {
+		h ^= uint32(c)
+		h *= 16777619
+	}
+	return h
+}
+
+// writeFrameSum emits one length-prefixed frame with its checksum
+// appended inside the length-prefixed region, and flushes.
+func writeFrameSum(w *bufio.Writer, payload []byte) error {
+	if len(payload) > maxFrame-4 {
+		return fmt.Errorf("dist: frame payload %d bytes exceeds limit", len(payload))
+	}
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(payload)+4))
+	if _, err := w.Write(hdr[:n]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], frameSum(payload))
+	if _, err := w.Write(sum[:]); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// readFrameSum reads one checksummed frame and returns its payload with
+// the checksum verified and stripped.
+func readFrameSum(r *bufio.Reader, buf []byte) ([]byte, error) {
+	p, err := readFrame(r, buf)
+	if err != nil {
+		return nil, err
+	}
+	if len(p) < 4 {
+		return nil, fmt.Errorf("dist: %d-byte frame too short for checksum", len(p))
+	}
+	body, sum := p[:len(p)-4], p[len(p)-4:]
+	if got := binary.LittleEndian.Uint32(sum); got != frameSum(body) {
+		return nil, fmt.Errorf("dist: frame checksum mismatch (corrupted in transit)")
+	}
+	return body, nil
 }
 
 // readFrame reads one frame payload, reusing buf when it is large enough.
