@@ -1,0 +1,208 @@
+package main
+
+// The rvx checkpoint file: a long experiment regeneration (hours with
+// -full on a laptop-class machine) can persist each finished table and a
+// rerun skips straight to the first experiment not yet recorded. The
+// format is a versioned header followed by one record per completed
+// table, every string as a netstring-style length-prefixed field — the
+// same hardened-cursor discipline as the wire codecs, scaled down to a
+// text file: arbitrary bytes produce an error, never a panic or an
+// unbounded allocation. Saves go through a temp-file rename so an
+// interrupted save never truncates the previous good checkpoint.
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/experiments"
+)
+
+const ckFileHeader = "rvx-checkpoint v1\n"
+
+// ckMaxCount bounds every count field (columns, rows, notes, failures):
+// far above any real table, low enough that a corrupt file cannot demand
+// disproportionate allocation before the cursor errors out.
+const ckMaxCount = 1 << 16
+
+func appendField(dst []byte, s string) []byte {
+	dst = strconv.AppendInt(dst, int64(len(s)), 10)
+	dst = append(dst, ':')
+	dst = append(dst, s...)
+	return append(dst, '\n')
+}
+
+func appendCount(dst []byte, n int) []byte {
+	dst = strconv.AppendInt(dst, int64(n), 10)
+	return append(dst, '\n')
+}
+
+func appendTableRecord(dst []byte, t *experiments.Table) []byte {
+	dst = append(dst, "table\n"...)
+	dst = appendField(dst, t.ID)
+	dst = appendField(dst, t.Title)
+	dst = appendField(dst, t.PaperRef)
+	dst = appendCount(dst, len(t.Columns))
+	for _, c := range t.Columns {
+		dst = appendField(dst, c)
+	}
+	dst = appendCount(dst, len(t.Rows))
+	for _, row := range t.Rows {
+		dst = appendCount(dst, len(row))
+		for _, cell := range row {
+			dst = appendField(dst, cell)
+		}
+	}
+	dst = appendCount(dst, len(t.Notes))
+	for _, n := range t.Notes {
+		dst = appendField(dst, n)
+	}
+	dst = appendCount(dst, len(t.Failed))
+	for _, f := range t.Failed {
+		dst = appendField(dst, f)
+	}
+	return dst
+}
+
+// saveCheckpoint atomically rewrites path with every completed table.
+func saveCheckpoint(path string, done []*experiments.Table) error {
+	buf := []byte(ckFileHeader)
+	for _, t := range done {
+		buf = appendTableRecord(buf, t)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ckCursor is the bounded cursor the checkpoint decoder reads through,
+// mirroring the wire codecs' error-latching rd.
+type ckCursor struct {
+	data []byte
+	err  error
+}
+
+func (c *ckCursor) fail(format string, args ...any) {
+	if c.err == nil {
+		c.err = fmt.Errorf("checkpoint: "+format, args...)
+	}
+}
+
+// line consumes bytes up to the next newline (exclusive).
+func (c *ckCursor) line() []byte {
+	if c.err != nil {
+		return nil
+	}
+	for i, b := range c.data {
+		if b == '\n' {
+			l := c.data[:i]
+			c.data = c.data[i+1:]
+			return l
+		}
+	}
+	c.fail("truncated record (missing newline)")
+	return nil
+}
+
+func (c *ckCursor) count() int {
+	l := c.line()
+	if c.err != nil {
+		return 0
+	}
+	n, err := strconv.Atoi(string(l))
+	if err != nil || n < 0 || n > ckMaxCount {
+		c.fail("bad count %q", l)
+		return 0
+	}
+	return n
+}
+
+// field reads one length-prefixed string: "<len>:<bytes>\n".
+func (c *ckCursor) field() string {
+	if c.err != nil {
+		return ""
+	}
+	colon := -1
+	for i := 0; i < len(c.data) && i < 20; i++ {
+		if c.data[i] == ':' {
+			colon = i
+			break
+		}
+	}
+	if colon < 0 {
+		c.fail("field without length prefix")
+		return ""
+	}
+	n, err := strconv.Atoi(string(c.data[:colon]))
+	if err != nil || n < 0 || n > len(c.data)-colon-2 {
+		c.fail("bad field length %q", c.data[:colon])
+		return ""
+	}
+	s := string(c.data[colon+1 : colon+1+n])
+	if c.data[colon+1+n] != '\n' {
+		c.fail("field %q not newline-terminated", s)
+		return ""
+	}
+	c.data = c.data[colon+2+n:]
+	return s
+}
+
+func (c *ckCursor) fields(n int) []string {
+	if n == 0 {
+		return nil
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = c.field()
+	}
+	return out
+}
+
+// loadCheckpoint parses path into completed tables keyed by experiment
+// ID. A missing file is an empty checkpoint, not an error; a file that
+// exists but does not parse is an error — silently re-running everything
+// would mask a corrupted save.
+func loadCheckpoint(path string) (map[string]*experiments.Table, error) {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return map[string]*experiments.Table{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < len(ckFileHeader) || string(raw[:len(ckFileHeader)]) != ckFileHeader {
+		return nil, fmt.Errorf("checkpoint: %s is not an rvx checkpoint (bad header)", path)
+	}
+	c := &ckCursor{data: raw[len(ckFileHeader):]}
+	out := map[string]*experiments.Table{}
+	for len(c.data) > 0 && c.err == nil {
+		if marker := c.line(); string(marker) != "table" {
+			c.fail("expected table record, found %q", marker)
+			break
+		}
+		t := &experiments.Table{
+			ID:       c.field(),
+			Title:    c.field(),
+			PaperRef: c.field(),
+		}
+		t.Columns = c.fields(c.count())
+		nrows := c.count()
+		if nrows > 0 && c.err == nil {
+			t.Rows = make([][]string, nrows)
+			for i := range t.Rows {
+				t.Rows[i] = c.fields(c.count())
+			}
+		}
+		t.Notes = c.fields(c.count())
+		t.Failed = c.fields(c.count())
+		if c.err == nil {
+			out[t.ID] = t
+		}
+	}
+	if c.err != nil {
+		return nil, fmt.Errorf("%w (in %s)", c.err, path)
+	}
+	return out, nil
+}

@@ -4,12 +4,20 @@
 //
 // Usage:
 //
-//	rvx [-full] [-markdown] [-only E4,E7] [-dist-workers N] [-dist-worker-bin "path args..."]
+//	rvx [-full] [-markdown] [-only E4,E7] [-resume PATH] [-checkpoint-every N]
+//	    [-dist-workers N] [-dist-worker-bin "path args..."]
 //	    [-dist-addrs host:port,...] [-dist-respawn N] [-dist-max-attempts N]
+//	    [-dist-migrate]
 //
 // -full enables the heavier variants (ring-4 UniversalRV in E7, the
 // million-node Q̂12 build in E9). -markdown emits GitHub tables (the format
 // of EXPERIMENTS.md); the default is fixed-width text.
+//
+// -resume PATH names a checkpoint file: experiments it records as
+// complete render from the file without re-executing, and (with
+// -checkpoint-every N) every N newly-finished experiments rewrite it
+// atomically — so a long -full regeneration interrupted at E9 resumes at
+// E9, with output identical to an uninterrupted run.
 //
 // The distributable sweeps (E7, E12, E17) run on in-process protocol
 // workers by default. -dist-workers N forks N worker processes on this
@@ -19,8 +27,11 @@
 // already-running `rvworker -listen` processes (one connection per
 // address; repeat an address for more parallelism on one host).
 // -dist-respawn lets the local fleet fork up to N replacement workers
-// when one dies mid-sweep, and -dist-max-attempts bounds how many times
-// one shard may be redispatched after worker deaths. The dispatcher's
+// when one dies mid-sweep, -dist-max-attempts bounds how many times
+// one shard may be redispatched after worker deaths, and -dist-migrate
+// turns on protocol v3 mid-shard migration — a shard stranded on a dying
+// worker resumes on a survivor after its completed cases instead of
+// re-executing from zero. The dispatcher's
 // aggregation is byte-identical across all modes, faults and requeues
 // included, so the tables come out the same however the sweeps were
 // executed — the CI chaos smoke pins exactly that, with crash-injected
@@ -50,11 +61,22 @@ func main() {
 	distAddrs := flag.String("dist-addrs", "", "comma-separated rvworker -listen addresses to dispatch sweeps to")
 	distRespawn := flag.Int("dist-respawn", 0, "fork up to this many replacement workers when one dies mid-sweep (local workers only)")
 	distMaxAttempts := flag.Int("dist-max-attempts", 0, "redispatch a shard at most this many times after worker deaths (default: protocol default)")
+	distMigrate := flag.Bool("dist-migrate", false, "migrate in-flight shards off dying workers mid-shard (protocol v3) instead of requeueing from zero")
+	resumePath := flag.String("resume", "", "checkpoint file: skip experiments it records as complete, and save new ones to it")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "with -resume, save the checkpoint file after every N newly-executed experiments")
 	flag.Parse()
 
+	if *checkpointEvery > 0 && *resumePath == "" {
+		fmt.Fprintln(os.Stderr, "rvx: -checkpoint-every requires -resume PATH (the file to save to)")
+		os.Exit(2)
+	}
+
 	var distOpts []dist.Option
-	if *distMaxAttempts > 0 {
-		distOpts = append(distOpts, dist.WithTuning(dist.Tuning{MaxAttempts: *distMaxAttempts}))
+	if *distMaxAttempts > 0 || *distMigrate {
+		distOpts = append(distOpts, dist.WithTuning(dist.Tuning{
+			MaxAttempts: *distMaxAttempts,
+			Migrate:     *distMigrate,
+		}))
 	}
 	switch {
 	case *distAddrs != "":
@@ -88,11 +110,38 @@ func main() {
 		}
 	}
 
+	// With -resume, previously-completed experiments load from the
+	// checkpoint file and render without re-executing; freshly-executed
+	// ones are saved back every -checkpoint-every completions (and at
+	// exit), so an interrupted regeneration resumes where it stopped.
+	loaded := map[string]*experiments.Table{}
+	if *resumePath != "" {
+		var err error
+		if loaded, err = loadCheckpoint(*resumePath); err != nil {
+			fmt.Fprintf(os.Stderr, "rvx: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	save := func(done []*experiments.Table) {
+		if err := saveCheckpoint(*resumePath, done); err != nil {
+			fmt.Fprintf(os.Stderr, "rvx: saving checkpoint: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	failures := 0
-	for _, tbl := range experiments.All(*full) {
-		if len(want) > 0 && !want[tbl.ID] {
+	var done []*experiments.Table
+	fresh := 0
+	for _, e := range experiments.Registry(*full) {
+		if len(want) > 0 && !want[e.ID] {
 			continue
 		}
+		tbl, ok := loaded[e.ID]
+		if !ok {
+			tbl = e.Run()
+			fresh++
+		}
+		done = append(done, tbl)
 		if *markdown {
 			fmt.Println(tbl.Markdown())
 		} else {
@@ -100,6 +149,13 @@ func main() {
 		}
 		fmt.Println()
 		failures += len(tbl.Failed)
+		if *checkpointEvery > 0 && fresh >= *checkpointEvery {
+			save(done)
+			fresh = 0
+		}
+	}
+	if *checkpointEvery > 0 && fresh > 0 {
+		save(done)
 	}
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "rvx: %d experiment checks FAILED\n", failures)

@@ -8,12 +8,14 @@ package dist_test
 // SetBatch stamps the right shard.
 
 import (
+	"fmt"
 	"math/rand"
 	"reflect"
 	"testing"
 
 	"repro/dist"
 	"repro/graph"
+	"repro/internal/simtest"
 	"repro/sim"
 )
 
@@ -62,10 +64,7 @@ func TestExecShardBatchMatchesPerCase(t *testing.T) {
 			if err != nil {
 				t.Fatalf("round %d: batch: %v", round, err)
 			}
-			if !reflect.DeepEqual(got, want) {
-				t.Fatalf("round %d: batch and per-case execution disagree on %d-case shard\n  batch:    %+v\n  per-case: %+v",
-					round, len(sh.Cases), got, want)
-			}
+			simtest.RequireEqualResult(t, fmt.Sprintf("round %d, %d-case shard", round, len(sh.Cases)), want, got)
 		}
 	}
 }
@@ -87,12 +86,7 @@ func TestDifferentialBatchBackend(t *testing.T) {
 		if err != nil {
 			t.Fatalf("round %d: %v", round, err)
 		}
-		for i := range want {
-			if !reflect.DeepEqual(got[i], want[i]) {
-				t.Fatalf("round %d case %d: batch dispatch and in-process sweep disagree\n  dist:       %+v\n  in-process: %+v",
-					round, i, got[i], want[i])
-			}
-		}
+		simtest.RequireEqualResults(t, fmt.Sprintf("batch round %d", round), want, got)
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"repro/agent"
 	"repro/dist"
 	"repro/graph"
+	"repro/internal/simtest"
 	"repro/sim"
 )
 
@@ -194,15 +195,7 @@ func diffAgainstBackend(t *testing.T, be dist.Backend, rounds int, seed int64) {
 		if err != nil {
 			t.Fatalf("round %d: %v", round, err)
 		}
-		if len(got) != len(want) {
-			t.Fatalf("round %d: %d results for %d cases", round, len(got), len(want))
-		}
-		for i := range want {
-			if !reflect.DeepEqual(got[i], want[i]) {
-				t.Fatalf("round %d case %d (%+v): dist and in-process sweeps disagree\n  dist:       %+v\n  in-process: %+v",
-					round, i, cases[i].c, got[i], want[i])
-			}
-		}
+		simtest.RequireEqualResults(t, fmt.Sprintf("round %d", round), want, got)
 	}
 }
 

@@ -5,12 +5,12 @@
 // `rvworker -listen` processes on other machines (Dial), or protocol
 // workers inside this process (NewInProcess, the reference everything
 // else is pinned against) — over a length-prefixed binary protocol
-// (v2) built around failure as a normal event: shards requeue off dead
-// connections, workers heartbeat while they compute, dispatch is
-// pipelined, and workers may join (AddConn, DialAdd) or be respawned
-// (WithRespawn) mid-sweep.
+// (v3) built around failure as a normal event: shards requeue off dead
+// connections or migrate mid-shard to survivors, workers heartbeat while
+// they compute, dispatch is pipelined, and workers may join (AddConn,
+// DialAdd) or be respawned (WithRespawn) mid-sweep.
 //
-// # Protocol framing (v2)
+// # Protocol framing (v3)
 //
 // A connection carries varint length-prefixed frames in both directions:
 // each frame is binary.AppendUvarint(len(payload)) followed by the
@@ -26,9 +26,14 @@
 //	worker → coordinator   chunk     {id, ResultChunk}            bounded case batch; terminal chunk carries the view signature
 //	worker → coordinator   error     {id, message}                deterministic per-shard failure; never retried
 //	coordinator → worker   shutdown  {}                           drain and exit
+//	coordinator → worker   checkpoint {id, from, ShardDesc tail}  v3: migrate an in-flight shard, resuming after `from` completed cases
 //
 // The v1 whole-shard result frame (type 3) is retired; results travel
-// exclusively as chunk frames. The checksum is the line between the two
+// exclusively as chunk frames. The v3 checkpoint frame is a shard frame
+// whose descriptor holds only the cases from the resume offset on; the
+// worker reports heartbeat counts and chunk starts offset by `from`, so
+// the coordinator's in-order aggregation and terminal accounting run
+// unchanged in whole-shard case coordinates. The checksum is the line between the two
 // failure classes: a frame that fails its checksum (or desyncs the
 // stream) means the CONNECTION can no longer be trusted — it is severed
 // and its in-flight shards requeue — while a frame that decodes cleanly
@@ -71,6 +76,26 @@
 // Tuning.MaxAttempts, so a poison shard that kills every worker it
 // lands on surfaces as a per-shard error after MaxAttempts dispatches
 // instead of cycling forever.
+//
+// # Mid-shard migration (v3)
+//
+// With Tuning.Migrate set, a shard stranded on a dying connection with
+// chunks already aggregated is not requeued from zero: the coordinator
+// stashes the partial aggregation (chunk payloads are decoded copies,
+// independent of the dead connection's buffers) and re-dispatches the
+// shard as a checkpoint frame — the resume offset plus a descriptor
+// holding only the remaining cases. The receiving worker structurally
+// cannot re-execute completed cases (they are not on the wire), executes
+// the tail on its own pooled session, and streams chunks whose starts
+// continue exactly where the dead connection's stopped, so the in-order
+// splice preserves byte-identical aggregation (pinned by the migration
+// chaos matrix and the frame-level skip test). Migrations are counted
+// in RunStats.Migrations/MigratedCases, separately from Requeues; a
+// migrated dispatch still consumes one of the shard's MaxAttempts. The
+// completed-case chunk boundary is the wire's checkpoint granularity;
+// mid-run engine state within one case is sim.Checkpoint's domain (see
+// sim's package comment), which rvx uses for experiment-level
+// save/resume.
 //
 // Liveness is measured on progress, never on wall-clock silence: a
 // worker emits heartbeat frames between cases whenever it has been

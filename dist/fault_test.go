@@ -13,13 +13,13 @@ import (
 	"io"
 	"math/rand"
 	"net"
-	"reflect"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/dist"
+	"repro/internal/simtest"
 )
 
 // workerLink is one protocol worker running over an in-memory pipe,
@@ -79,17 +79,11 @@ func plannerWithShards(seed int64, minShards int) (*dist.Planner, []planCase) {
 	}
 }
 
+// assertEqualResults delegates to the shared simtest comparator; the
+// thin wrapper keeps the suite's call sites and (got, want) order.
 func assertEqualResults(t *testing.T, label string, got, want []dist.CaseResult) {
 	t.Helper()
-	if len(got) != len(want) {
-		t.Fatalf("%s: %d results for %d cases", label, len(got), len(want))
-	}
-	for i := range want {
-		if !reflect.DeepEqual(got[i], want[i]) {
-			t.Fatalf("%s: case %d disagrees with in-process sweep\n  dist:       %+v\n  in-process: %+v",
-				label, i, got[i], want[i])
-		}
-	}
+	simtest.RequireEqualResults(t, label, want, got)
 }
 
 // faultTuning is the suite's aggressive-recovery tuning: short deadlines

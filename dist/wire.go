@@ -20,9 +20,11 @@ import (
 // version in the hello frame and the coordinator refuses mismatches:
 // descriptors are not self-describing, so cross-version traffic would
 // misdecode rather than degrade. v2 added the hello capacity field,
-// heartbeat frames, chunked result frames and per-frame checksums (see
-// doc.go for the full v2 schema).
-const ProtoVersion = 2
+// heartbeat frames, chunked result frames and per-frame checksums; v3
+// added the checkpoint frame — mid-shard migration of an in-flight shard
+// to a surviving worker, resuming after its completed cases (see doc.go
+// for the full schema).
+const ProtoVersion = 3
 
 // maxFrame bounds one frame's payload (64 MiB): far above any real shard
 // descriptor or aggregate, low enough that a corrupt length prefix cannot
@@ -38,6 +40,7 @@ const (
 	frameShutdown    byte = 5 // coordinator → worker: drain and exit
 	frameHeartbeat   byte = 6 // worker → coordinator: shard id + cases done (liveness, between cases)
 	frameResultChunk byte = 7 // worker → coordinator: shard id + ResultChunk (bounded case batch)
+	frameCheckpoint  byte = 8 // coordinator → worker: shard id + resume offset + remaining-case descriptor (migration)
 )
 
 // writeFrame emits one length-prefixed frame and flushes.

@@ -1,30 +1,50 @@
 package experiments
 
-// All runs every experiment E1-E12 in order and returns the regenerated
-// tables. full enables the heavier variants (the ring-4 symmetric
-// UniversalRV case in E7 and the h=12 build in E9); the quick form is what
-// `go test` and `cmd/rvx` run by default and finishes in well under a
-// minute on a laptop.
-func All(full bool) []*Table {
-	return []*Table{
-		E1(),
-		E2(),
-		E3(),
-		E4(),
-		E5(),
-		E6(),
-		E7(full),
-		E8(),
-		E9(full),
-		E10(),
-		E11(),
-		E12(),
-		E13(),
-		E14(),
-		E15(),
-		E16(),
-		E17(full),
-		E18(),
-		E19(),
+// Experiment is one lazily-runnable registry entry: the short identifier
+// (what `rvx -only` matches and a checkpoint file records) paired with
+// the thunk that regenerates its table. Keeping the registry lazy is
+// what makes rvx's -only filter and -resume skip actually skip work
+// instead of discarding tables already computed.
+type Experiment struct {
+	ID  string
+	Run func() *Table
+}
+
+// Registry returns every experiment E1-E19 in order, unexecuted. full
+// enables the heavier variants (the ring-4 symmetric UniversalRV case in
+// E7, the h=12 build in E9, and E17's full sweep grid).
+func Registry(full bool) []Experiment {
+	return []Experiment{
+		{"E1", E1},
+		{"E2", E2},
+		{"E3", E3},
+		{"E4", E4},
+		{"E5", E5},
+		{"E6", E6},
+		{"E7", func() *Table { return E7(full) }},
+		{"E8", E8},
+		{"E9", func() *Table { return E9(full) }},
+		{"E10", E10},
+		{"E11", E11},
+		{"E12", E12},
+		{"E13", E13},
+		{"E14", E14},
+		{"E15", E15},
+		{"E16", E16},
+		{"E17", func() *Table { return E17(full) }},
+		{"E18", E18},
+		{"E19", E19},
 	}
+}
+
+// All runs every experiment in order and returns the regenerated tables.
+// The quick form (full=false) is what `go test` and `cmd/rvx` run by
+// default and finishes in well under a minute on a laptop.
+func All(full bool) []*Table {
+	reg := Registry(full)
+	tables := make([]*Table, len(reg))
+	for i, e := range reg {
+		tables[i] = e.Run()
+	}
+	return tables
 }

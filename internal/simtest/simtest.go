@@ -1,0 +1,39 @@
+// Package simtest holds the full-equality comparators shared by the
+// differential suites: every engine- or transport-equivalence test in
+// this repo requires results to match field for field — Meetings order,
+// slice nil-ness, wakeup counts — and duplicating that discipline per
+// test file is how it quietly erodes. The helpers are generic over the
+// result type (sim.Result, sim.MultiResult, dist case results), because
+// the discipline is the same everywhere: reflect.DeepEqual, nothing
+// weaker.
+package simtest
+
+import (
+	"reflect"
+	"testing"
+)
+
+// RequireEqualResult fails t unless got is deeply equal to want —
+// including slice nil-ness (a nil Meetings and an empty one are
+// different results; the wire codecs are required to preserve the
+// distinction).
+func RequireEqualResult[T any](t testing.TB, label string, want, got T) {
+	t.Helper()
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("%s: result mismatch:\n  want %+v\n  got  %+v", label, want, got)
+	}
+}
+
+// RequireEqualResults compares two result slices element-wise under the
+// same full-equality discipline, reporting the first differing index.
+func RequireEqualResults[T any](t testing.TB, label string, want, got []T) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d results, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(want[i], got[i]) {
+			t.Fatalf("%s: case %d mismatch:\n  want %+v\n  got  %+v", label, i, want[i], got[i])
+		}
+	}
+}

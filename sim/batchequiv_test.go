@@ -21,6 +21,7 @@ import (
 
 	"repro/agent"
 	"repro/graph"
+	"repro/internal/simtest"
 	"repro/sim"
 )
 
@@ -113,10 +114,7 @@ func TestBatchEquivalenceRunBatchRandomized(t *testing.T) {
 		wk := b.Wakeups()
 		for i := range cases {
 			want := ref.RunMany(g, cases[i].Agents, cases[i].Cfg)
-			if !reflect.DeepEqual(got[i], want) {
-				t.Fatalf("lane %d/%d on %s (k=%d): engines disagree\n  batch:    %+v\n  per-case: %+v",
-					i, w, g, len(cases[i].Agents), got[i], want)
-			}
+			simtest.RequireEqualResult(t, fmt.Sprintf("lane %d/%d on %s (k=%d)", i, w, g, len(cases[i].Agents)), want, got[i])
 			if err := sim.GatherCheck(got[i]); err != nil {
 				t.Fatalf("lane %d/%d: %v", i, w, err)
 			}
@@ -166,10 +164,7 @@ func TestBatchEquivalenceRunBatchLargeK(t *testing.T) {
 		got := sess.RunBatch(g, cases, b)
 		for i := range cases {
 			want := ref.RunMany(g, cases[i].Agents, cases[i].Cfg)
-			if !reflect.DeepEqual(got[i], want) {
-				t.Fatalf("case %d lane %d (k=%d) on %s: engines disagree\n  batch:    %+v\n  per-case: %+v",
-					ci, i, len(cases[i].Agents), g, got[i], want)
-			}
+			simtest.RequireEqualResult(t, fmt.Sprintf("case %d lane %d (k=%d) on %s", ci, i, len(cases[i].Agents), g), want, got[i])
 		}
 	}
 }
@@ -220,9 +215,7 @@ func TestBatchSingleLane(t *testing.T) {
 			Cfg: sim.MultiConfig{Budget: 500}}}
 		gotM := sess.RunBatch(g, mc, b)
 		wantM := ref.RunMany(g, mc[0].Agents, mc[0].Cfg)
-		if !reflect.DeepEqual(gotM[0], wantM) {
-			t.Fatalf("case %d on %s: multi W=1 disagree\n  batch:    %+v\n  per-case: %+v", ci, g, gotM[0], wantM)
-		}
+		simtest.RequireEqualResult(t, fmt.Sprintf("case %d on %s: multi W=1", ci, g), wantM, gotM[0])
 	}
 }
 

@@ -1,0 +1,85 @@
+package sim_test
+
+// Fuzz coverage for the checkpoint wire codec, mirroring the dist-side
+// decoder fuzzers: any input either fails Decode cleanly or decodes to a
+// value whose re-encode is a byte-level fixed point. Decode must never
+// panic and never allocate more than O(len(input)) (hostile counts are
+// bounded by the remaining bytes).
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/agent"
+	"repro/graph"
+	"repro/rendezvous"
+	"repro/sim"
+)
+
+// fuzzSeedCheckpoints builds a representative set of real checkpoints:
+// both kinds, both tiers, script/wait/done agent states, meetings and
+// gathering state.
+func fuzzSeedCheckpoints(f *testing.F) [][]byte {
+	f.Helper()
+	s := sim.NewSession()
+	defer s.Close()
+	var seeds [][]byte
+	g := graph.Cycle(8)
+	prog := rendezvous.UniversalRV()
+	mixed := agent.Script([]int{0, agent.ScriptWait, 1, agent.ScriptWait, 0})
+
+	for _, at := range []uint64{0, 3, 97} {
+		if _, cp := s.RunProgramsCheckpointed(g, prog, mixed, 0, 4, 5, 1<<16, at); cp != nil {
+			seeds = append(seeds, cp.Encode())
+		}
+	}
+	magents := []sim.MultiAgent{
+		{Program: prog, Start: 0},
+		{Program: mixed, Start: 3, Appear: 9},
+		{Program: prog, Start: 6, Appear: 2},
+	}
+	for _, at := range []uint64{1, 50} {
+		if _, cp := s.RunManyCheckpointed(g, magents, sim.MultiConfig{Budget: 1 << 14}, at); cp != nil {
+			seeds = append(seeds, cp.Encode())
+		}
+	}
+	b := sim.NewBatch()
+	cases := []sim.PairCase{{ProgA: prog, ProgB: prog, U: 0, V: 4, Delay: 3, Budget: 1 << 14}}
+	s.RunPairsBatch(g, cases, b)
+	if cp := b.CheckpointPair(cases, 0, 5); cp != nil {
+		seeds = append(seeds, cp.Encode())
+	}
+	return seeds
+}
+
+func FuzzCheckpointDecode(f *testing.F) {
+	for _, seed := range fuzzSeedCheckpoints(f) {
+		f.Add(seed)
+	}
+	// Hostile shapes: empty, unending varint, truncated frame, huge
+	// counts, trailing garbage.
+	f.Add([]byte{})
+	f.Add([]byte{0x80})
+	f.Add([]byte{1, 0, 0, 5})
+	f.Add([]byte{1, 1, 1, 0, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F})
+	f.Add(append([]byte{1, 0, 0}, bytes.Repeat([]byte{0xAA}, 40)...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var cp sim.Checkpoint
+		if err := cp.Decode(data); err != nil {
+			return
+		}
+		enc := cp.Encode()
+		var cp2 sim.Checkpoint
+		if err := cp2.Decode(enc); err != nil {
+			t.Fatalf("re-decode of valid checkpoint failed: %v\n  in  %x\n  enc %x", err, data, enc)
+		}
+		if !reflect.DeepEqual(cp, cp2) {
+			t.Fatalf("decode(encode) not a fixed point:\n  first  %+v\n  second %+v", cp, cp2)
+		}
+		if enc2 := cp2.Encode(); !bytes.Equal(enc, enc2) {
+			t.Fatalf("encode not canonical:\n  first  %x\n  second %x", enc, enc2)
+		}
+	})
+}

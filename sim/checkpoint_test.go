@@ -1,0 +1,357 @@
+package sim_test
+
+// Replay-equality harness for the checkpoint layer: checkpoint a run at
+// a seeded random round, push the checkpoint through the wire codec,
+// resume it in a different Session, and require the resumed result to be
+// byte-identical — Meetings order, slice nil-ness, wakeup counts — to
+// the uninterrupted run's. The grid reuses the engine-equivalence
+// suite's randomized generators (graph families, program shapes,
+// appearance schedules) across all three engines: the live pair engine,
+// the live k-agent engine, and batch lanes checkpointed from recordings.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/agent"
+	"repro/graph"
+	"repro/internal/simtest"
+	"repro/rendezvous"
+	"repro/sim"
+)
+
+// roundTrip pushes a checkpoint through the wire codec, requiring the
+// decoded form to re-encode to identical bytes, and returns it.
+func roundTrip(t *testing.T, cp *sim.Checkpoint) *sim.Checkpoint {
+	t.Helper()
+	enc := cp.Encode()
+	var out sim.Checkpoint
+	if err := out.Decode(enc); err != nil {
+		t.Fatalf("decode of fresh checkpoint failed: %v", err)
+	}
+	if enc2 := out.Encode(); string(enc) != string(enc2) {
+		t.Fatalf("checkpoint encode not canonical:\n  first  %x\n  second %x", enc, enc2)
+	}
+	return &out
+}
+
+// sessionStats snapshots the statistics accessors a resumed run must
+// reproduce exactly.
+type sessionStats struct {
+	wakeups uint64
+	byPhase [agent.PhaseCount]uint64
+	hist    [33]uint64
+}
+
+func statsOf(s *sim.Session) sessionStats {
+	return sessionStats{wakeups: s.Wakeups(), byPhase: s.WakeupsByPhase(), hist: s.ScriptLenHist()}
+}
+
+func TestReplayEquality(t *testing.T) {
+	sRun := sim.NewSession()
+	defer sRun.Close()
+	sResume := sim.NewSession()
+	defer sResume.Close()
+
+	// Live pair engine: 120 randomized (graph, programs, starts, delay,
+	// budget) cases, each checkpointed at a random round.
+	r := rand.New(rand.NewSource(0x5EED8))
+	for ci := 0; ci < 120; ci++ {
+		g := randGraph(r)
+		pa, nameA := randProgram(r)
+		pb, nameB := randProgram(r)
+		u, v := r.Intn(g.N()), r.Intn(g.N())
+		delay := uint64(r.Intn(60))
+		budget := uint64(1 + r.Intn(2500))
+		label := fmt.Sprintf("pair case %d: %s/%s u=%d v=%d delay=%d budget=%d", ci, nameA, nameB, u, v, delay, budget)
+
+		base := sRun.RunPrograms(g, pa, pb, u, v, delay, sim.Config{Budget: budget})
+		baseStats := statsOf(sRun)
+		at := uint64(r.Int63n(int64(base.Rounds) + 2))
+
+		res, cp := sRun.RunProgramsCheckpointed(g, pa, pb, u, v, delay, budget, at)
+		if cp == nil {
+			if at < base.Rounds {
+				t.Fatalf("%s: no checkpoint at round %d, run lasted %d", label, at, base.Rounds)
+			}
+			simtest.RequireEqualResult(t, label+" (uncheckpointed)", base, res)
+			continue
+		}
+		if cp.Round != at || !cp.Full {
+			t.Fatalf("%s: checkpoint at round %d full=%v, want round %d full", label, cp.Round, cp.Full, at)
+		}
+		resumed, err := sResume.ResumePair(g, pa, pb, roundTrip(t, cp))
+		if err != nil {
+			t.Fatalf("%s: resume: %v", label, err)
+		}
+		simtest.RequireEqualResult(t, label, base, resumed)
+		if got := statsOf(sResume); got != baseStats {
+			t.Fatalf("%s: resumed stats %+v, uninterrupted %+v", label, got, baseStats)
+		}
+	}
+
+	// Live k-agent engine: 100 randomized cases with mixed appearance
+	// rounds and stop modes.
+	r = rand.New(rand.NewSource(0x5EED9))
+	for ci := 0; ci < 100; ci++ {
+		g := randGraph(r)
+		k := 2 + r.Intn(4)
+		agents := make([]sim.MultiAgent, k)
+		progs := make([]agent.Program, k)
+		for i := range agents {
+			prog, _ := randProgram(r)
+			appear := uint64(0)
+			if r.Intn(2) == 1 {
+				appear = uint64(r.Intn(40))
+			}
+			progs[i] = prog
+			agents[i] = sim.MultiAgent{Program: prog, Start: r.Intn(g.N()), Appear: appear}
+		}
+		cfg := sim.MultiConfig{
+			Budget:             uint64(1 + r.Intn(2500)),
+			StopOnGather:       r.Intn(2) == 1,
+			StopOnFirstMeeting: r.Intn(3) == 0,
+		}
+		label := fmt.Sprintf("multi case %d: k=%d cfg=%+v", ci, k, cfg)
+
+		base := sRun.RunMany(g, agents, cfg)
+		baseStats := statsOf(sRun)
+		at := uint64(r.Int63n(int64(base.Rounds) + 2))
+
+		res, cp := sRun.RunManyCheckpointed(g, agents, cfg, at)
+		if cp == nil {
+			if at < base.Rounds {
+				t.Fatalf("%s: no checkpoint at round %d, run lasted %d", label, at, base.Rounds)
+			}
+			simtest.RequireEqualResult(t, label+" (uncheckpointed)", base, res)
+			continue
+		}
+		resumed, err := sResume.ResumeMany(g, progs, roundTrip(t, cp))
+		if err != nil {
+			t.Fatalf("%s: resume: %v", label, err)
+		}
+		simtest.RequireEqualResult(t, label, base, resumed)
+		if got := statsOf(sResume); got != baseStats {
+			t.Fatalf("%s: resumed stats %+v, uninterrupted %+v", label, got, baseStats)
+		}
+	}
+
+	// Batch engine: one RunPairsBatch per graph, every lane checkpointed
+	// from its recordings at a random round and resumed live.
+	r = rand.New(rand.NewSource(0x5EEDA))
+	batch := sim.NewBatch()
+	for bi := 0; bi < 10; bi++ {
+		g := randGraph(r)
+		cases := make([]sim.PairCase, 10)
+		for i := range cases {
+			pa, _ := randProgram(r)
+			pb, _ := randProgram(r)
+			cases[i] = sim.PairCase{
+				ProgA: pa, ProgB: pb,
+				U: r.Intn(g.N()), V: r.Intn(g.N()),
+				Delay:  uint64(r.Intn(60)),
+				Budget: uint64(1 + r.Intn(2500)),
+			}
+		}
+		results := sRun.RunPairsBatch(g, cases, batch)
+		wakeups := append([]uint64(nil), batch.Wakeups()...)
+		for i, c := range cases {
+			label := fmt.Sprintf("batch %d lane %d: u=%d v=%d delay=%d budget=%d", bi, i, c.U, c.V, c.Delay, c.Budget)
+			at := uint64(r.Int63n(int64(results[i].Rounds) + 2))
+			cp := batch.CheckpointPair(cases, i, at)
+			if cp == nil {
+				if at < results[i].Rounds {
+					t.Fatalf("%s: no checkpoint at round %d, run lasted %d", label, at, results[i].Rounds)
+				}
+				continue
+			}
+			if cp.Full {
+				t.Fatalf("%s: recording-derived checkpoint claims Full", label)
+			}
+			resumed, err := sResume.ResumePair(g, c.ProgA, c.ProgB, roundTrip(t, cp))
+			if err != nil {
+				t.Fatalf("%s: resume: %v", label, err)
+			}
+			simtest.RequireEqualResult(t, label, results[i], resumed)
+			if got := sResume.Wakeups(); got != wakeups[i] {
+				t.Fatalf("%s: resumed wakeups %d, batch lane %d", label, got, wakeups[i])
+			}
+		}
+	}
+}
+
+// TestCheckpointRejectsWrongRun pins the verification half of Resume: a
+// checkpoint replayed against programs, graphs or frames that are not
+// the checkpointed run's must error out, never continue silently.
+func TestCheckpointRejectsWrongRun(t *testing.T) {
+	s := sim.NewSession()
+	defer s.Close()
+	g := graph.Cycle(6)
+	walk := agent.Script([]int{0, 0, 0, 0, 0, 0, 0, 0})
+	sit := agent.Script([]int{agent.ScriptWait, agent.ScriptWait, agent.ScriptWait})
+
+	_, cp := s.RunProgramsCheckpointed(g, walk, sit, 0, 4, 2, 100, 2)
+	if cp == nil {
+		t.Fatal("expected a live checkpoint at round 2")
+	}
+
+	if _, err := s.ResumePair(g, sit, sit, cp); err == nil {
+		t.Fatal("resume with the wrong program succeeded")
+	}
+	// A wrong graph is caught when the replayed trajectory diverges from
+	// the checkpoint by its round (on the path, port 0 from node 1 walks
+	// back to 0; on the cycle it keeps going). A graph whose divergence
+	// only manifests after the checkpoint round is indistinguishable by
+	// construction — determinism means the prefixes really are the same.
+	if _, err := s.ResumePair(graph.Path(6), walk, sit, cp); err == nil {
+		t.Fatal("resume on the wrong graph succeeded")
+	}
+	if _, err := s.ResumeMany(g, []agent.Program{walk, sit}, cp); err == nil {
+		t.Fatal("ResumeMany accepted a pair checkpoint")
+	}
+	tampered := *cp
+	tampered.Wakeups++
+	if _, err := s.ResumePair(g, walk, sit, &tampered); err == nil {
+		t.Fatal("resume of a tampered frame succeeded")
+	}
+	short := *cp
+	short.Budget = short.Round - 1
+	if _, err := s.ResumePair(g, walk, sit, &short); err == nil {
+		t.Fatal("resume with round past budget succeeded")
+	}
+	bad := *cp
+	bad.Starts = []int{0, 99}
+	if _, err := s.ResumePair(g, walk, sit, &bad); err == nil {
+		t.Fatal("resume with out-of-range start succeeded")
+	}
+
+	// The same run checkpointed and correctly resumed still works after
+	// all the failed attempts (the session pool is not poisoned).
+	base := s.RunPrograms(g, walk, sit, 0, 4, 2, sim.Config{Budget: 100})
+	resumed, err := s.ResumePair(g, walk, sit, cp)
+	if err != nil {
+		t.Fatalf("legitimate resume failed: %v", err)
+	}
+	simtest.RequireEqualResult(t, "post-rejection resume", base, resumed)
+}
+
+// TestCheckpointDecodeRejects pins the decoder's structural validation
+// on specific corruptions (the fuzzer explores the rest).
+func TestCheckpointDecodeRejects(t *testing.T) {
+	s := sim.NewSession()
+	defer s.Close()
+	g := graph.Cycle(6)
+	prog := rendezvous.UniversalRV()
+	_, cp := s.RunManyCheckpointed(g,
+		[]sim.MultiAgent{{Program: prog, Start: 0}, {Program: prog, Start: 3, Appear: 7}},
+		sim.MultiConfig{Budget: 1 << 16}, 64)
+	if cp == nil {
+		t.Fatal("expected a live checkpoint")
+	}
+	enc := cp.Encode()
+
+	mutations := map[string]func([]byte) []byte{
+		"empty":             func(b []byte) []byte { return nil },
+		"bad version":       func(b []byte) []byte { b[0] = 99; return b },
+		"bad kind":          func(b []byte) []byte { b[1] = 7; return b },
+		"unknown flags":     func(b []byte) []byte { b[2] |= 0x80; return b },
+		"truncated":         func(b []byte) []byte { return b[:len(b)/2] },
+		"trailing bytes":    func(b []byte) []byte { return append(b, 0xAA) },
+		"unending varint":   func(b []byte) []byte { return append(b[:3:3], 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80) },
+		"hostile agent count": func(b []byte) []byte {
+			return append(b[:6:6], 0xFF, 0xFF, 0xFF, 0xFF, 0x7F)
+		},
+	}
+	for name, mut := range mutations {
+		in := mut(append([]byte(nil), enc...))
+		var out sim.Checkpoint
+		if err := out.Decode(in); err == nil {
+			t.Errorf("%s: decode succeeded", name)
+		}
+	}
+}
+
+// TestCheckpointSessionIsolation is the pooled-reuse race test: one
+// Session's checkpoint must be fully copied out of its arena and runner
+// buffers, so resuming it on other Sessions — concurrently, while the
+// origin session keeps running unrelated work that recycles those
+// buffers — reproduces the uninterrupted result. Run with -race this
+// pins that a Checkpoint shares no memory with any session pool.
+func TestCheckpointSessionIsolation(t *testing.T) {
+	g := graph.RandomConnected(8, 3, 42)
+	prog := rendezvous.UniversalRV()
+	mixed := agent.Script([]int{0, agent.ScriptWait, 1, agent.ScriptWait, agent.ScriptWait, 0, 2, 0})
+
+	origin := sim.NewSession()
+	defer origin.Close()
+	base := origin.RunPrograms(g, prog, mixed, 0, 5, 9, sim.Config{Budget: 1 << 14})
+	_, cp := origin.RunProgramsCheckpointed(g, prog, mixed, 0, 5, 9, 1<<14, base.Rounds/2)
+	if cp == nil {
+		t.Fatalf("run of %d rounds yielded no checkpoint at its midpoint", base.Rounds)
+	}
+	enc := cp.Encode()
+
+	done := make(chan struct{})
+	go func() {
+		// Churn the origin session: every run recycles the runner pool
+		// (and script buffers) the checkpoint was captured from.
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			origin.RunPrograms(g, mixed, prog, 3, 6, 2, sim.Config{Budget: 512})
+		}
+	}()
+	const resumers = 4
+	errs := make(chan error, resumers)
+	for w := 0; w < resumers; w++ {
+		go func() {
+			s := sim.NewSession()
+			defer s.Close()
+			for i := 0; i < 25; i++ {
+				var c sim.Checkpoint
+				if err := c.Decode(enc); err != nil {
+					errs <- err
+					return
+				}
+				res, err := s.ResumePair(g, prog, mixed, &c)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res != base {
+					errs <- fmt.Errorf("resumed %+v, uninterrupted %+v", res, base)
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	for w := 0; w < resumers; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+}
+
+// BenchmarkCheckpoint measures the encode path (the per-migration wire
+// cost) on a mid-run UniversalRV pair checkpoint, reporting the frame
+// size alongside ns/op.
+func BenchmarkCheckpoint(b *testing.B) {
+	s := sim.NewSession()
+	defer s.Close()
+	g := graph.Cycle(64)
+	prog := rendezvous.UniversalRV()
+	base := s.RunPrograms(g, prog, prog, 0, 31, 3, sim.Config{Budget: 1 << 20})
+	_, cp := s.RunProgramsCheckpointed(g, prog, prog, 0, 31, 3, 1<<20, base.Rounds/2)
+	if cp == nil {
+		b.Fatalf("run of %d rounds yielded no checkpoint at its midpoint", base.Rounds)
+	}
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = cp.AppendEncode(buf[:0])
+	}
+	b.ReportMetric(float64(len(buf)), "frame_bytes")
+}

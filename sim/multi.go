@@ -83,9 +83,24 @@ func RunMany(g *graph.Graph, agents []MultiAgent, cfg MultiConfig) MultiResult {
 
 // RunMany is the session-pooled form of the package-level RunMany.
 func (s *Session) RunMany(g *graph.Graph, agents []MultiAgent, cfg MultiConfig) MultiResult {
+	res, _ := s.runMany(g, agents, cfg, noStopRound, nil)
+	return res
+}
+
+// runMany is the k-agent engine loop behind RunMany and the
+// checkpoint/replay API, the exact analogue of runPair: at the first
+// scheduler boundary whose round reaches stopAt — after that boundary's
+// detection, budget and all-done checks — it calls onStop with the
+// suspended run. onStop returning false abandons the run (the zero
+// MultiResult comes back with stopped true); true resumes it to
+// completion. The stop clamps only the horizon length, which the engine
+// recomputes at every boundary anyway, so capture and replay runs reach
+// the stop boundary with identical scheduler state.
+func (s *Session) runMany(g *graph.Graph, agents []MultiAgent, cfg MultiConfig,
+	stopAt uint64, onStop func(m *multiRun) bool) (MultiResult, bool) {
 	k := len(agents)
 	if k == 0 {
-		return MultiResult{}
+		return MultiResult{}, false
 	}
 	s.resetStats()
 
@@ -140,6 +155,7 @@ func (s *Session) RunMany(g *graph.Graph, agents []MultiAgent, cfg MultiConfig) 
 		m.bnext = s.mbnext[:k]
 	}
 	m.begin()
+	m.stopAt = stopAt
 	defer func() {
 		for i, r := range m.runners {
 			if r != nil {
@@ -148,9 +164,20 @@ func (s *Session) RunMany(g *graph.Graph, agents []MultiAgent, cfg MultiConfig) 
 			}
 		}
 	}()
-	for !m.step() {
+	for {
+		if !m.step() {
+			continue
+		}
+		if !m.suspended {
+			break
+		}
+		m.suspended = false
+		if onStop == nil || !onStop(&m) {
+			return MultiResult{}, true
+		}
+		m.stopAt = noStopRound
 	}
-	return m.res
+	return m.res, false
 }
 
 // multiRun is one k-agent run's complete scheduler state, factored out of
@@ -193,6 +220,13 @@ type multiRun struct {
 	// assign-overlap pre-pass).
 	rebuild bool
 	done    bool
+	// stopAt suspends the run at the first scheduler boundary whose round
+	// reaches it (checkpoint capture/replay — see checkpoint.go): step
+	// returns true with suspended set instead of finishing, runners still
+	// live. begin resets it to "never", so RunBatch lanes (which construct
+	// multiRun literals) are unaffected.
+	stopAt    uint64
+	suspended bool
 }
 
 // begin resets the run state for a fresh run over the configured agents.
@@ -217,6 +251,8 @@ func (m *multiRun) begin() {
 	m.first = true
 	m.rebuild = false
 	m.done = false
+	m.stopAt = noStopRound
+	m.suspended = false
 }
 
 // finish stamps the final round count and per-agent move totals and
@@ -375,11 +411,25 @@ func (m *multiRun) step() bool {
 	if allDone {
 		return m.finish()
 	}
+	if t >= m.stopAt {
+		// Checkpoint boundary: the run is live (not met by the checks
+		// above) at exactly round stopAt. Suspend with runners intact;
+		// runMany either captures and abandons or clears stopAt and
+		// re-enters — the re-entered boundary is idempotent (fetches
+		// no-op, no appearances, detection only after movement).
+		m.t = t
+		m.suspended = true
+		return true
+	}
 
 	// Event horizon: how far every agent can be driven without any
 	// goroutine interaction — bounded by the budget, the next
-	// appearance, and each runner's channel-free runway.
+	// appearance, and each runner's channel-free runway. A pending
+	// checkpoint round bounds it too, making that round a boundary.
 	horizon := budget - t
+	if d := m.stopAt - t; d < horizon {
+		horizon = d
+	}
 	for i := range agents {
 		if !present[i] {
 			if d := agents[i].Appear - t; d < horizon {

@@ -80,9 +80,36 @@ func RunPrograms(g *graph.Graph, progA, progB agent.Program, u, v int, delay uin
 // RunPrograms is the session-pooled form of the package-level
 // RunPrograms.
 func (s *Session) RunPrograms(g *graph.Graph, progA, progB agent.Program, u, v int, delay uint64, cfg Config) Result {
+	res, _ := s.runPair(g, progA, progB, u, v, delay, cfg, noStopRound, nil)
+	return res
+}
+
+// runPair is the two-agent engine loop behind RunPrograms and the
+// checkpoint/replay API (see checkpoint.go). It runs the pair to
+// completion, except that at the first scheduler boundary whose round t
+// reaches stopAt — checked after that round's meeting, termination and
+// budget tests, so a run that ends at round stopAt ends identically with
+// or without a stop — it calls onStop once. onStop returning false
+// abandons the run (checkpoint capture): the runners are released and
+// the zero Result comes back with stopped true. Returning true resumes
+// the run to completion (checkpoint replay/verify).
+//
+// Every fast-forward and fused-burst bound is clamped to stopAt. The
+// clamp only re-partitions wait stretches into smaller advance calls,
+// which the engine's observable behavior (positions, moves, fetch
+// rounds, meetings) is invariant under — and the clamped partition
+// itself is deterministic, so a capture run and a replay run with the
+// same stopAt arrive at that boundary with field-identical scheduler
+// state, caches included.
+func (s *Session) runPair(g *graph.Graph, progA, progB agent.Program, u, v int, delay uint64, cfg Config,
+	stopAt uint64, onStop func(t uint64, ra, rb *runner) bool) (Result, bool) {
 	budget := cfg.Budget
 	if budget == 0 {
 		budget = DefaultBudget
+	}
+	lim := budget
+	if stopAt < lim {
+		lim = stopAt
 	}
 	s.resetStats()
 	ra := s.acquire(g, progA, u)
@@ -119,17 +146,24 @@ func (s *Session) RunPrograms(g *graph.Graph, progA, progB agent.Program, u, v i
 				Rounds:        t,
 				MovesA:        ra.moves,
 				MovesB:        rb.moves,
-			}
+			}, false
 		}
 		if ra.state == stDone && rb != nil && rb.state == stDone {
-			return Result{Outcome: NeverMeet, Rounds: t, MovesA: ra.moves, MovesB: rb.moves}
+			return Result{Outcome: NeverMeet, Rounds: t, MovesA: ra.moves, MovesB: rb.moves}, false
 		}
 		if t >= budget {
 			res := Result{Outcome: BudgetExhausted, Rounds: t, MovesA: ra.moves}
 			if rb != nil {
 				res.MovesB = rb.moves
 			}
-			return res
+			return res, false
+		}
+		if t >= stopAt {
+			if onStop == nil || !onStop(t, ra, rb) {
+				return Result{}, true
+			}
+			stopAt = noStopRound
+			lim = budget
 		}
 
 		// Tight lock-step loop: while both agents are executing scripted
@@ -145,7 +179,7 @@ func (s *Session) RunPrograms(g *graph.Graph, progA, progB agent.Program, u, v i
 		if cfg.Observer == nil && rb != nil {
 			stepped := false
 			if ra.scriptDegs == nil && rb.scriptDegs == nil {
-				for ra.scriptMoveReady() && rb.scriptMoveReady() && t < budget {
+				for ra.scriptMoveReady() && rb.scriptMoveReady() && t < lim {
 					adj := ra.g.Adj(ra.pos)
 					p, _ := agent.ActionPort(ra.script[ra.scriptAt], ra.entry, len(adj))
 					h := adj[p]
@@ -177,11 +211,11 @@ func (s *Session) RunPrograms(g *graph.Graph, progA, progB agent.Program, u, v i
 							Rounds:        t,
 							MovesA:        ra.moves,
 							MovesB:        rb.moves,
-						}
+						}, false
 					}
 				}
 			} else {
-				for ra.scriptMoveReady() && rb.scriptMoveReady() && t < budget {
+				for ra.scriptMoveReady() && rb.scriptMoveReady() && t < lim {
 					ra.scriptStep()
 					rb.scriptStep()
 					t++
@@ -195,7 +229,7 @@ func (s *Session) RunPrograms(g *graph.Graph, progA, progB agent.Program, u, v i
 							Rounds:        t,
 							MovesA:        ra.moves,
 							MovesB:        rb.moves,
-						}
+						}, false
 					}
 				}
 			}
@@ -207,7 +241,7 @@ func (s *Session) RunPrograms(g *graph.Graph, progA, progB agent.Program, u, v i
 		// Fast-forward while nothing can change: both agents waiting (or
 		// done / not yet present). Meetings cannot occur inside the skip
 		// because positions are static and were just checked unequal.
-		skip := budget - t
+		skip := lim - t
 		if cfg.Observer != nil {
 			skip = 1
 		}
