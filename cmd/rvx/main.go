@@ -42,10 +42,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"sync"
+	"syscall"
 
 	"repro/dist"
 	"repro/experiments"
+	"repro/rvd"
 )
 
 func main() {
@@ -62,6 +66,7 @@ func main() {
 	distRespawn := flag.Int("dist-respawn", 0, "fork up to this many replacement workers when one dies mid-sweep (local workers only)")
 	distMaxAttempts := flag.Int("dist-max-attempts", 0, "redispatch a shard at most this many times after worker deaths (default: protocol default)")
 	distMigrate := flag.Bool("dist-migrate", false, "migrate in-flight shards off dying workers mid-shard (protocol v3) instead of requeueing from zero")
+	daemonAddr := flag.String("daemon", "", "submit the distributable sweeps to a running rvd daemon at this address instead of computing locally")
 	resumePath := flag.String("resume", "", "checkpoint file: skip experiments it records as complete, and save new ones to it")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "with -resume, save the checkpoint file after every N newly-executed experiments")
 	flag.Parse()
@@ -78,15 +83,23 @@ func main() {
 			Migrate:     *distMigrate,
 		}))
 	}
+	var backend dist.Backend
 	switch {
+	case *daemonAddr != "":
+		base := *daemonAddr
+		if !strings.Contains(base, "://") {
+			base = "http://" + base
+		}
+		backend = &rvd.Client{BaseURL: base, Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}}
 	case *distAddrs != "":
 		be, err := dist.Dial(strings.Split(*distAddrs, ","), distOpts...)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rvx: %v\n", err)
 			os.Exit(1)
 		}
-		defer be.Close()
-		experiments.SetDistBackend(be)
+		backend = be
 	case *distWorkers > 0:
 		// The worker flag is a command line, not just a binary: splitting
 		// on whitespace lets the chaos smoke pass `rvworker -crash-after 2`.
@@ -99,8 +112,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "rvx: %v\n", err)
 			os.Exit(1)
 		}
-		defer be.Close()
-		experiments.SetDistBackend(be)
+		backend = be
+	}
+	if backend != nil {
+		defer backend.Close()
+		experiments.SetDistBackend(backend)
 	}
 
 	want := map[string]bool{}
@@ -129,8 +145,34 @@ func main() {
 		}
 	}
 
-	failures := 0
+	// Interrupt trap: SIGINT/SIGTERM flushes the checkpoint file (when
+	// -resume names one) and drains the dist backend before exit, so an
+	// interrupted run loses nothing since its last completed experiment
+	// instead of everything since the last -checkpoint-every boundary.
+	// The mutex orders the flush against the main loop's appends; an
+	// experiment mid-run is simply not in done yet and re-executes on
+	// resume.
+	var mu sync.Mutex
 	var done []*experiments.Table
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		mu.Lock()
+		fmt.Fprintf(os.Stderr, "rvx: %v: flushing checkpoint and draining dist backend\n", sig)
+		if *resumePath != "" && len(done) > 0 {
+			save(done)
+		}
+		if backend != nil {
+			backend.Close()
+		}
+		if s, ok := sig.(syscall.Signal); ok {
+			os.Exit(128 + int(s))
+		}
+		os.Exit(1)
+	}()
+
+	failures := 0
 	fresh := 0
 	for _, e := range experiments.Registry(*full) {
 		if len(want) > 0 && !want[e.ID] {
@@ -141,7 +183,9 @@ func main() {
 			tbl = e.Run()
 			fresh++
 		}
+		mu.Lock()
 		done = append(done, tbl)
+		mu.Unlock()
 		if *markdown {
 			fmt.Println(tbl.Markdown())
 		} else {
@@ -150,12 +194,16 @@ func main() {
 		fmt.Println()
 		failures += len(tbl.Failed)
 		if *checkpointEvery > 0 && fresh >= *checkpointEvery {
+			mu.Lock()
 			save(done)
+			mu.Unlock()
 			fresh = 0
 		}
 	}
 	if *checkpointEvery > 0 && fresh > 0 {
+		mu.Lock()
 		save(done)
+		mu.Unlock()
 	}
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "rvx: %d experiment checks FAILED\n", failures)

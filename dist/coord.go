@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net"
 	"os"
 	"os/exec"
@@ -1012,23 +1013,83 @@ func NewLocal(workers int, argv []string, opts ...Option) (Backend, error) {
 	return b, nil
 }
 
+// DialRetry tunes the connection-retry loop Dial and DialAdd run per
+// address: up to Attempts tries, sleeping between them with capped
+// exponential backoff plus jitter (the delay before try n+1 is drawn
+// uniformly from [b/2, b] where b = min(Base<<n, Cap)). Workers that
+// come up slower than their coordinator — the daemon-restart shape —
+// are absorbed instead of failing the whole fleet on the first refused
+// connection.
+type DialRetry struct {
+	Attempts int           // total connection attempts per address (default 5)
+	Base     time.Duration // first backoff step (default 50ms)
+	Cap      time.Duration // backoff ceiling (default 2s)
+}
+
+func (rt DialRetry) withDefaults() DialRetry {
+	if rt.Attempts <= 0 {
+		rt.Attempts = 5
+	}
+	if rt.Base <= 0 {
+		rt.Base = 50 * time.Millisecond
+	}
+	if rt.Cap <= 0 {
+		rt.Cap = 2 * time.Second
+	}
+	return rt
+}
+
+// dialRetry dials addr with rt's backoff schedule. The returned error
+// carries the attempt count.
+func dialRetry(rt DialRetry, addr string) (net.Conn, error) {
+	rt = rt.withDefaults()
+	var lastErr error
+	backoff := rt.Base
+	for attempt := 1; attempt <= rt.Attempts; attempt++ {
+		c, err := net.Dial("tcp", addr)
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
+		if attempt == rt.Attempts {
+			break
+		}
+		// Jitter in [backoff/2, backoff]: desynchronizes a fleet of
+		// coordinators re-dialing the same restarted worker.
+		d := backoff/2 + time.Duration(rand.Int64N(int64(backoff/2)+1))
+		time.Sleep(d)
+		if backoff < rt.Cap {
+			if backoff *= 2; backoff > rt.Cap {
+				backoff = rt.Cap
+			}
+		}
+	}
+	return nil, fmt.Errorf("dist: dialing worker %s: %w (after %d attempts)", addr, lastErr, rt.Attempts)
+}
+
 // Dial returns a backend over TCP connections to already-running
 // protocol workers (`rvworker -listen`), one connection per address —
 // the multi-machine mode. Addresses may repeat to open several
 // connections to one worker host; DialAdd joins more workers later,
-// including mid-sweep.
+// including mid-sweep. Each address is dialed with the default
+// DialRetry backoff schedule; DialWith customizes it.
 func Dial(addrs []string, opts ...Option) (Backend, error) {
+	return DialWith(DialRetry{}, addrs, opts...)
+}
+
+// DialWith is Dial with an explicit retry schedule.
+func DialWith(rt DialRetry, addrs []string, opts ...Option) (Backend, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("dist: Dial needs at least one worker address")
 	}
 	conns := make([]*wconn, 0, len(addrs))
 	for _, a := range addrs {
-		c, err := net.Dial("tcp", a)
+		c, err := dialRetry(rt, a)
 		if err != nil {
 			for _, open := range conns {
 				_ = open.c.Close()
 			}
-			return nil, fmt.Errorf("dist: dialing worker %s: %w", a, err)
+			return nil, err
 		}
 		conns = append(conns, newWconn(c, c))
 	}
@@ -1037,14 +1098,15 @@ func Dial(addrs []string, opts ...Option) (Backend, error) {
 
 // DialAdd dials one more `rvworker -listen` address into a Dial (or any
 // connection) backend, joining an in-flight sweep if one is running.
+// It retries with the default DialRetry backoff schedule.
 func DialAdd(be Backend, addr string) error {
 	adder, ok := be.(ConnAdder)
 	if !ok {
 		return fmt.Errorf("dist: backend does not accept extra connections")
 	}
-	c, err := net.Dial("tcp", addr)
+	c, err := dialRetry(DialRetry{}, addr)
 	if err != nil {
-		return fmt.Errorf("dist: dialing worker %s: %w", addr, err)
+		return err
 	}
 	adder.AddConn(c, c)
 	return nil

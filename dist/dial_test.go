@@ -1,0 +1,104 @@
+package dist
+
+// Unit coverage for the dial retry loop (an internal test: the loop is
+// the unit, not the backend around it). The "listener that accepts only
+// on the Nth attempt" is staged by reserving a port, closing it, and
+// re-listening only after the first attempts have already failed with
+// ECONNREFUSED — the worker-restarts-slower-than-the-coordinator shape
+// the backoff exists for.
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDialRetryEventualListener(t *testing.T) {
+	// Reserve a port, then free it so the first attempts are refused.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	up := make(chan struct{})
+	go func() {
+		// Come up only after the dialer has had time to fail at least
+		// once; the retry loop must absorb the refused attempts.
+		time.Sleep(80 * time.Millisecond)
+		ln2, err := net.Listen("tcp", addr)
+		if err != nil {
+			t.Errorf("re-listen on %s: %v", addr, err)
+			close(up)
+			return
+		}
+		close(up)
+		c, err := ln2.Accept()
+		if err == nil {
+			c.Close()
+		}
+		ln2.Close()
+	}()
+
+	start := time.Now()
+	c, err := dialRetry(DialRetry{Attempts: 20, Base: 20 * time.Millisecond, Cap: 100 * time.Millisecond}, addr)
+	if err != nil {
+		t.Fatalf("dialRetry never connected: %v", err)
+	}
+	c.Close()
+	<-up
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Fatalf("connected after %v — the port cannot have been refused first", elapsed)
+	}
+}
+
+func TestDialRetryExhaustionReportsAttempts(t *testing.T) {
+	// Reserve-and-release a port nobody re-listens on: every attempt is
+	// refused, and the error must carry the attempt count.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	_, err = dialRetry(DialRetry{Attempts: 3, Base: time.Millisecond, Cap: 2 * time.Millisecond}, addr)
+	if err == nil {
+		t.Fatal("dialRetry connected to a dead port")
+	}
+	if !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Fatalf("error does not carry the attempt count: %v", err)
+	}
+	if !strings.Contains(err.Error(), addr) {
+		t.Fatalf("error does not name the address: %v", err)
+	}
+}
+
+func TestDialRetryDefaults(t *testing.T) {
+	rt := DialRetry{}.withDefaults()
+	if rt.Attempts <= 1 || rt.Base <= 0 || rt.Cap < rt.Base {
+		t.Fatalf("unusable defaults: %+v", rt)
+	}
+	// Explicit values survive.
+	rt = DialRetry{Attempts: 7, Base: time.Second, Cap: 3 * time.Second}.withDefaults()
+	if rt.Attempts != 7 || rt.Base != time.Second || rt.Cap != 3*time.Second {
+		t.Fatalf("explicit values clobbered: %+v", rt)
+	}
+}
+
+func TestDialSurfacesRetryError(t *testing.T) {
+	// The public Dial path reports the per-address retry failure.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	if _, err := DialWith(DialRetry{Attempts: 2, Base: time.Millisecond, Cap: time.Millisecond}, []string{addr}); err == nil {
+		t.Fatal("DialWith connected to a dead port")
+	} else if !strings.Contains(err.Error(), "after 2 attempts") {
+		t.Fatalf("DialWith error lost the attempt count: %v", err)
+	}
+}

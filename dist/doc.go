@@ -8,7 +8,18 @@
 // (v3) built around failure as a normal event: shards requeue off dead
 // connections or migrate mid-shard to survivors, workers heartbeat while
 // they compute, dispatch is pipelined, and workers may join (AddConn,
-// DialAdd) or be respawned (WithRespawn) mid-sweep.
+// DialAdd) or be respawned (WithRespawn) mid-sweep. Dial and DialAdd
+// absorb workers that come up slower than their coordinator by retrying
+// each address with capped exponential backoff plus jitter (DialRetry,
+// DialWith).
+//
+// Package rvd builds the long-running service on top of this dispatcher:
+// a daemon owning one fleet and a persistent content-addressed result
+// store keyed by the canonical ShardDesc encodings this package pins
+// (see rvd's doc.go for the cache-key derivation and crash-recovery
+// contract). The codec properties dist guarantees — canonical
+// decode→encode fixed point, hardened bounded decoding — are exactly
+// what make those cache keys stable and safe.
 //
 // # Protocol framing (v3)
 //

@@ -1,0 +1,86 @@
+package rvd
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+// BenchmarkCacheLookup measures the store's read path — index check,
+// file read, full checksum verification — on a warm 256-entry store with
+// 4KiB values (the order of a real shard aggregate).
+func BenchmarkCacheLookup(b *testing.B) {
+	dir := b.TempDir()
+	s, err := OpenStore(dir, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const entries = 256
+	value := make([]byte, 4096)
+	for i := range value {
+		value[i] = byte(i)
+	}
+	keys := make([]Key, entries)
+	for i := range keys {
+		keys[i] = CacheKey("bench", []byte(fmt.Sprintf("shard-%d", i)))
+		if err := s.Put(keys[i], value); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("verified-read", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, ok := s.Get(keys[i%entries]); !ok {
+				b.Fatal("miss on a present key")
+			}
+		}
+	})
+	b.Run("index-only", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if !s.Contains(keys[i%entries]) {
+				b.Fatal("miss on a present key")
+			}
+		}
+	})
+	b.Run("miss", func(b *testing.B) {
+		b.ReportAllocs()
+		absent := CacheKey("bench", []byte("never-stored"))
+		for i := 0; i < b.N; i++ {
+			if _, ok := s.Get(absent); ok {
+				b.Fatal("hit on an absent key")
+			}
+		}
+	})
+}
+
+// BenchmarkJournalAppend measures the WAL append: a realistic submit
+// record (8 shards × 256 bytes) framed, written, and — in the durable
+// variant — fsync'd, which is the daemon's actual per-submission cost.
+func BenchmarkJournalAppend(b *testing.B) {
+	rec := &Record{Type: recSubmit, JobID: 42}
+	shard := make([]byte, 256)
+	for i := range shard {
+		shard[i] = byte(i * 7)
+	}
+	for i := 0; i < 8; i++ {
+		rec.Shards = append(rec.Shards, shard)
+	}
+	run := func(b *testing.B, durable bool) {
+		j, _, err := OpenJournal(filepath.Join(b.TempDir(), "bench.wal"), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer j.Close()
+		j.sync = durable
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := j.Append(rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("fsync", func(b *testing.B) { run(b, true) })
+	b.Run("buffered", func(b *testing.B) { run(b, false) })
+}

@@ -1,0 +1,731 @@
+package rvd
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/dist"
+)
+
+// JobState is a job's position in the crash-recovery state machine (see
+// doc.go): Queued → Running → Done/Failed, with Suspended the state a
+// still-incomplete job's watchers observe while the daemon shuts down
+// (the job itself stays journaled and resumes on the next start).
+type JobState int
+
+const (
+	JobQueued JobState = iota
+	JobRunning
+	JobDone
+	JobFailed
+	JobSuspended
+)
+
+func (s JobState) String() string {
+	switch s {
+	case JobQueued:
+		return "queued"
+	case JobRunning:
+		return "running"
+	case JobDone:
+		return "done"
+	case JobFailed:
+		return "failed"
+	default:
+		return "suspended"
+	}
+}
+
+// Event is one per-shard completion: the shard's index in the job's
+// submission order and whether it was served from the store (Cache) or
+// freshly executed this daemon lifetime. Result bytes are not retained
+// in memory — watchers read them back from the store by key.
+type Event struct {
+	Shard int
+	Cache bool
+}
+
+// Job is one submitted sweep: an ordered list of shards, each
+// content-addressed by its cache key.
+type Job struct {
+	ID     uint64
+	shards []*dist.ShardDesc
+	raw    [][]byte // canonical encodings, index-parallel with shards
+	keys   []Key
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	state     JobState
+	done      []bool
+	events    []Event
+	cacheHits int
+	executed  int
+	errMsg    string
+}
+
+// JobStatus is a point-in-time snapshot of a job.
+type JobStatus struct {
+	ID        uint64
+	State     JobState
+	Shards    int
+	Completed int
+	CacheHits int
+	Executed  int
+	Err       string
+}
+
+// Status snapshots the job.
+func (job *Job) Status() JobStatus {
+	job.mu.Lock()
+	defer job.mu.Unlock()
+	return JobStatus{
+		ID: job.ID, State: job.state, Shards: len(job.shards),
+		Completed: len(job.events), CacheHits: job.cacheHits,
+		Executed: job.executed, Err: job.errMsg,
+	}
+}
+
+// terminal reports whether the job will produce no further events.
+func (job *Job) terminal() bool {
+	return job.state == JobDone || job.state == JobFailed || job.state == JobSuspended
+}
+
+// Wait blocks until the job reaches a terminal state and returns the
+// final status.
+func (job *Job) Wait() JobStatus {
+	job.mu.Lock()
+	for !job.terminal() {
+		job.cond.Wait()
+	}
+	job.mu.Unlock()
+	return job.Status()
+}
+
+// Keys returns the job's per-shard cache keys in submission order.
+func (job *Job) Keys() []Key { return job.keys }
+
+// Config configures a Daemon. Zero fields take the defaults.
+type Config struct {
+	// Dir is the daemon's durable state directory: Dir/store holds the
+	// result cache, Dir/journal.wal the job journal.
+	Dir string
+
+	// Backend executes shards the store cannot answer. The daemon
+	// serializes its Run calls (the dist coordinator's contract); the
+	// caller keeps ownership and closes it after Close.
+	Backend dist.Backend
+
+	// VersionStamp is folded into every cache key (see CacheKey). Bump
+	// it whenever the binary, wire protocol, or program registry changes
+	// in a way that could alter any shard's results; stale entries then
+	// become unreachable rather than wrong. Default "rvd".
+	VersionStamp string
+
+	// QueueBound is the admission-control limit on unfinished shards
+	// across all jobs: a Submit that would exceed it is shed with
+	// ErrOverloaded (HTTP 503 + Retry-After). Default 4096.
+	QueueBound int
+
+	// BatchShards bounds how many shards one backend.Run call carries.
+	// Smaller batches interleave concurrent jobs more fairly (the
+	// round-robin dequeue picks one shard per job per turn); larger ones
+	// amortize dispatch better. Default 16.
+	BatchShards int
+
+	// CompactEvery triggers a journal compaction after this many jobs
+	// complete. Default 32.
+	CompactEvery int
+
+	// RetryAfter is the backoff hint handed to shed submitters.
+	// Default 1s.
+	RetryAfter time.Duration
+
+	// Logf receives operational notices (quarantines, journal recovery,
+	// job lifecycle). Nil is silent.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.VersionStamp == "" {
+		c.VersionStamp = "rvd"
+	}
+	if c.QueueBound <= 0 {
+		c.QueueBound = 4096
+	}
+	if c.BatchShards <= 0 {
+		c.BatchShards = 16
+	}
+	if c.CompactEvery <= 0 {
+		c.CompactEvery = 32
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// ErrOverloaded is returned by Submit when admission control sheds the
+// job; RetryAfter is the suggested backoff.
+type ErrOverloaded struct {
+	RetryAfter time.Duration
+}
+
+func (e *ErrOverloaded) Error() string {
+	return fmt.Sprintf("rvd: queue full, retry after %v", e.RetryAfter)
+}
+
+// ErrClosed is returned by Submit once shutdown has begun.
+var ErrClosed = errors.New("rvd: daemon shutting down")
+
+// Daemon is the long-running rendezvous service: it owns a worker-fleet
+// backend, a persistent result store, and a job journal, and multiplexes
+// concurrent sweep jobs over the one fleet with per-job fair dequeue.
+// Its defining property is crash safety: kill -9 at any instant loses at
+// most the results not yet durably stored — never the journal, never a
+// stored result, never a completed job.
+type Daemon struct {
+	cfg   Config
+	store *Store
+	jl    *Journal
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	jobs      map[uint64]*Job
+	queue     []*Job // submitted, not yet picked up by the scheduler
+	active    []*Job // being worked; fair dequeue round-robins these
+	nextID    uint64
+	pending   int // unfinished shards across queue+active (admission control)
+	rr        int // round-robin cursor over active
+	doneJobs  int // completions since the last compaction
+	closing   bool
+	schedDone chan struct{}
+
+	totalHits int
+	totalExec int
+
+	// crashAfterStores, when positive, simulates kill -9 for the crash
+	// harness: the scheduler halts dead (no done record, no further
+	// stores, no graceful anything) after that many store puts, and
+	// crashed is closed. Test-only.
+	crashAfterStores int
+	crashed          chan struct{}
+}
+
+// Open opens the daemon's durable state under cfg.Dir, replays the
+// journal — incomplete jobs are re-enqueued exactly as submitted, their
+// completed shards answered by the store as cache hits — and starts the
+// scheduler. The caller must eventually Close.
+func Open(cfg Config) (*Daemon, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" {
+		return nil, errors.New("rvd: Config.Dir is required")
+	}
+	if cfg.Backend == nil {
+		return nil, errors.New("rvd: Config.Backend is required")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("rvd: creating state dir: %w", err)
+	}
+	store, err := OpenStore(filepath.Join(cfg.Dir, "store"), cfg.Logf)
+	if err != nil {
+		return nil, err
+	}
+	jl, recs, err := OpenJournal(filepath.Join(cfg.Dir, "journal.wal"), cfg.Logf)
+	if err != nil {
+		return nil, err
+	}
+	d := &Daemon{
+		cfg:       cfg,
+		store:     store,
+		jl:        jl,
+		jobs:      map[uint64]*Job{},
+		nextID:    1,
+		schedDone: make(chan struct{}),
+		crashed:   make(chan struct{}),
+	}
+	d.cond = sync.NewCond(&d.mu)
+
+	// Replay: submit records without a matching done record are the
+	// incomplete jobs; re-enqueue them in submission order under their
+	// original ids.
+	type pendingJob struct {
+		id     uint64
+		shards [][]byte
+	}
+	var incomplete []pendingJob
+	byID := map[uint64]int{}
+	for _, rec := range recs {
+		switch rec.Type {
+		case recSubmit:
+			byID[rec.JobID] = len(incomplete)
+			incomplete = append(incomplete, pendingJob{id: rec.JobID, shards: rec.Shards})
+		case recDone:
+			if i, ok := byID[rec.JobID]; ok {
+				incomplete[i].shards = nil // tombstone
+			}
+		}
+		if rec.JobID >= d.nextID {
+			d.nextID = rec.JobID + 1
+		}
+	}
+	var live []*Record
+	for _, pj := range incomplete {
+		if pj.shards == nil {
+			continue
+		}
+		job, err := d.buildJob(pj.id, pj.shards)
+		if err != nil {
+			// A journaled job that no longer decodes (version skew after
+			// an upgrade): drop it with a notice rather than wedge the
+			// daemon; the submitter will resubmit and be re-keyed.
+			d.logf("rvd: dropping journaled job %d: %v", pj.id, err)
+			continue
+		}
+		d.jobs[job.ID] = job
+		d.queue = append(d.queue, job)
+		d.pending += len(job.shards)
+		live = append(live, &Record{Type: recSubmit, JobID: pj.id, Shards: pj.shards})
+		d.logf("rvd: resuming journaled job %d (%d shards)", pj.id, len(job.shards))
+	}
+	// Compact on open: the replayed prefix collapses to just the live
+	// submit records, so journal growth resets every restart.
+	if err := jl.Compact(live); err != nil {
+		jl.Close()
+		return nil, err
+	}
+	go d.schedule()
+	return d, nil
+}
+
+func (d *Daemon) logf(format string, args ...any) {
+	if d.cfg.Logf != nil {
+		d.cfg.Logf(format, args...)
+	}
+}
+
+// buildJob decodes and canonicalizes raw shard encodings into a Job.
+func (d *Daemon) buildJob(id uint64, raws [][]byte) (*Job, error) {
+	if len(raws) == 0 {
+		return nil, errors.New("rvd: job with no shards")
+	}
+	job := &Job{
+		ID:     id,
+		shards: make([]*dist.ShardDesc, len(raws)),
+		raw:    make([][]byte, len(raws)),
+		keys:   make([]Key, len(raws)),
+		done:   make([]bool, len(raws)),
+	}
+	job.cond = sync.NewCond(&job.mu)
+	for i, raw := range raws {
+		sh := new(dist.ShardDesc)
+		if err := sh.Decode(raw); err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		// Re-encode: decode→encode is the canonical fixed point (pinned
+		// by FuzzShardDecode), so equivalent submissions hash equal no
+		// matter how their varints arrived.
+		canon := sh.Encode()
+		job.shards[i] = sh
+		job.raw[i] = canon
+		job.keys[i] = CacheKey(d.cfg.VersionStamp, canon)
+	}
+	return job, nil
+}
+
+// Submit accepts one sweep job: decode and canonicalize the shards,
+// journal the submission durably, enqueue, and return the job. The job
+// is recoverable from the moment Submit returns — a kill -9 immediately
+// after still resumes it on restart.
+func (d *Daemon) Submit(shards [][]byte) (*Job, error) {
+	d.mu.Lock()
+	if d.closing {
+		d.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if d.pending+len(shards) > d.cfg.QueueBound {
+		d.mu.Unlock()
+		return nil, &ErrOverloaded{RetryAfter: d.cfg.RetryAfter}
+	}
+	id := d.nextID
+	d.nextID++
+	d.mu.Unlock()
+
+	job, err := d.buildJob(id, shards)
+	if err != nil {
+		return nil, err
+	}
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closing {
+		return nil, ErrClosed
+	}
+	// Write-ahead: the journal append (fsync'd) happens before the job
+	// is visible anywhere, so an accepted job can never be lost.
+	if err := d.jl.Append(&Record{Type: recSubmit, JobID: id, Shards: job.raw}); err != nil {
+		return nil, err
+	}
+	d.jobs[id] = job
+	d.queue = append(d.queue, job)
+	d.pending += len(job.shards)
+	d.cond.Broadcast()
+	return job, nil
+}
+
+// JobByID looks a job up.
+func (d *Daemon) JobByID(id uint64) (*Job, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	job, ok := d.jobs[id]
+	return job, ok
+}
+
+// Stats is the daemon-wide counter snapshot.
+type Stats struct {
+	Jobs          int
+	PendingShards int
+	StoreEntries  int
+	Quarantined   int
+	CacheHits     int // shards answered from the store, all jobs, this lifetime
+	Executed      int // shards executed on the fleet, this lifetime
+}
+
+// Stats snapshots daemon-wide counters.
+func (d *Daemon) Stats() Stats {
+	d.mu.Lock()
+	st := Stats{
+		Jobs:          len(d.jobs),
+		PendingShards: d.pending,
+		CacheHits:     d.totalHits,
+		Executed:      d.totalExec,
+	}
+	d.mu.Unlock()
+	st.StoreEntries = d.store.Len()
+	st.Quarantined = d.store.Quarantined()
+	return st
+}
+
+// Store exposes the daemon's result store (watchers read event payloads
+// through it).
+func (d *Daemon) Store() *Store { return d.store }
+
+// markDone records one shard completion on a job (job.mu held by
+// caller? No — markDone takes it). Daemon-wide counters are the
+// caller's business.
+func (job *Job) markDone(shard int, cache bool) {
+	job.mu.Lock()
+	if job.done[shard] {
+		job.mu.Unlock()
+		return
+	}
+	job.done[shard] = true
+	if cache {
+		job.cacheHits++
+	} else {
+		job.executed++
+	}
+	job.events = append(job.events, Event{Shard: shard, Cache: cache})
+	job.cond.Broadcast()
+	job.mu.Unlock()
+}
+
+func (job *Job) completedCount() int {
+	job.mu.Lock()
+	defer job.mu.Unlock()
+	return len(job.events)
+}
+
+func (job *Job) setState(s JobState, errMsg string) {
+	job.mu.Lock()
+	job.state = s
+	if errMsg != "" {
+		job.errMsg = errMsg
+	}
+	job.cond.Broadcast()
+	job.mu.Unlock()
+}
+
+// resolveJob answers every undone shard it can from the store; returns
+// how many shards remain. Called without d.mu (store reads hit disk).
+func (d *Daemon) resolveJob(job *Job) (remaining int) {
+	hits := 0
+	for i, k := range job.keys {
+		job.mu.Lock()
+		isDone := job.done[i]
+		job.mu.Unlock()
+		if isDone {
+			continue
+		}
+		if !d.store.Contains(k) {
+			remaining++
+			continue
+		}
+		if _, ok := d.store.Get(k); !ok {
+			// Contained but corrupt: quarantined inside Get; recompute.
+			remaining++
+			continue
+		}
+		job.markDone(i, true)
+		hits++
+	}
+	if hits > 0 {
+		d.mu.Lock()
+		d.totalHits += hits
+		d.pending -= hits
+		d.mu.Unlock()
+	}
+	return remaining
+}
+
+// finishJob journals the done record, compacts on schedule, and flips
+// the job's state. Called without d.mu.
+func (d *Daemon) finishJob(job *Job) {
+	d.mu.Lock()
+	err := d.jl.Append(&Record{Type: recDone, JobID: job.ID})
+	if err == nil {
+		d.doneJobs++
+		if d.doneJobs >= d.cfg.CompactEvery {
+			d.doneJobs = 0
+			var live []*Record
+			for _, j := range append(append([]*Job(nil), d.queue...), d.active...) {
+				if j != job && !j.Status().State.isFinal() {
+					live = append(live, &Record{Type: recSubmit, JobID: j.ID, Shards: j.raw})
+				}
+			}
+			if cerr := d.jl.Compact(live); cerr != nil {
+				d.logf("rvd: journal compaction failed: %v", cerr)
+			}
+		}
+	}
+	d.mu.Unlock()
+	if err != nil {
+		// The work is done and stored; only the journal's completion
+		// note failed. Log it — the worst a crash now costs is a
+		// harmless resume that cache-hits every shard.
+		d.logf("rvd: journaling job %d completion: %v", job.ID, err)
+	}
+	job.setState(JobDone, "")
+	d.logf("rvd: job %d done (%d shards: %d cache hits, %d executed)",
+		job.ID, len(job.shards), job.Status().CacheHits, job.Status().Executed)
+}
+
+func (s JobState) isFinal() bool { return s == JobDone || s == JobFailed }
+
+// batchItem is one shard picked for a backend run.
+type batchItem struct {
+	job   *Job
+	shard int
+}
+
+// schedule is the daemon's single scheduler goroutine: activate queued
+// jobs, resolve them against the store, fair-pick a bounded batch of
+// pending shards round-robin across active jobs, execute it on the
+// fleet, store each result durably, and repeat. One scheduler means one
+// backend.Run at a time (the dist coordinator's contract) and no
+// requeue/completion races by construction.
+func (d *Daemon) schedule() {
+	defer close(d.schedDone)
+	for {
+		d.mu.Lock()
+		for !d.closing && len(d.queue) == 0 && len(d.active) == 0 {
+			d.cond.Wait()
+		}
+		if d.closing {
+			d.mu.Unlock()
+			return
+		}
+		newJobs := d.queue
+		d.queue = nil
+		d.active = append(d.active, newJobs...)
+		active := append([]*Job(nil), d.active...)
+		d.mu.Unlock()
+
+		for _, job := range newJobs {
+			job.setState(JobRunning, "")
+		}
+
+		// Resolve every active job against the store: cache hits and
+		// cross-job pickups complete here without touching the fleet.
+		var still []*Job
+		for _, job := range active {
+			if d.resolveJob(job) == 0 {
+				d.finishJob(job)
+				d.dropJob(job)
+			} else {
+				still = append(still, job)
+			}
+		}
+		if len(still) == 0 {
+			continue
+		}
+
+		// Fair dequeue: one shard per job per round-robin turn, distinct
+		// cache keys only (duplicate keys within one batch — the
+		// overlapping-sweeps traffic shape — execute once and resolve
+		// for everyone on the next pass).
+		var batch []batchItem
+		seen := map[Key]bool{}
+		cursor := make([]int, len(still))
+		d.mu.Lock()
+		rr := d.rr % len(still)
+		d.mu.Unlock()
+		for len(batch) < d.cfg.BatchShards {
+			picked := false
+			for t := 0; t < len(still) && len(batch) < d.cfg.BatchShards; t++ {
+				job := still[(rr+t)%len(still)]
+				ji := (rr + t) % len(still)
+				for cursor[ji] < len(job.shards) {
+					i := cursor[ji]
+					cursor[ji]++
+					job.mu.Lock()
+					isDone := job.done[i]
+					job.mu.Unlock()
+					if isDone || seen[job.keys[i]] {
+						continue
+					}
+					seen[job.keys[i]] = true
+					batch = append(batch, batchItem{job: job, shard: i})
+					picked = true
+					break
+				}
+			}
+			if !picked {
+				break
+			}
+		}
+		d.mu.Lock()
+		d.rr++
+		d.mu.Unlock()
+		if len(batch) == 0 {
+			// Every pending shard is a duplicate of one already stored?
+			// Cannot happen: resolve left them unresolved, so they are
+			// genuinely absent. An empty batch here means all remaining
+			// shards were marked done concurrently; loop and re-resolve.
+			continue
+		}
+
+		descs := make([]*dist.ShardDesc, len(batch))
+		for i, it := range batch {
+			descs[i] = it.job.shards[it.shard]
+		}
+		results, err := d.cfg.Backend.Run(descs)
+		if err != nil {
+			// Operational failure (fleet died, poison shard exhausted
+			// attempts): fail the batch's jobs; others are untouched.
+			d.failJobs(batch, err)
+			continue
+		}
+
+		stored := 0
+		for i, it := range batch {
+			value := results[i].AppendEncode(nil)
+			if err := d.store.Put(it.job.keys[it.shard], value); err != nil {
+				d.failJobs(batch[i:], err)
+				break
+			}
+			stored++
+			it.job.markDone(it.shard, false)
+			d.mu.Lock()
+			d.totalExec++
+			d.pending--
+			crash := d.crashAfterStores > 0 && d.totalExec >= d.crashAfterStores
+			d.mu.Unlock()
+			if crash {
+				// Simulated kill -9: halt dead. No done records, no
+				// state transitions, no cleanup — everything after this
+				// instant must be recoverable from disk alone.
+				close(d.crashed)
+				return
+			}
+		}
+		_ = stored
+
+		// Completion check: jobs whose last shard just landed.
+		d.mu.Lock()
+		activeNow := append([]*Job(nil), d.active...)
+		d.mu.Unlock()
+		for _, job := range activeNow {
+			if d.resolveJob(job) == 0 && !job.Status().State.isFinal() {
+				d.finishJob(job)
+				d.dropJob(job)
+			}
+		}
+	}
+}
+
+// dropJob removes a finished job from the active set (it stays in jobs
+// for status/event queries).
+func (d *Daemon) dropJob(job *Job) {
+	d.mu.Lock()
+	for i, j := range d.active {
+		if j == job {
+			d.active = append(d.active[:i], d.active[i+1:]...)
+			break
+		}
+	}
+	d.mu.Unlock()
+}
+
+// failJobs marks the distinct jobs of a failed batch failed and removes
+// them from scheduling; their journaled submissions remain, so a
+// restart retries them from their completed prefix.
+func (d *Daemon) failJobs(batch []batchItem, cause error) {
+	seen := map[*Job]bool{}
+	for _, it := range batch {
+		if seen[it.job] {
+			continue
+		}
+		seen[it.job] = true
+		d.logf("rvd: job %d failed: %v", it.job.ID, cause)
+		it.job.setState(JobFailed, cause.Error())
+		d.mu.Lock()
+		remaining := 0
+		it.job.mu.Lock()
+		for _, done := range it.job.done {
+			if !done {
+				remaining++
+			}
+		}
+		it.job.mu.Unlock()
+		d.pending -= remaining
+		d.mu.Unlock()
+		d.dropJob(it.job)
+	}
+}
+
+// Close begins graceful shutdown: new submissions are refused, the
+// scheduler finishes its in-flight batch and stops, unfinished jobs'
+// watchers see JobSuspended (the jobs themselves stay journaled and
+// resume on the next Open), and the journal closes. The backend is the
+// caller's to close afterwards — its Close drains worker connections.
+func (d *Daemon) Close() error {
+	d.mu.Lock()
+	if d.closing {
+		d.mu.Unlock()
+		<-d.schedDone
+		return nil
+	}
+	d.closing = true
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	select {
+	case <-d.schedDone:
+	case <-d.crashed:
+		// A simulated crash already halted the scheduler; there is
+		// nothing to drain (and nothing we are allowed to flush).
+	}
+	d.mu.Lock()
+	jobs := append(append([]*Job(nil), d.queue...), d.active...)
+	err := d.jl.Close()
+	d.mu.Unlock()
+	for _, job := range jobs {
+		if !job.Status().State.isFinal() {
+			job.setState(JobSuspended, "")
+		}
+	}
+	return err
+}

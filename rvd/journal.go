@@ -1,0 +1,311 @@
+package rvd
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// The job journal is the daemon's write-ahead log: every accepted job is
+// appended (and fsync'd) BEFORE the submitter gets an id, and a done
+// record is appended only after every shard's result is durably in the
+// store — so at any kill -9 instant the journal names exactly the jobs
+// whose work is not yet known complete. Restart replays it: submit
+// records without a matching done record are re-enqueued, and the store
+// turns their completed shards into cache hits.
+//
+// The file is a header line followed by append-only netstring-style
+// frames: a uvarint length prefix, the frame body, and a 32-bit FNV-1a
+// checksum of the body inside the prefixed region — the dist wire
+// framing (writeFrameSum), scaled down to a file. Replay stops at the
+// first frame that is truncated or fails its checksum and truncates the
+// file back to the last good frame: an append cut by a crash costs
+// exactly the uncommitted record, never the journal. Compaction
+// atomically rewrites the file with only the live records (temp file,
+// fsync, rename), bounding journal growth across long daemon lifetimes.
+
+const (
+	journalHeader = "rvdj1\n"
+
+	recSubmit byte = 1 // job accepted: id + canonical shard encodings
+	recDone   byte = 2 // job complete: id (every shard durably stored)
+
+	// maxJournalFrame bounds one frame; maxJournalShards bounds the
+	// shard count a submit record may claim (each shard costs >= 1 byte,
+	// and decode additionally bounds the count by the remaining input).
+	maxJournalFrame  = 1 << 26
+	maxJournalShards = 1 << 20
+)
+
+// Record is one journal entry. Submit records carry the job's canonical
+// shard encodings; done records carry only the id.
+type Record struct {
+	Type   byte
+	JobID  uint64
+	Shards [][]byte // recSubmit only
+}
+
+// uvarintCanon decodes a minimally-encoded uvarint: w <= 0 on
+// truncation, overflow, or a redundant spelling (0x80 0x00 also encodes
+// zero under binary.Uvarint). Both durability codecs insist on the
+// minimal form so every journal frame and store entry has exactly one
+// byte spelling — the canonical-fixed-point property the fuzz targets
+// pin.
+func uvarintCanon(b []byte) (uint64, int) {
+	v, w := binary.Uvarint(b)
+	if w <= 0 {
+		return 0, w
+	}
+	var tmp [binary.MaxVarintLen64]byte
+	if binary.PutUvarint(tmp[:], v) != w {
+		return 0, -1
+	}
+	return v, w
+}
+
+// fnv1a32 matches the dist wire checksum (FNV-1a 32).
+func fnv1a32(data []byte) uint32 {
+	h := uint32(2166136261)
+	for _, c := range data {
+		h ^= uint32(c)
+		h *= 16777619
+	}
+	return h
+}
+
+// appendRecord appends one framed record: uvarint(len(body)+4), body,
+// FNV-1a 32 of body.
+func appendRecord(dst []byte, rec *Record) []byte {
+	body := make([]byte, 0, 16)
+	body = append(body, rec.Type)
+	body = binary.AppendUvarint(body, rec.JobID)
+	if rec.Type == recSubmit {
+		body = binary.AppendUvarint(body, uint64(len(rec.Shards)))
+		for _, sh := range rec.Shards {
+			body = binary.AppendUvarint(body, uint64(len(sh)))
+			body = append(body, sh...)
+		}
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(body)+4))
+	dst = append(dst, body...)
+	return binary.LittleEndian.AppendUint32(dst, fnv1a32(body))
+}
+
+// decodeRecordBody parses one frame body (checksum already verified).
+func decodeRecordBody(body []byte) (Record, error) {
+	var rec Record
+	if len(body) == 0 {
+		return rec, fmt.Errorf("rvd: empty journal record")
+	}
+	rec.Type = body[0]
+	body = body[1:]
+	id, w := uvarintCanon(body)
+	if w <= 0 {
+		return rec, fmt.Errorf("rvd: truncated job id")
+	}
+	rec.JobID = id
+	body = body[w:]
+	switch rec.Type {
+	case recSubmit:
+		n, w := uvarintCanon(body)
+		if w <= 0 {
+			return rec, fmt.Errorf("rvd: truncated shard count")
+		}
+		body = body[w:]
+		if n > maxJournalShards || n > uint64(len(body)) {
+			return rec, fmt.Errorf("rvd: shard count %d exceeds bound", n)
+		}
+		rec.Shards = make([][]byte, 0, n)
+		for i := uint64(0); i < n; i++ {
+			l, w := uvarintCanon(body)
+			if w <= 0 {
+				return rec, fmt.Errorf("rvd: truncated shard length")
+			}
+			body = body[w:]
+			if l > uint64(len(body)) {
+				return rec, fmt.Errorf("rvd: shard length %d exceeds remaining input (%d bytes)", l, len(body))
+			}
+			rec.Shards = append(rec.Shards, append([]byte(nil), body[:l]...))
+			body = body[l:]
+		}
+		if len(body) != 0 {
+			return rec, fmt.Errorf("rvd: %d trailing bytes after submit record", len(body))
+		}
+	case recDone:
+		if len(body) != 0 {
+			return rec, fmt.Errorf("rvd: %d trailing bytes after done record", len(body))
+		}
+	default:
+		return rec, fmt.Errorf("rvd: unknown journal record type %d", rec.Type)
+	}
+	return rec, nil
+}
+
+// decodeJournal replays the framed region of a journal (header already
+// stripped): it returns every record of the longest valid prefix and
+// the byte length of that prefix. A truncated or corrupt tail is not an
+// error — it is the uncommitted suffix a crash is allowed to cost — so
+// recovery is always clean: arbitrary bytes yield some valid prefix,
+// never a panic and never an allocation disproportionate to the input
+// (pinned by FuzzJournalDecode).
+func decodeJournal(data []byte) ([]Record, int) {
+	var recs []Record
+	good := 0
+	for off := 0; off < len(data); {
+		n, w := uvarintCanon(data[off:])
+		if w <= 0 || n > maxJournalFrame || n < 5 {
+			break
+		}
+		frame := data[off+w:]
+		if uint64(len(frame)) < n {
+			break
+		}
+		body, sum := frame[:n-4], frame[n-4:n]
+		if binary.LittleEndian.Uint32(sum) != fnv1a32(body) {
+			break
+		}
+		rec, err := decodeRecordBody(body)
+		if err != nil {
+			break
+		}
+		recs = append(recs, rec)
+		off += w + int(n)
+		good = off
+	}
+	return recs, good
+}
+
+// Journal is the open write-ahead log.
+type Journal struct {
+	path string
+	f    *os.File
+	buf  []byte
+	// sync gates the per-append fsync; always true in production, and
+	// only ever cleared by the append benchmark to measure the fsync's
+	// share of the cost.
+	sync bool
+}
+
+// OpenJournal opens (creating if needed) the journal at path, replays
+// it, truncates any corrupt tail back to the last good record, and
+// returns the journal open for appending plus the replayed records in
+// append order. logf (nil for silent) receives the truncation notice.
+func OpenJournal(path string, logf func(format string, args ...any)) (*Journal, []Record, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("rvd: opening journal: %w", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("rvd: reading journal: %w", err)
+	}
+	hdr := []byte(journalHeader)
+	switch {
+	case len(raw) >= len(hdr) && string(raw[:len(hdr)]) == journalHeader:
+		// Established journal: replay below.
+	case len(raw) < len(hdr) && string(raw) == journalHeader[:len(raw)]:
+		// Empty or cut mid-header-write (the very first fsync never
+		// completed, so no record can exist): start fresh.
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("rvd: resetting journal: %w", err)
+		}
+		if _, err := f.WriteAt(hdr, 0); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("rvd: writing journal header: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("rvd: fsync journal header: %w", err)
+		}
+		raw = hdr
+	default:
+		f.Close()
+		return nil, nil, fmt.Errorf("rvd: %s is not an rvd journal (bad header)", path)
+	}
+	recs, good := decodeJournal(raw[len(hdr):])
+	keep := int64(len(hdr) + good)
+	if keep < int64(len(raw)) {
+		if logf != nil {
+			logf("rvd: journal %s: discarding %d corrupt/uncommitted trailing bytes (%d records recovered)",
+				path, int64(len(raw))-keep, len(recs))
+		}
+		if err := f.Truncate(keep); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("rvd: truncating journal tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("rvd: fsync truncated journal: %w", err)
+		}
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("rvd: seeking journal end: %w", err)
+	}
+	return &Journal{path: path, f: f, sync: true}, recs, nil
+}
+
+// Append durably appends one record: write the frame, fsync. When
+// Append returns nil the record survives any subsequent crash.
+func (j *Journal) Append(rec *Record) error {
+	j.buf = appendRecord(j.buf[:0], rec)
+	if _, err := j.f.Write(j.buf); err != nil {
+		return fmt.Errorf("rvd: journal append: %w", err)
+	}
+	if j.sync {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("rvd: journal fsync: %w", err)
+		}
+	}
+	return nil
+}
+
+// Compact atomically replaces the journal's contents with the given
+// records (the caller passes the submit records of still-incomplete
+// jobs): write a temp file, fsync it, rename over the journal, fsync
+// the directory, and continue appending to the new file. A crash at any
+// point leaves either the old journal or the new one, both valid.
+func (j *Journal) Compact(live []*Record) error {
+	buf := []byte(journalHeader)
+	for _, rec := range live {
+		buf = appendRecord(buf, rec)
+	}
+	tmp := j.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("rvd: journal compact: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("rvd: journal compact write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("rvd: journal compact fsync: %w", err)
+	}
+	if err := os.Rename(tmp, j.path); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("rvd: journal compact rename: %w", err)
+	}
+	syncDir(filepath.Dir(j.path))
+	old := j.f
+	j.f = f
+	return old.Close()
+}
+
+// Close flushes nothing (appends are already durable) and releases the
+// file handle.
+func (j *Journal) Close() error {
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}

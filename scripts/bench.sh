@@ -3,7 +3,7 @@
 # (ns/op, B/op, allocs/op, and — where reported — scheduler wakeups/op
 # and dispatcher ns/case per benchmark) for the PR perf trajectory.
 #
-# Usage: scripts/bench.sh [output.json]   (default: BENCH_PR8.json)
+# Usage: scripts/bench.sh [output.json]   (default: BENCH_PR9.json)
 #
 # The emitted file contains a "baseline" section (the seed engine's
 # numbers, recorded in scripts/seed-baseline.json) and a "current" section
@@ -16,7 +16,7 @@
 # Compare two records with: go run ./cmd/benchdiff old.json new.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_PR8.json}"
+out="${1:-BENCH_PR9.json}"
 count="${BENCH_COUNT:-5}"
 # go test appends "-$GOMAXPROCS" to benchmark names — but only when
 # GOMAXPROCS > 1. Resolve the actual value so the name extraction below
@@ -43,6 +43,8 @@ go test -run '^$' -bench 'BenchmarkViewWalkBatched' -count "$count" -benchmem ./
 go test -run '^$' -bench 'BenchmarkGenerate' -count "$count" -benchmem ./uxs/ | tee -a "$tmp"
 echo "== dist dispatcher overhead (protocol + codec + pipelining)" >&2
 go test -run '^$' -bench 'BenchmarkDistDispatch|BenchmarkShardCodec|BenchmarkDistPipelined' -count "$count" -benchmem ./dist/ | tee -a "$tmp"
+echo "== rvd durability layer (store verified reads + WAL appends)" >&2
+go test -run '^$' -bench 'BenchmarkCacheLookup|BenchmarkJournalAppend' -count "$count" -benchmem ./rvd/ | tee -a "$tmp"
 
 {
   printf '{\n'
