@@ -11,6 +11,14 @@
 //	    [-workers N | -dist-addrs host:port,...] [-dist-worker-bin "cmd args..."]
 //	    [-dist-respawn N] [-dist-max-attempts N] [-dist-migrate]
 //	    [-queue-bound N] [-batch-shards N]
+//	    [-pprof] [-log-level info]
+//
+// The daemon serves Prometheus text metrics at GET /metrics (the
+// process-wide obs registry: sim engine, dist coordinator, and rvd
+// store/journal/queue families) and per-job Chrome trace timelines at
+// GET /v1/sweeps/{id}/trace. -pprof additionally mounts net/http/pprof
+// under /debug/pprof/ on the same listener; -log-level sets the
+// log/slog threshold (debug shows per-batch dispatch lines).
 //
 // With -workers N the daemon forks N local worker processes (re-execing
 // itself as the worker unless -dist-worker-bin names one); -dist-addrs
@@ -27,8 +35,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -64,9 +74,16 @@ func main() {
 	dialAttempts := flag.Int("dial-attempts", 8, "connection attempts per -dist-addrs address (capped exponential backoff + jitter)")
 	queueBound := flag.Int("queue-bound", 4096, "admission control: shed submissions past this many pending shards (503 + Retry-After)")
 	batchShards := flag.Int("batch-shards", 16, "shards per fleet dispatch batch (smaller = fairer job interleaving)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the HTTP listener")
+	logLevel := flag.String("log-level", "info", "slog level: debug, info, warn, or error")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "", log.LstdFlags)
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		logger.Fatalf("rvd: bad -log-level %q: %v", *logLevel, err)
+	}
+	slogger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 	if *dir == "" {
 		logger.Fatal("rvd: -dir STATE is required")
 	}
@@ -103,7 +120,7 @@ func main() {
 		VersionStamp: versionStamp(),
 		QueueBound:   *queueBound,
 		BatchShards:  *batchShards,
-		Logf:         logger.Printf,
+		Log:          slogger,
 	})
 	if err != nil {
 		backend.Close()
@@ -116,8 +133,18 @@ func main() {
 		backend.Close()
 		logger.Fatalf("rvd: %v", err)
 	}
-	srv := &http.Server{Handler: daemon.Handler()}
-	logger.Printf("rvd: serving on http://%s (state %s, stamp %q)", ln.Addr(), *dir, versionStamp())
+	mux := http.NewServeMux()
+	mux.Handle("/", daemon.Handler())
+	if *pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	srv := &http.Server{Handler: mux}
+	slogger.Info("rvd: serving", "addr", ln.Addr().String(), "state", *dir,
+		"stamp", versionStamp(), "pprof", *pprofOn)
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
@@ -126,9 +153,9 @@ func main() {
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
 	select {
 	case sig := <-sigc:
-		logger.Printf("rvd: %v: draining and shutting down", sig)
+		slogger.Info("rvd: draining and shutting down", "signal", sig.String())
 	case err := <-errc:
-		logger.Printf("rvd: http server: %v", err)
+		slogger.Error("rvd: http server failed", "err", err)
 	}
 
 	// Graceful shutdown: stop accepting HTTP, finish the in-flight
@@ -139,10 +166,10 @@ func main() {
 	defer cancel()
 	_ = srv.Shutdown(ctx)
 	if err := daemon.Close(); err != nil {
-		logger.Printf("rvd: closing daemon: %v", err)
+		slogger.Warn("rvd: closing daemon", "err", err)
 	}
 	if err := backend.Close(); err != nil {
-		logger.Printf("rvd: closing fleet: %v", err)
+		slogger.Warn("rvd: closing fleet", "err", err)
 	}
-	logger.Printf("rvd: shutdown complete")
+	slogger.Info("rvd: shutdown complete")
 }

@@ -7,7 +7,13 @@
 //	rvx [-full] [-markdown] [-only E4,E7] [-resume PATH] [-checkpoint-every N]
 //	    [-dist-workers N] [-dist-worker-bin "path args..."]
 //	    [-dist-addrs host:port,...] [-dist-respawn N] [-dist-max-attempts N]
-//	    [-dist-migrate]
+//	    [-dist-migrate] [-trace out.json]
+//
+// -trace writes the dist coordinator's shard-lifecycle timeline (queue,
+// dispatch, first chunk, completion, plus requeue/migration/heartbeat
+// events, accumulated across every sweep of the regeneration) as Chrome
+// trace-event JSON loadable in Perfetto or chrome://tracing. It needs a
+// coordinator in this process, so it is incompatible with -daemon.
 //
 // -full enables the heavier variants (ring-4 UniversalRV in E7, the
 // million-node Q̂12 build in E9). -markdown emits GitHub tables (the format
@@ -69,6 +75,7 @@ func main() {
 	daemonAddr := flag.String("daemon", "", "submit the distributable sweeps to a running rvd daemon at this address instead of computing locally")
 	resumePath := flag.String("resume", "", "checkpoint file: skip experiments it records as complete, and save new ones to it")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "with -resume, save the checkpoint file after every N newly-executed experiments")
+	tracePath := flag.String("trace", "", "write the dist shard-lifecycle timeline to this file as Chrome trace-event JSON (Perfetto-loadable)")
 	flag.Parse()
 
 	if *checkpointEvery > 0 && *resumePath == "" {
@@ -113,6 +120,11 @@ func main() {
 			os.Exit(1)
 		}
 		backend = be
+	}
+	if *tracePath != "" && backend == nil {
+		// -trace needs the coordinator's timeline in this process: stand
+		// up the same in-process fleet the default path would use.
+		backend = dist.NewInProcess(0, distOpts...)
 	}
 	if backend != nil {
 		defer backend.Close()
@@ -205,8 +217,30 @@ func main() {
 		save(done)
 		mu.Unlock()
 	}
+	if *tracePath != "" {
+		if err := writeTrace(*tracePath, backend); err != nil {
+			fmt.Fprintf(os.Stderr, "rvx: -trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "rvx: wrote dist trace timeline to %s\n", *tracePath)
+	}
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "rvx: %d experiment checks FAILED\n", failures)
 		os.Exit(1)
 	}
+}
+
+// writeTrace exports the backend's shard-lifecycle timeline as Chrome
+// trace-event JSON. Backends without a local coordinator (the rvd
+// daemon client) have no timeline; dist.WriteTrace reports that.
+func writeTrace(path string, be dist.Backend) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := dist.WriteTrace(be, f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -14,6 +14,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Backend executes shard descriptors and returns their aggregates. Run is
@@ -219,12 +221,15 @@ type connState struct {
 	helloed      bool  // handshake completed; pre-hello conns are on the watchdog clock too
 	deadReason   error // set before severing (watchdog) to annotate the read error
 	lastProgress time.Time
+	idx          int        // position in run.conns: the trace/gauge conn id
+	ig           *obs.Gauge // this connection's dist_conn_inflight sample
 }
 
 // partialResult accumulates one shard's chunks.
 type partialResult struct {
-	res ShardResult
-	got int // cases received so far
+	res     ShardResult
+	got     int   // cases received so far
+	startNs int64 // timeline stamp of this dispatch (span start)
 }
 
 var errBackendClosed = errors.New("dist: backend closed")
@@ -254,6 +259,7 @@ type run struct {
 	remaining int
 	aborted   error
 	stats     RunStats
+	tl        *obs.Timeline // the backend's lifetime trace ring
 
 	wg sync.WaitGroup
 }
@@ -269,6 +275,7 @@ func newRun(be *connBackend, shards []*ShardDesc) *run {
 		shardErr: make([]error, len(shards)),
 
 		remaining: len(shards),
+		tl:        be.tl,
 	}
 	r.cond = sync.NewCond(&r.mu)
 	r.stats.Shards = len(shards)
@@ -298,10 +305,12 @@ func (r *run) execute(conns []*wconn) ([]*ShardResult, error) {
 	// first connection cannot see live==0 while others are still being
 	// spawned.
 	r.live = len(conns)
-	for _, c := range conns {
-		cs := &connState{c: c, inflight: map[int]*partialResult{}, lastProgress: time.Now()}
+	for i, c := range conns {
+		cs := &connState{c: c, inflight: map[int]*partialResult{}, lastProgress: time.Now(),
+			idx: i, ig: connInflightGauge(i)}
 		r.conns = append(r.conns, cs)
 	}
+	r.tl.Instant("run-start", "run", -1, fmt.Sprintf("%d shards, %d conns", len(r.shards), len(conns)))
 	for _, cs := range r.conns {
 		r.wg.Add(1)
 		go r.connLoop(cs)
@@ -315,6 +324,7 @@ func (r *run) execute(conns []*wconn) ([]*ShardResult, error) {
 	if watchStop != nil {
 		close(watchStop)
 	}
+	r.tl.Instant("run-end", "run", -1, "")
 
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -440,13 +450,23 @@ func (r *run) connLoop(cs *connState) {
 				from = part.got
 				r.stats.Migrations++
 				r.stats.MigratedCases += from
+				obsMigrated.Inc()
 			} else {
 				part = &partialResult{}
 			}
 			cs.inflight[si] = part
 			cs.lastProgress = time.Now()
+			part.startNs = r.tl.Now()
+			attempt := r.attempts[si]
 			sh := r.shards[si]
 			r.mu.Unlock()
+			obsDispatched.Inc()
+			cs.ig.Add(1)
+			if from > 0 {
+				r.tl.Instant("migrate", "shard", int64(si), fmt.Sprintf("conn=%d attempt=%d from=%d", cs.idx, attempt, from))
+			} else {
+				r.tl.Instant("dispatch", "shard", int64(si), fmt.Sprintf("conn=%d attempt=%d", cs.idx, attempt))
+			}
 			// Wake a reader idling on an empty window before the send:
 			// frames may start arriving immediately.
 			r.cond.Broadcast()
@@ -529,9 +549,13 @@ func (r *run) handleFrame(cs *connState, payload []byte) error {
 			return fmt.Errorf("dist: heartbeat claims %d/%d cases done on shard %d", done, len(r.shards[si].Cases), si)
 		}
 		r.mu.Lock()
+		gap := time.Since(cs.lastProgress)
 		cs.lastProgress = time.Now()
 		r.stats.Heartbeats++
 		r.mu.Unlock()
+		obsHeartbeats.Inc()
+		obsHeartbeatGapNs.Observe(uint64(gap))
+		r.tl.Instant("heartbeat", "shard", int64(si), "")
 		return nil
 
 	case frameResultChunk:
@@ -546,8 +570,12 @@ func (r *run) handleFrame(cs *connState, payload []byte) error {
 		if part.got+len(ck.Cases) > len(sh.Cases) {
 			return fmt.Errorf("dist: shard %d chunks overflow %d cases", si, len(sh.Cases))
 		}
+		wasFirst := part.got == 0 && len(ck.Cases) > 0
 		part.res.Cases = append(part.res.Cases, ck.Cases...)
 		part.got += len(ck.Cases)
+		if wasFirst {
+			r.tl.Instant("first-chunk", "shard", int64(si), "")
+		}
 		if ck.Terminal {
 			if part.got != len(sh.Cases) {
 				return fmt.Errorf("dist: shard %d terminal chunk after %d of %d cases", si, part.got, len(sh.Cases))
@@ -556,7 +584,7 @@ func (r *run) handleFrame(cs *connState, payload []byte) error {
 			if err != nil {
 				// The coordinator cannot materialize its own descriptor's
 				// graph: deterministic, not a transport fault.
-				r.completeShard(cs, si, nil, err)
+				r.completeShard(cs, si, part, nil, err)
 				return nil
 			}
 			if err := verifySigBytes(e.viewSig(), ck.ViewSig); err != nil {
@@ -564,16 +592,20 @@ func (r *run) handleFrame(cs *connState, payload []byte) error {
 			}
 			part.res.ViewSig = ck.ViewSig
 			done := part.res
-			r.completeShard(cs, si, &done, nil)
+			r.completeShard(cs, si, part, &done, nil)
 			r.mu.Lock()
 			r.stats.Chunks++
 			r.mu.Unlock()
+			obsChunks.Inc()
 			return nil
 		}
 		r.mu.Lock()
+		gap := time.Since(cs.lastProgress)
 		cs.lastProgress = time.Now()
 		r.stats.Chunks++
 		r.mu.Unlock()
+		obsChunks.Inc()
+		obsChunkGapNs.Observe(uint64(gap))
 		return nil
 
 	case frameError:
@@ -584,7 +616,7 @@ func (r *run) handleFrame(cs *connState, payload []byte) error {
 		// Worker-reported execution errors are deterministic — the same
 		// descriptor fails the same way on every worker — so they are
 		// terminal for the shard, never requeued.
-		r.completeShard(cs, si, nil, fmt.Errorf("failed on worker: %s", msg))
+		r.completeShard(cs, si, part, nil, fmt.Errorf("failed on worker: %s", msg))
 		return nil
 
 	default:
@@ -593,11 +625,12 @@ func (r *run) handleFrame(cs *connState, payload []byte) error {
 }
 
 // completeShard retires one in-flight shard — with its aggregate, or
-// with a terminal per-shard error.
-func (r *run) completeShard(cs *connState, si int, res *ShardResult, err error) {
+// with a terminal per-shard error — and closes its trace span.
+func (r *run) completeShard(cs *connState, si int, part *partialResult, res *ShardResult, err error) {
 	r.mu.Lock()
 	delete(cs.inflight, si)
 	cs.lastProgress = time.Now()
+	attempt := r.attempts[si]
 	if err != nil {
 		r.shardErr[si] = err
 	} else {
@@ -605,6 +638,13 @@ func (r *run) completeShard(cs *connState, si int, res *ShardResult, err error) 
 	}
 	r.remaining--
 	r.mu.Unlock()
+	cs.ig.Add(-1)
+	obsCompleted.Inc()
+	arg := fmt.Sprintf("conn=%d attempt=%d", cs.idx, attempt)
+	if err != nil {
+		arg += " error"
+	}
+	r.tl.Span("shard", "shard", int64(si), part.startNs, arg)
 	r.cond.Broadcast()
 }
 
@@ -624,12 +664,19 @@ func (r *run) connDead(cs *connState, cause error) {
 		cause = fmt.Errorf("%v (%w)", cs.deadReason, cause)
 	}
 	r.stats.DeadConns++
+	obsDeadConns.Inc()
+	r.tl.Instant("conn-dead", "conn", int64(-1-cs.idx), truncArg(cause.Error()))
 	for si, part := range cs.inflight {
 		delete(cs.inflight, si)
+		cs.ig.Add(-1)
+		r.tl.Span("shard", "shard", int64(si), part.startNs,
+			fmt.Sprintf("conn=%d attempt=%d conn-dead", cs.idx, r.attempts[si]))
 		r.lastFail[si] = cause
 		if r.attempts[si] >= r.tun.MaxAttempts {
 			r.shardErr[si] = fmt.Errorf("failed after %d dispatch attempts: last worker error: %w", r.attempts[si], cause)
 			r.remaining--
+			obsCompleted.Inc()
+			r.tl.Instant("attempts-exhausted", "shard", int64(si), "")
 		} else if r.tun.Migrate && part.got > 0 {
 			// Preserve the partial aggregation: the next dispatch of this
 			// shard becomes a checkpoint frame resuming at part.got. The
@@ -641,9 +688,12 @@ func (r *run) connDead(cs *connState, cause error) {
 			}
 			r.partial[si] = part
 			r.queue = append(r.queue, si)
+			r.tl.Instant("migrate-stash", "shard", int64(si), fmt.Sprintf("kept=%d cases", part.got))
 		} else {
 			r.stats.Requeues++
+			obsRequeued.Inc()
 			r.queue = append(r.queue, si)
+			r.tl.Instant("requeue", "shard", int64(si), "")
 		}
 	}
 	r.live--
@@ -672,12 +722,16 @@ func (r *run) addConn(c *wconn) {
 		r.mu.Unlock()
 		return
 	}
-	cs := &connState{c: c, inflight: map[int]*partialResult{}, lastProgress: time.Now()}
+	idx := len(r.conns)
+	cs := &connState{c: c, inflight: map[int]*partialResult{}, lastProgress: time.Now(),
+		idx: idx, ig: connInflightGauge(idx)}
 	r.conns = append(r.conns, cs)
 	r.live++
 	r.stats.Joined++
+	obsJoinedConns.Inc()
 	r.wg.Add(1)
 	r.mu.Unlock()
+	r.tl.Instant("conn-join", "conn", int64(-1-idx), "")
 	go r.connLoop(cs)
 }
 
@@ -695,16 +749,28 @@ type connBackend struct {
 	runWG sync.WaitGroup // outstanding Run calls
 
 	stop       func() error
-	onConnDead func() // respawn hook (NewLocal); called outside mu
-	fleet      any    // *localFleet for NewLocal backends (WithRespawn's target)
+	onConnDead func()        // respawn hook (NewLocal); called outside mu
+	fleet      any           // *localFleet for NewLocal backends (WithRespawn's target)
+	tl         *obs.Timeline // lifetime shard-lifecycle trace (see dist.Timeline)
 }
 
 func newConnBackend(conns []*wconn, stop func() error, opts ...Option) *connBackend {
-	b := &connBackend{conns: conns, stop: stop, tun: Tuning{}.withDefaults()}
+	b := &connBackend{conns: conns, stop: stop, tun: Tuning{}.withDefaults(),
+		tl: obs.NewTimeline(traceCap)}
 	for _, o := range opts {
 		o(b)
 	}
 	return b
+}
+
+// truncArg bounds a trace-event detail string: causes can carry long
+// wrapped errors and the ring holds thousands of events.
+func truncArg(s string) string {
+	const max = 96
+	if len(s) > max {
+		return s[:max] + "…"
+	}
+	return s
 }
 
 func (b *connBackend) Run(shards []*ShardDesc) ([]*ShardResult, error) {

@@ -200,6 +200,30 @@
 // and sever — the crashed-process shape. Same seed, same schedule:
 // every failing fault run is replayable.
 //
+// # Trace timelines and metrics
+//
+// The coordinator stamps every shard's lifecycle into a bounded ring
+// timeline (internal/obs.Timeline) owned by the backend, accumulating
+// across every Run of the backend's lifetime with run-start/run-end
+// markers delimiting sweeps. Each shard's story lives on its own track
+// (Chrome trace tid = shard index): a "dispatch" instant when the shard
+// is handed to a connection (arg: conn and attempt), a "first-chunk"
+// instant when its first result chunk lands, and a closing "shard" span
+// covering dispatch→terminal — with "requeue", "migrate", "heartbeat"
+// and "attempts-exhausted" instants marking the fault machinery when it
+// fires. Connection lifecycle ("conn-join", "conn-dead") rides negative
+// tracks so worker churn reads as its own lane group. By construction
+// span start <= dispatch ts <= first-chunk ts <= span end (the start is
+// stamped under the coordinator lock before the dispatch instant is
+// emitted), which the trace round-trip test pins. WriteTrace exports a
+// backend's timeline as Chrome trace-event JSON loadable in Perfetto or
+// chrome://tracing; `rvx -trace out.json` wires it to the CLI. The
+// coordinator also publishes counters and histograms (dispatches,
+// requeues, migrations, chunk and heartbeat gap distributions, per-conn
+// inflight gauges) into obs.Default(), exposed by rvd's GET /metrics —
+// all on coordination paths only, never inside the engine (see obs's
+// zero-overhead contract).
+//
 // # View exchange
 //
 // The protocol's graph-integrity check rides the view codec: each shard

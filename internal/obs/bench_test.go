@@ -1,0 +1,40 @@
+package obs
+
+import "testing"
+
+// BenchmarkObsCounter pins the hot-path cost of the instrumentation
+// primitives: a counter add must stay a single uncontended atomic op
+// with 0 allocs, because sim publishes run totals through it.
+func BenchmarkObsCounter(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_ops_total", "bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Add(3)
+	}
+	if c.Value() == 0 {
+		b.Fatal("counter did not move")
+	}
+}
+
+func BenchmarkObsCounterParallel(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_par_total", "bench")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkObsHistogram(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("bench_lat_ns", "bench", ExpBuckets(1000, 24))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(uint64(i&0xffff) * 97)
+	}
+}

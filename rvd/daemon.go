@@ -1,14 +1,19 @@
 package rvd
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 
 	"repro/dist"
+	"repro/internal/obs"
 )
 
 // JobState is a job's position in the crash-recovery state machine (see
@@ -56,6 +61,13 @@ type Job struct {
 	shards []*dist.ShardDesc
 	raw    [][]byte // canonical encodings, index-parallel with shards
 	keys   []Key
+
+	// submittedAt anchors queue-wait and progress elapsed times; tl is
+	// the job's lifecycle trace timeline (GET /v1/sweeps/{id}/trace):
+	// job-level markers on track -1, per-shard dispatch instants,
+	// cache-hit instants and execution spans on the shard-index track.
+	submittedAt time.Time
+	tl          *obs.Timeline
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -108,6 +120,10 @@ func (job *Job) Wait() JobStatus {
 // Keys returns the job's per-shard cache keys in submission order.
 func (job *Job) Keys() []Key { return job.keys }
 
+// WriteTrace writes the job's lifecycle timeline as Chrome trace-event
+// JSON (Perfetto-loadable); GET /v1/sweeps/{id}/trace serves it.
+func (job *Job) WriteTrace(w io.Writer) error { return job.tl.WriteTrace(w) }
+
 // Config configures a Daemon. Zero fields take the defaults.
 type Config struct {
 	// Dir is the daemon's durable state directory: Dir/store holds the
@@ -144,9 +160,36 @@ type Config struct {
 	// Default 1s.
 	RetryAfter time.Duration
 
+	// ProgressEvery is the cadence of progress lines on the events
+	// stream (GET /v1/sweeps/{id}/events): while a watched job is live,
+	// a progress line (shards done/total, cache hits, elapsed) is
+	// emitted at least this often even when no shard completed.
+	// Default 2s.
+	ProgressEvery time.Duration
+
+	// Log receives structured operational notices with levels (job
+	// lifecycle at Info, per-batch dispatch at Debug, failures at Warn).
+	// When set it takes precedence over Logf.
+	Log *slog.Logger
+
 	// Logf receives operational notices (quarantines, journal recovery,
-	// job lifecycle). Nil is silent.
+	// job lifecycle) as rendered lines. Nil (with Log nil) is silent.
 	Logf func(format string, args ...any)
+}
+
+// logFunc resolves the rendered-line log sink store and journal use:
+// Log (at Info) when set, else Logf, else nil for silent.
+func (c Config) logFunc() func(format string, args ...any) {
+	switch {
+	case c.Log != nil:
+		log := c.Log
+		return func(format string, args ...any) {
+			log.Info(fmt.Sprintf(format, args...))
+		}
+	case c.Logf != nil:
+		return c.Logf
+	}
+	return nil
 }
 
 func (c Config) withDefaults() Config {
@@ -164,6 +207,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
+	}
+	if c.ProgressEvery <= 0 {
+		c.ProgressEvery = 2 * time.Second
 	}
 	return c
 }
@@ -230,11 +276,12 @@ func Open(cfg Config) (*Daemon, error) {
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("rvd: creating state dir: %w", err)
 	}
-	store, err := OpenStore(filepath.Join(cfg.Dir, "store"), cfg.Logf)
+	lg := cfg.logFunc()
+	store, err := OpenStore(filepath.Join(cfg.Dir, "store"), lg)
 	if err != nil {
 		return nil, err
 	}
-	jl, recs, err := OpenJournal(filepath.Join(cfg.Dir, "journal.wal"), cfg.Logf)
+	jl, recs, err := OpenJournal(filepath.Join(cfg.Dir, "journal.wal"), lg)
 	if err != nil {
 		return nil, err
 	}
@@ -289,8 +336,10 @@ func Open(cfg Config) (*Daemon, error) {
 		d.queue = append(d.queue, job)
 		d.pending += len(job.shards)
 		live = append(live, &Record{Type: recSubmit, JobID: pj.id, Shards: pj.shards})
+		job.tl.Instant("resume", "job", -1, fmt.Sprintf("%d shards", len(job.shards)))
 		d.logf("rvd: resuming journaled job %d (%d shards)", pj.id, len(job.shards))
 	}
+	obsQueueDepth.Set(int64(d.pending))
 	// Compact on open: the replayed prefix collapses to just the live
 	// submit records, so journal growth resets every restart.
 	if err := jl.Compact(live); err != nil {
@@ -302,7 +351,17 @@ func Open(cfg Config) (*Daemon, error) {
 }
 
 func (d *Daemon) logf(format string, args ...any) {
-	if d.cfg.Logf != nil {
+	d.slogf(slog.LevelInfo, format, args...)
+}
+
+// slogf routes one rendered notice at the given level: through the
+// structured logger when configured, else the legacy Logf (which has no
+// level axis and receives everything).
+func (d *Daemon) slogf(level slog.Level, format string, args ...any) {
+	switch {
+	case d.cfg.Log != nil:
+		d.cfg.Log.Log(context.Background(), level, fmt.Sprintf(format, args...))
+	case d.cfg.Logf != nil:
 		d.cfg.Logf(format, args...)
 	}
 }
@@ -313,11 +372,13 @@ func (d *Daemon) buildJob(id uint64, raws [][]byte) (*Job, error) {
 		return nil, errors.New("rvd: job with no shards")
 	}
 	job := &Job{
-		ID:     id,
-		shards: make([]*dist.ShardDesc, len(raws)),
-		raw:    make([][]byte, len(raws)),
-		keys:   make([]Key, len(raws)),
-		done:   make([]bool, len(raws)),
+		ID:          id,
+		shards:      make([]*dist.ShardDesc, len(raws)),
+		raw:         make([][]byte, len(raws)),
+		keys:        make([]Key, len(raws)),
+		done:        make([]bool, len(raws)),
+		submittedAt: time.Now(),
+		tl:          obs.NewTimeline(jobTraceCap),
 	}
 	job.cond = sync.NewCond(&job.mu)
 	for i, raw := range raws {
@@ -372,6 +433,9 @@ func (d *Daemon) Submit(shards [][]byte) (*Job, error) {
 	d.jobs[id] = job
 	d.queue = append(d.queue, job)
 	d.pending += len(job.shards)
+	obsJobsSubmitted.Inc()
+	obsQueueDepth.Set(int64(d.pending))
+	job.tl.Instant("submit", "job", -1, fmt.Sprintf("%d shards", len(job.shards)))
 	d.cond.Broadcast()
 	return job, nil
 }
@@ -389,6 +453,7 @@ type Stats struct {
 	Jobs          int
 	PendingShards int
 	StoreEntries  int
+	StoreBytes    int64 // size on disk of the indexed store entries
 	Quarantined   int
 	CacheHits     int // shards answered from the store, all jobs, this lifetime
 	Executed      int // shards executed on the fleet, this lifetime
@@ -405,8 +470,27 @@ func (d *Daemon) Stats() Stats {
 	}
 	d.mu.Unlock()
 	st.StoreEntries = d.store.Len()
+	st.StoreBytes = d.store.SizeBytes()
 	st.Quarantined = d.store.Quarantined()
 	return st
+}
+
+// JobStatuses snapshots every known job (including finished ones still
+// queryable by id), sorted by id — the per-job exec-vs-hit split
+// GET /v1/stats reports.
+func (d *Daemon) JobStatuses() []JobStatus {
+	d.mu.Lock()
+	jobs := make([]*Job, 0, len(d.jobs))
+	for _, j := range d.jobs {
+		jobs = append(jobs, j)
+	}
+	d.mu.Unlock()
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i].ID < jobs[j].ID })
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	return out
 }
 
 // Store exposes the daemon's result store (watchers read event payloads
@@ -460,22 +544,23 @@ func (d *Daemon) resolveJob(job *Job) (remaining int) {
 		if isDone {
 			continue
 		}
-		if !d.store.Contains(k) {
-			remaining++
-			continue
-		}
+		// One Get centralizes the store accounting: an absent key is an
+		// index lookup only (a counted miss), a present-but-corrupt entry
+		// is quarantined inside Get and reported as a miss; recompute.
 		if _, ok := d.store.Get(k); !ok {
-			// Contained but corrupt: quarantined inside Get; recompute.
 			remaining++
 			continue
 		}
+		job.tl.Instant("cache-hit", "shard", int64(i), "")
 		job.markDone(i, true)
 		hits++
 	}
 	if hits > 0 {
+		obsShardsHit.Add(uint64(hits))
 		d.mu.Lock()
 		d.totalHits += hits
 		d.pending -= hits
+		obsQueueDepth.Set(int64(d.pending))
 		d.mu.Unlock()
 	}
 	return remaining
@@ -509,16 +594,22 @@ func (d *Daemon) finishJob(job *Job) {
 		d.logf("rvd: journaling job %d completion: %v", job.ID, err)
 	}
 	job.setState(JobDone, "")
+	obsJobsDone.Inc()
+	st := job.Status()
+	job.tl.Instant("done", "job", -1,
+		fmt.Sprintf("%d cache hits, %d executed", st.CacheHits, st.Executed))
 	d.logf("rvd: job %d done (%d shards: %d cache hits, %d executed)",
-		job.ID, len(job.shards), job.Status().CacheHits, job.Status().Executed)
+		job.ID, len(job.shards), st.CacheHits, st.Executed)
 }
 
 func (s JobState) isFinal() bool { return s == JobDone || s == JobFailed }
 
-// batchItem is one shard picked for a backend run.
+// batchItem is one shard picked for a backend run; startNs is the
+// dispatch stamp on the job's timeline, the start of its execution span.
 type batchItem struct {
-	job   *Job
-	shard int
+	job     *Job
+	shard   int
+	startNs int64
 }
 
 // schedule is the daemon's single scheduler goroutine: activate queued
@@ -545,6 +636,8 @@ func (d *Daemon) schedule() {
 		d.mu.Unlock()
 
 		for _, job := range newJobs {
+			obsQueueWaitNs.Observe(uint64(time.Since(job.submittedAt)))
+			job.tl.Instant("activate", "job", -1, "")
 			job.setState(JobRunning, "")
 		}
 
@@ -588,7 +681,9 @@ func (d *Daemon) schedule() {
 						continue
 					}
 					seen[job.keys[i]] = true
-					batch = append(batch, batchItem{job: job, shard: i})
+					it := batchItem{job: job, shard: i, startNs: job.tl.Now()}
+					job.tl.Instant("dispatch", "shard", int64(i), "")
+					batch = append(batch, it)
 					picked = true
 					break
 				}
@@ -612,6 +707,7 @@ func (d *Daemon) schedule() {
 		for i, it := range batch {
 			descs[i] = it.job.shards[it.shard]
 		}
+		d.slogf(slog.LevelDebug, "rvd: dispatching %d shards across %d active jobs", len(batch), len(still))
 		results, err := d.cfg.Backend.Run(descs)
 		if err != nil {
 			// Operational failure (fleet died, poison shard exhausted
@@ -628,10 +724,13 @@ func (d *Daemon) schedule() {
 				break
 			}
 			stored++
+			it.job.tl.Span("shard", "shard", int64(it.shard), it.startNs, "executed")
 			it.job.markDone(it.shard, false)
+			obsShardsExec.Inc()
 			d.mu.Lock()
 			d.totalExec++
 			d.pending--
+			obsQueueDepth.Set(int64(d.pending))
 			crash := d.crashAfterStores > 0 && d.totalExec >= d.crashAfterStores
 			d.mu.Unlock()
 			if crash {
@@ -680,8 +779,10 @@ func (d *Daemon) failJobs(batch []batchItem, cause error) {
 			continue
 		}
 		seen[it.job] = true
-		d.logf("rvd: job %d failed: %v", it.job.ID, cause)
+		d.slogf(slog.LevelWarn, "rvd: job %d failed: %v", it.job.ID, cause)
+		it.job.tl.Instant("failed", "job", -1, truncDetail(cause.Error()))
 		it.job.setState(JobFailed, cause.Error())
+		obsJobsFailed.Inc()
 		d.mu.Lock()
 		remaining := 0
 		it.job.mu.Lock()
@@ -692,6 +793,7 @@ func (d *Daemon) failJobs(batch []batchItem, cause error) {
 		}
 		it.job.mu.Unlock()
 		d.pending -= remaining
+		obsQueueDepth.Set(int64(d.pending))
 		d.mu.Unlock()
 		d.dropJob(it.job)
 	}

@@ -89,4 +89,36 @@
 // Admission control bounds total queued shards; a submission past the
 // bound is shed with ErrOverloaded, which the HTTP layer surfaces as
 // 503 + Retry-After.
+//
+// # Observability
+//
+// The daemon publishes into the process-wide obs registry (see
+// internal/obs's doc.go for the naming scheme and zero-overhead
+// contract) and serves it, together with per-job trace timelines, over
+// its HTTP surface:
+//
+//	GET /metrics                 Prometheus text exposition: the rvd_*
+//	                             families (jobs, queue depth and wait,
+//	                             store hits/misses/bytes/quarantines,
+//	                             journal appends and fsync latency,
+//	                             shard exec-vs-hit counters) plus the
+//	                             sim_* and dist_* families of the
+//	                             engines and coordinator running in
+//	                             this process
+//	GET /v1/sweeps/{id}/trace    the job's lifecycle timeline as Chrome
+//	                             trace-event JSON (Perfetto-loadable):
+//	                             submit/activate/done markers, per-shard
+//	                             dispatch instants, cache-hit instants,
+//	                             and execution spans
+//	GET /v1/sweeps/{id}/events   NDJSON completions interleaved with
+//	                             periodic progress lines (done/total,
+//	                             hit/exec split, elapsed) every
+//	                             Config.ProgressEvery
+//	GET /v1/stats                daemon counters plus store size on disk
+//	                             and per-job exec-vs-hit splits
+//
+// cmd/rvd's -pprof flag mounts net/http/pprof under /debug/pprof/ on
+// the same listener, and -log-level sets the log/slog threshold
+// (Config.Log; per-batch dispatch lines are Debug, lifecycle Info,
+// failures Warn).
 package rvd

@@ -8,6 +8,9 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // The HTTP/JSON front end. Shard descriptors cross the wire as base64 of
@@ -18,10 +21,16 @@ import (
 //	  201 {"id": N, "shards": S}          job accepted (journaled durably)
 //	  503 + Retry-After                   admission control shed the job
 //	GET  /v1/sweeps/{id}                  job status snapshot
-//	GET  /v1/sweeps/{id}/events           NDJSON stream, one line per shard
-//	                                      completion, then a terminal line
+//	GET  /v1/sweeps/{id}/events           NDJSON stream: one line per shard
+//	                                      completion, periodic progress
+//	                                      lines, then a terminal line
+//	GET  /v1/sweeps/{id}/trace            job lifecycle timeline as Chrome
+//	                                      trace-event JSON (Perfetto)
 //	GET  /v1/results/{key}                raw result bytes for a cache key
-//	GET  /v1/stats                        daemon-wide counters
+//	GET  /v1/stats                        daemon-wide counters + per-job
+//	                                      cache-hit/executed splits
+//	GET  /metrics                         Prometheus text exposition of
+//	                                      the process obs registry
 
 // submitRequest is the POST /v1/sweeps body.
 type submitRequest struct {
@@ -46,24 +55,49 @@ type statusResponse struct {
 }
 
 // eventLine is one NDJSON line on the events stream. Per-shard lines
-// carry Shard/Cache/Key; the terminal line carries only State (and Err
-// when failed) and is always last.
+// carry Shard/Cache/Key; progress lines carry only Progress and are
+// emitted at least every Config.ProgressEvery while the job is live;
+// the terminal line carries only State (and Err when failed) and is
+// always last.
 type eventLine struct {
-	Shard *int   `json:"shard,omitempty"`
-	Cache *bool  `json:"cache,omitempty"`
-	Key   string `json:"key,omitempty"`
-	State string `json:"state,omitempty"`
-	Err   string `json:"error,omitempty"`
+	Shard    *int          `json:"shard,omitempty"`
+	Cache    *bool         `json:"cache,omitempty"`
+	Key      string        `json:"key,omitempty"`
+	Progress *progressLine `json:"progress,omitempty"`
+	State    string        `json:"state,omitempty"`
+	Err      string        `json:"error,omitempty"`
+}
+
+// progressLine is the payload of a periodic progress event.
+type progressLine struct {
+	Done      int   `json:"done"`
+	Total     int   `json:"total"`
+	CacheHits int   `json:"cache_hits"`
+	Executed  int   `json:"executed"`
+	ElapsedMS int64 `json:"elapsed_ms"`
 }
 
 // statsResponse answers GET /v1/stats.
 type statsResponse struct {
-	Jobs          int `json:"jobs"`
-	PendingShards int `json:"pending_shards"`
-	StoreEntries  int `json:"store_entries"`
-	Quarantined   int `json:"quarantined"`
-	CacheHits     int `json:"cache_hits"`
-	Executed      int `json:"executed"`
+	Jobs          int           `json:"jobs"`
+	PendingShards int           `json:"pending_shards"`
+	StoreEntries  int           `json:"store_entries"`
+	StoreBytes    int64         `json:"store_bytes"`
+	Quarantined   int           `json:"quarantined"`
+	CacheHits     int           `json:"cache_hits"`
+	Executed      int           `json:"executed"`
+	JobsDetail    []jobStatLine `json:"jobs_detail,omitempty"`
+}
+
+// jobStatLine is one job's row in the stats response: its state and
+// exec-vs-hit split.
+type jobStatLine struct {
+	ID        uint64 `json:"id"`
+	State     string `json:"state"`
+	Shards    int    `json:"shards"`
+	Completed int    `json:"completed"`
+	CacheHits int    `json:"cache_hits"`
+	Executed  int    `json:"executed"`
 }
 
 // maxSubmitBody bounds a submission body; matches the journal frame
@@ -76,8 +110,10 @@ func (d *Daemon) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sweeps", d.handleSubmit)
 	mux.HandleFunc("GET /v1/sweeps/{id}", d.handleStatus)
 	mux.HandleFunc("GET /v1/sweeps/{id}/events", d.handleEvents)
+	mux.HandleFunc("GET /v1/sweeps/{id}/trace", d.handleTrace)
 	mux.HandleFunc("GET /v1/results/{key}", d.handleResult)
 	mux.HandleFunc("GET /v1/stats", d.handleStats)
+	mux.Handle("GET /metrics", obs.Default().Handler())
 	return mux
 }
 
@@ -147,8 +183,11 @@ func (d *Daemon) handleStatus(w http.ResponseWriter, r *http.Request) {
 
 // handleEvents streams the job's per-shard completions as NDJSON: replay
 // everything already recorded, then tail live completions until the job
-// reaches a terminal state, which is emitted as the final line. The
-// stream is flushed per line so a submitter sees progress as it lands.
+// reaches a terminal state, which is emitted as the final line. While
+// the job is live a progress line (shards done/total, cache-hit and
+// executed splits, elapsed) is emitted at least every ProgressEvery,
+// even when no shard completed. The stream is flushed per batch so a
+// submitter sees progress as it lands.
 func (d *Daemon) handleEvents(w http.ResponseWriter, r *http.Request) {
 	job, ok := d.jobFromPath(w, r)
 	if !ok {
@@ -159,26 +198,45 @@ func (d *Daemon) handleEvents(w http.ResponseWriter, r *http.Request) {
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 
-	// Wake the tailing loop when the client goes away so the handler
-	// does not outlive the connection.
+	// Wake the tailing loop on the progress cadence and when the client
+	// goes away, so the handler emits heartbeats and never outlives the
+	// connection.
 	ctx := r.Context()
+	every := d.cfg.ProgressEvery
+	done := make(chan struct{})
+	defer close(done)
 	go func() {
-		<-ctx.Done()
-		job.mu.Lock()
-		job.cond.Broadcast()
-		job.mu.Unlock()
+		ticker := time.NewTicker(every)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+			case <-ctx.Done():
+			case <-done:
+				return
+			}
+			job.mu.Lock()
+			job.cond.Broadcast()
+			job.mu.Unlock()
+			if ctx.Err() != nil {
+				return
+			}
+		}
 	}()
 
 	sent := 0
+	lastBeat := time.Now()
 	for {
 		job.mu.Lock()
-		for sent >= len(job.events) && !job.terminal() && ctx.Err() == nil {
+		for sent >= len(job.events) && !job.terminal() && ctx.Err() == nil &&
+			time.Since(lastBeat) < every {
 			job.cond.Wait()
 		}
 		events := job.events[sent:]
 		sent = len(job.events)
 		state := job.state
 		errMsg := job.errMsg
+		hits, exec := job.cacheHits, job.executed
 		job.mu.Unlock()
 		if ctx.Err() != nil {
 			return
@@ -190,10 +248,22 @@ func (d *Daemon) handleEvents(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		}
+		terminal := state == JobDone || state == JobFailed || state == JobSuspended
+		if !terminal && time.Since(lastBeat) >= every {
+			lastBeat = time.Now()
+			line := eventLine{Progress: &progressLine{
+				Done: sent, Total: len(job.shards),
+				CacheHits: hits, Executed: exec,
+				ElapsedMS: time.Since(job.submittedAt).Milliseconds(),
+			}}
+			if err := enc.Encode(line); err != nil {
+				return
+			}
+		}
 		if flusher != nil {
 			flusher.Flush()
 		}
-		if state == JobDone || state == JobFailed || state == JobSuspended {
+		if terminal {
 			_ = enc.Encode(eventLine{State: state.String(), Err: errMsg})
 			if flusher != nil {
 				flusher.Flush()
@@ -201,6 +271,17 @@ func (d *Daemon) handleEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// handleTrace serves the job's lifecycle timeline as Chrome trace-event
+// JSON, loadable directly in Perfetto or chrome://tracing.
+func (d *Daemon) handleTrace(w http.ResponseWriter, r *http.Request) {
+	job, ok := d.jobFromPath(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = job.WriteTrace(w)
 }
 
 func (d *Daemon) handleResult(w http.ResponseWriter, r *http.Request) {
@@ -222,9 +303,18 @@ func (d *Daemon) handleResult(w http.ResponseWriter, r *http.Request) {
 
 func (d *Daemon) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := d.Stats()
-	writeJSON(w, http.StatusOK, statsResponse{
+	resp := statsResponse{
 		Jobs: st.Jobs, PendingShards: st.PendingShards,
-		StoreEntries: st.StoreEntries, Quarantined: st.Quarantined,
-		CacheHits: st.CacheHits, Executed: st.Executed,
-	})
+		StoreEntries: st.StoreEntries, StoreBytes: st.StoreBytes,
+		Quarantined: st.Quarantined,
+		CacheHits:   st.CacheHits, Executed: st.Executed,
+	}
+	for _, js := range d.JobStatuses() {
+		resp.JobsDetail = append(resp.JobsDetail, jobStatLine{
+			ID: js.ID, State: js.State.String(), Shards: js.Shards,
+			Completed: js.Completed, CacheHits: js.CacheHits,
+			Executed: js.Executed,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 )
 
 // The job journal is the daemon's write-ahead log: every accepted job is
@@ -256,10 +257,13 @@ func (j *Journal) Append(rec *Record) error {
 		return fmt.Errorf("rvd: journal append: %w", err)
 	}
 	if j.sync {
+		start := time.Now()
 		if err := j.f.Sync(); err != nil {
 			return fmt.Errorf("rvd: journal fsync: %w", err)
 		}
+		obsJournalFsyncNs.Observe(uint64(time.Since(start)))
 	}
+	obsJournalAppends.Inc()
 	return nil
 }
 

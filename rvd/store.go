@@ -25,7 +25,8 @@ type Store struct {
 	logf func(format string, args ...any)
 
 	mu          sync.Mutex
-	index       map[Key]struct{}
+	index       map[Key]int64 // entry size on disk, by key
+	totalBytes  int64
 	quarantined int
 }
 
@@ -133,7 +134,7 @@ func OpenStore(dir string, logf func(format string, args ...any)) (*Store, error
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("rvd: creating store dir: %w", err)
 	}
-	s := &Store{dir: dir, logf: logf, index: map[Key]struct{}{}}
+	s := &Store{dir: dir, logf: logf, index: map[Key]int64{}}
 	ents, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("rvd: scanning store dir: %w", err)
@@ -152,12 +153,27 @@ func OpenStore(dir string, logf func(format string, args ...any)) (*Store, error
 				continue // not an entry name; leave it alone
 			}
 			copy(k[:], raw)
-			s.index[k] = struct{}{}
+			var size int64
+			if info, err := e.Info(); err == nil {
+				size = info.Size()
+			}
+			s.index[k] = size
+			s.totalBytes += size
 		case strings.Contains(name, corruptSuffix):
 			s.quarantined++
 		}
 	}
+	s.mu.Lock()
+	s.publishGauges()
+	s.mu.Unlock()
 	return s, nil
+}
+
+// publishGauges pushes the index size and byte totals to the process
+// metrics. Caller holds s.mu.
+func (s *Store) publishGauges() {
+	obsStoreEntries.Set(int64(len(s.index)))
+	obsStoreBytes.Set(s.totalBytes)
 }
 
 func (s *Store) path(k Key) string {
@@ -175,7 +191,8 @@ func (s *Store) Put(k Key, value []byte) error {
 	if err != nil {
 		return fmt.Errorf("rvd: store write: %w", err)
 	}
-	if _, err := f.Write(appendEntry(nil, k, value)); err != nil {
+	img := appendEntry(nil, k, value)
+	if _, err := f.Write(img); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return fmt.Errorf("rvd: store write: %w", err)
@@ -194,8 +211,11 @@ func (s *Store) Put(k Key, value []byte) error {
 		return fmt.Errorf("rvd: store rename: %w", err)
 	}
 	syncDir(s.dir)
+	obsStoreWrittenB.Add(uint64(len(img)))
 	s.mu.Lock()
-	s.index[k] = struct{}{}
+	s.totalBytes += int64(len(img)) - s.index[k]
+	s.index[k] = int64(len(img))
+	s.publishGauges()
 	s.mu.Unlock()
 	return nil
 }
@@ -211,6 +231,7 @@ func (s *Store) Get(k Key) ([]byte, bool) {
 	_, ok := s.index[k]
 	s.mu.Unlock()
 	if !ok {
+		obsStoreMisses.Inc()
 		return nil, false
 	}
 	path := s.path(k)
@@ -228,6 +249,8 @@ func (s *Store) Get(k Key) ([]byte, bool) {
 		s.quarantine(k, path, fmt.Errorf("embedded key %s disagrees with filename", ek))
 		return nil, false
 	}
+	obsStoreHits.Inc()
+	obsStoreReadB.Add(uint64(len(data)))
 	return value, true
 }
 
@@ -242,10 +265,14 @@ func (s *Store) Contains(k Key) bool {
 
 // quarantine renames a failed entry aside and logs the reason.
 func (s *Store) quarantine(k Key, path string, cause error) {
+	obsStoreQuar.Inc()
+	obsStoreMisses.Inc() // the caller sees this read as a miss
 	s.mu.Lock()
+	s.totalBytes -= s.index[k]
 	delete(s.index, k)
 	s.quarantined++
 	n := s.quarantined
+	s.publishGauges()
 	s.mu.Unlock()
 	dst := fmt.Sprintf("%s%s.%d", path, corruptSuffix, n)
 	if err := os.Rename(path, dst); err != nil {
@@ -263,6 +290,13 @@ func (s *Store) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.index)
+}
+
+// SizeBytes reports the total size on disk of the indexed entries.
+func (s *Store) SizeBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.totalBytes
 }
 
 // Quarantined reports how many entries have been quarantined (including

@@ -103,7 +103,7 @@ func TestStoreQuarantineBitFlip(t *testing.T) {
 			t.Fatal(err)
 		}
 		s.mu.Lock()
-		s.index[k] = struct{}{} // re-arm after the previous quarantine
+		s.index[k] = int64(len(corrupt)) // re-arm after the previous quarantine
 		s.mu.Unlock()
 		if got, ok := s.Get(k); ok {
 			t.Fatalf("bit flip at %d: Get served corrupt value %q", pos, got)

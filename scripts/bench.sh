@@ -3,7 +3,7 @@
 # (ns/op, B/op, allocs/op, and — where reported — scheduler wakeups/op
 # and dispatcher ns/case per benchmark) for the PR perf trajectory.
 #
-# Usage: scripts/bench.sh [output.json]   (default: BENCH_PR9.json)
+# Usage: scripts/bench.sh [output.json]   (default: BENCH_PR10.json)
 #
 # The emitted file contains a "baseline" section (the seed engine's
 # numbers, recorded in scripts/seed-baseline.json) and a "current" section
@@ -16,7 +16,7 @@
 # Compare two records with: go run ./cmd/benchdiff old.json new.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_PR9.json}"
+out="${1:-BENCH_PR10.json}"
 count="${BENCH_COUNT:-5}"
 # go test appends "-$GOMAXPROCS" to benchmark names — but only when
 # GOMAXPROCS > 1. Resolve the actual value so the name extraction below
@@ -35,6 +35,9 @@ echo "== sim engine microbenchmarks (incl. k-agent scheduler)" >&2
 go test -run '^$' -bench 'BenchmarkScriptedWalk|BenchmarkPerMoveWalk|BenchmarkRoundThroughput|BenchmarkFastForward|BenchmarkMultiScriptedWalk' -count "$count" -benchmem ./sim/ | tee -a "$tmp"
 echo "== batch shard engine (record-and-resolve vs per-case loop)" >&2
 go test -run '^$' -bench 'BenchmarkBatchShard' -count "$count" -benchmem ./sim/ | tee -a "$tmp"
+echo "== obs hot-path overhead (atomic counter + instrumented shard run)" >&2
+go test -run '^$' -bench 'BenchmarkObsCounter$' -count "$count" -benchmem ./internal/obs/ | tee -a "$tmp"
+go test -run '^$' -bench 'BenchmarkInstrumentedShard' -count "$count" -benchmem ./sim/ | tee -a "$tmp"
 echo "== checkpoint capture + encode (mid-run state frame)" >&2
 go test -run '^$' -bench 'BenchmarkCheckpoint' -count "$count" -benchmem ./sim/ | tee -a "$tmp"
 echo "== view + rendezvous + uxs microbenchmarks" >&2

@@ -700,6 +700,7 @@ func (b *Batch) cleanup(s *Session) {
 	s.mu.Lock()
 	s.stats = b.stats
 	s.mu.Unlock()
+	publishRunStats(&b.stats, runKindBatch)
 }
 
 // PairItem is one case of a SweepPairs grid: the graph it runs on plus

@@ -194,6 +194,34 @@ func BenchmarkBatchShard(b *testing.B) {
 	}
 }
 
+// BenchmarkInstrumentedShard pins the observability overhead: the same
+// W=64 batch shard as BenchmarkBatchShard, named separately so the
+// benchdiff record tracks the instrumented engine path explicitly. The
+// obs publishing contract (run totals flushed as a handful of atomic
+// adds at run end, nothing per wakeup) must keep this at 0 allocs/op;
+// TestInstrumentedBatchShardAllocs enforces that as a hard test.
+func BenchmarkInstrumentedShard(b *testing.B) {
+	g := graph.Cycle(32)
+	script := uxsStyleScript(32, 32)
+	const w = 64
+	cases := batchShardCases(w, g, script)
+	sess := NewSession()
+	defer sess.Close()
+	batch := NewBatch()
+	sess.RunPairsBatch(g, cases, batch) // warm the pool and arena
+	before := obsRuns[runKindBatch].Value()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess.RunPairsBatch(g, cases, batch)
+	}
+	b.StopTimer()
+	if obsRuns[runKindBatch].Value() == before {
+		b.Fatal("instrumentation did not publish")
+	}
+	reportCases(b, w)
+}
+
 // BenchmarkBatchShardPerCase is the identical shard through the per-case
 // engine: one Session.RunPrograms call per case on the same pooled
 // session — the pre-batch execution strategy, kept as the speedup

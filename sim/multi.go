@@ -157,6 +157,7 @@ func (s *Session) runMany(g *graph.Graph, agents []MultiAgent, cfg MultiConfig,
 	m.begin()
 	m.stopAt = stopAt
 	defer func() {
+		publishRunStats(&s.stats, runKindMulti)
 		for i, r := range m.runners {
 			if r != nil {
 				s.release(r)

@@ -115,6 +115,7 @@ func (s *Session) runPair(g *graph.Graph, progA, progB agent.Program, u, v int, 
 	ra := s.acquire(g, progA, u)
 	var rb *runner // started when the later agent appears
 	defer func() {
+		publishRunStats(&s.stats, runKindPair)
 		s.release(ra)
 		if rb != nil {
 			s.release(rb)
